@@ -1,0 +1,692 @@
+//! Reference evaluation semantics for AGCA expressions.
+//!
+//! [`eval`] implements the denotational semantics of Section 3.2: given a source of
+//! relation contents and a context of bound variables, an expression evaluates to a GMR
+//! over its output variables. Products pass bindings from left to right (sideways
+//! information passing), comparisons and lifts evaluate their operands as scalars in the
+//! current context, and `Sum_A` projects while summing multiplicities.
+//!
+//! The evaluator is the semantic ground truth of the whole system: the runtime executes
+//! compiled trigger statements with it, and the test-suite checks every compilation
+//! strategy against re-evaluation through it.
+
+use crate::expr::{AtomKind, CmpOp, Expr, ScalarFn};
+use dbtoaster_gmr::{Gmr, Schema, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A variable-binding context.
+pub type Bindings = HashMap<String, Value>;
+
+/// Errors raised during evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// A variable was read before being bound.
+    UnboundVariable(String),
+    /// A relation or view is not present in the [`RelationSource`].
+    UnknownRelation(String),
+    /// An expression used in scalar position produced a non-scalar result.
+    NotScalar(String),
+    /// A tuple's arity did not match the atom's argument list.
+    ArityMismatch { relation: String, expected: usize, actual: usize },
+    /// A value-level operation failed (e.g. arithmetic on a string).
+    Value(String),
+    /// A scalar function was applied to the wrong number or type of arguments.
+    BadApply(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+            EvalError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            EvalError::NotScalar(e) => write!(f, "expression is not scalar: {e}"),
+            EvalError::ArityMismatch { relation, expected, actual } => write!(
+                f,
+                "arity mismatch for {relation}: expected {expected}, got {actual}"
+            ),
+            EvalError::Value(e) => write!(f, "value error: {e}"),
+            EvalError::BadApply(e) => write!(f, "bad scalar function application: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<dbtoaster_gmr::value::ValueError> for EvalError {
+    fn from(e: dbtoaster_gmr::value::ValueError) -> Self {
+        EvalError::Value(e.to_string())
+    }
+}
+
+/// A source of relation and view contents.
+///
+/// `iter_matching` receives a partial binding pattern: `pattern[i] = Some(v)` constrains
+/// position `i` of the tuple to equal `v`. Implementations are free to answer with any
+/// superset of the matching tuples (the evaluator re-checks the constraints), but an
+/// index-backed implementation that answers exactly is what gives compiled trigger
+/// statements their constant-time behaviour.
+pub trait RelationSource {
+    /// Arity of the named relation, or `None` if unknown.
+    fn relation_arity(&self, name: &str) -> Option<usize>;
+
+    /// Tuples (with multiplicities) matching the partial binding pattern.
+    fn iter_matching(
+        &self,
+        name: &str,
+        pattern: &[Option<Value>],
+    ) -> Result<Vec<(Vec<Value>, f64)>, EvalError>;
+}
+
+/// A trivial in-memory [`RelationSource`] backed by a map of GMRs. Used by tests, by the
+/// re-evaluation (REP) baseline and as the initial database of the runtime engine.
+#[derive(Clone, Debug, Default)]
+pub struct MemSource {
+    relations: HashMap<String, Gmr>,
+}
+
+impl MemSource {
+    /// An empty source.
+    pub fn new() -> Self {
+        MemSource::default()
+    }
+
+    /// Register (or replace) a relation.
+    pub fn set_relation(&mut self, name: impl Into<String>, gmr: Gmr) {
+        self.relations.insert(name.into(), gmr);
+    }
+
+    /// Get a relation's contents, if present.
+    pub fn relation(&self, name: &str) -> Option<&Gmr> {
+        self.relations.get(name)
+    }
+
+    /// Apply a single-tuple update (positive multiplicity = insert, negative = delete).
+    pub fn apply_update(&mut self, name: &str, tuple: Vec<Value>, mult: f64) {
+        if let Some(g) = self.relations.get_mut(name) {
+            g.add_tuple(tuple, mult);
+        } else {
+            let schema = Schema::new((0..tuple.len()).map(|i| format!("c{i}")));
+            let mut g = Gmr::new(schema);
+            g.add_tuple(tuple, mult);
+            self.relations.insert(name.to_string(), g);
+        }
+    }
+}
+
+impl RelationSource for MemSource {
+    fn relation_arity(&self, name: &str) -> Option<usize> {
+        self.relations.get(name).map(|g| g.schema().arity())
+    }
+
+    fn iter_matching(
+        &self,
+        name: &str,
+        pattern: &[Option<Value>],
+    ) -> Result<Vec<(Vec<Value>, f64)>, EvalError> {
+        let g = self
+            .relations
+            .get(name)
+            .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))?;
+        let mut out = Vec::new();
+        for (t, m) in g.iter() {
+            let ok = pattern
+                .iter()
+                .enumerate()
+                .all(|(i, p)| p.as_ref().map(|v| &t[i] == v).unwrap_or(true));
+            if ok {
+                out.push((t.clone(), m));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Evaluate an expression to a GMR over its output variables.
+pub fn eval(expr: &Expr, src: &dyn RelationSource, ctx: &Bindings) -> Result<Gmr, EvalError> {
+    match expr {
+        Expr::Const(v) => Ok(Gmr::scalar(v.as_f64().map_err(EvalError::from)?)),
+        Expr::Var(x) => {
+            let v = ctx
+                .get(x)
+                .ok_or_else(|| EvalError::UnboundVariable(x.clone()))?;
+            Ok(Gmr::scalar(v.as_f64().map_err(EvalError::from)?))
+        }
+        Expr::Rel(r) => eval_atom(r, src, ctx),
+        Expr::Add(terms) => {
+            let mut acc = Gmr::new(Schema::empty());
+            for t in terms {
+                let g = eval(t, src, ctx)?;
+                if acc.is_empty() {
+                    acc = g;
+                } else if !g.is_empty() {
+                    acc.add_gmr(&g);
+                }
+            }
+            Ok(acc)
+        }
+        Expr::Mul(factors) => eval_product(factors, src, ctx),
+        Expr::Neg(e) => Ok(eval(e, src, ctx)?.negate()),
+        Expr::AggSum(gb, e) => {
+            let inner = eval(e, src, ctx)?;
+            let mut out = Gmr::new(Schema::new(gb.iter().cloned()));
+            if inner.is_empty() {
+                return Ok(out);
+            }
+            // Group-by columns may come from the inner result or from the context.
+            let inner_schema = inner.schema().clone();
+            let sources: Vec<Result<usize, Value>> = gb
+                .iter()
+                .map(|g| match inner_schema.index_of(g) {
+                    Some(i) => Ok(Ok(i)),
+                    None => ctx
+                        .get(g)
+                        .cloned()
+                        .map(Err)
+                        .ok_or_else(|| EvalError::UnboundVariable(g.clone())),
+                })
+                .collect::<Result<_, _>>()?;
+            for (t, m) in inner.iter() {
+                let key: Vec<Value> = sources
+                    .iter()
+                    .map(|s| match s {
+                        Ok(i) => t[*i].clone(),
+                        Err(v) => v.clone(),
+                    })
+                    .collect();
+                out.add_tuple(key, m);
+            }
+            Ok(out)
+        }
+        Expr::Lift(x, e) => {
+            let v = eval_scalar(e, src, ctx)?;
+            // If the variable is already bound, the lift degenerates into an equality
+            // check on the bound value (Section 3.2's distinction between `=` and `:=`
+            // is handled here by the context).
+            if let Some(existing) = ctx.get(x) {
+                if existing == &v {
+                    return Ok(Gmr::scalar(1.0));
+                }
+                return Ok(Gmr::new(Schema::empty()));
+            }
+            Ok(Gmr::singleton(Schema::new([x.clone()]), vec![v], 1.0))
+        }
+        Expr::Cmp(op, l, r) => {
+            let lv = eval_scalar(l, src, ctx)?;
+            let rv = eval_scalar(r, src, ctx)?;
+            if op.eval(&lv, &rv) {
+                Ok(Gmr::scalar(1.0))
+            } else {
+                Ok(Gmr::new(Schema::empty()))
+            }
+        }
+        Expr::Exists(e) => {
+            let g = eval(e, src, ctx)?;
+            Ok(g.map_multiplicities(|m| if m != 0.0 { 1.0 } else { 0.0 }))
+        }
+        Expr::Apply(f, args) => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_scalar(a, src, ctx))
+                .collect::<Result<_, _>>()?;
+            let v = apply_scalar_fn(f, &vals)?;
+            Ok(Gmr::scalar(v.as_f64().map_err(EvalError::from)?))
+        }
+    }
+}
+
+fn eval_atom(
+    r: &crate::expr::RelRef,
+    src: &dyn RelationSource,
+    ctx: &Bindings,
+) -> Result<Gmr, EvalError> {
+    let _ = AtomKind::Stream; // all kinds are looked up the same way at evaluation time
+    if let Some(arity) = src.relation_arity(&r.name) {
+        if arity != r.args.len() {
+            return Err(EvalError::ArityMismatch {
+                relation: r.name.clone(),
+                expected: r.args.len(),
+                actual: arity,
+            });
+        }
+    }
+    // Partial binding pattern from the context.
+    let pattern: Vec<Option<Value>> = r.args.iter().map(|a| ctx.get(a).cloned()).collect();
+
+    // Output schema: argument variables, deduplicated in order (repeated variables add
+    // an implicit self-equality constraint).
+    let mut out_cols: Vec<String> = Vec::new();
+    for a in &r.args {
+        if !out_cols.contains(a) {
+            out_cols.push(a.clone());
+        }
+    }
+    let dedup = out_cols.len() != r.args.len();
+    let mut out = Gmr::new(Schema::new(out_cols.iter().cloned()));
+
+    for (t, m) in src.iter_matching(&r.name, &pattern)? {
+        if t.len() != r.args.len() {
+            return Err(EvalError::ArityMismatch {
+                relation: r.name.clone(),
+                expected: r.args.len(),
+                actual: t.len(),
+            });
+        }
+        // Re-check the context constraints (sources may over-approximate).
+        let consistent = pattern
+            .iter()
+            .enumerate()
+            .all(|(i, p)| p.as_ref().map(|v| &t[i] == v).unwrap_or(true));
+        if !consistent {
+            continue;
+        }
+        if dedup {
+            // Check repeated-variable consistency and project to the deduplicated schema.
+            let mut assignment: HashMap<&str, &Value> = HashMap::new();
+            let mut ok = true;
+            for (a, v) in r.args.iter().zip(t.iter()) {
+                match assignment.get(a.as_str()) {
+                    Some(prev) if *prev != v => {
+                        ok = false;
+                        break;
+                    }
+                    _ => {
+                        assignment.insert(a, v);
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let key: Vec<Value> = out_cols.iter().map(|c| assignment[c.as_str()].clone()).collect();
+            out.add_tuple(key, m);
+        } else {
+            out.add_tuple(t, m);
+        }
+    }
+    Ok(out)
+}
+
+fn eval_product(
+    factors: &[Expr],
+    src: &dyn RelationSource,
+    ctx: &Bindings,
+) -> Result<Gmr, EvalError> {
+    // Accumulator starts as the ring's one: {<> -> 1}.
+    let mut acc = Gmr::scalar(1.0);
+    for factor in factors {
+        if acc.is_empty() {
+            return Ok(Gmr::new(Schema::empty()));
+        }
+        let acc_schema = acc.schema().clone();
+        let mut next: Option<Gmr> = None;
+        for (t, m) in acc.iter() {
+            // Extend the context with the bindings produced so far.
+            let mut ctx2 = ctx.clone();
+            for (i, col) in acc_schema.columns().iter().enumerate() {
+                ctx2.insert(col.clone(), t[i].clone());
+            }
+            let r = eval(factor, src, &ctx2)?;
+            if r.is_empty() {
+                continue;
+            }
+            let r_schema = r.schema().clone();
+            if next.is_none() {
+                next = Some(Gmr::new(acc_schema.join(&r_schema)));
+            }
+            let out = next.as_mut().unwrap();
+            let shared = acc_schema.shared_positions(&r_schema);
+            let new_positions: Vec<usize> = (0..r_schema.arity())
+                .filter(|j| !shared.iter().any(|&(_, oj)| oj == *j))
+                .collect();
+            for (s, n) in r.iter() {
+                // Join consistency on shared columns (defensive: most factors already
+                // respect the bindings of ctx2, but e.g. unbound lifts might not).
+                if !shared.iter().all(|&(i, j)| t[i] == s[j]) {
+                    continue;
+                }
+                let mut tuple = t.clone();
+                tuple.extend(new_positions.iter().map(|&j| s[j].clone()));
+                out.add_tuple(tuple, m * n);
+            }
+        }
+        acc = next.unwrap_or_else(|| Gmr::new(Schema::empty()));
+    }
+    Ok(acc)
+}
+
+/// Evaluate an expression in scalar position (comparison operand, lift body, `Apply`
+/// argument) to a single [`Value`].
+pub fn eval_scalar(expr: &Expr, src: &dyn RelationSource, ctx: &Bindings) -> Result<Value, EvalError> {
+    match expr {
+        Expr::Const(v) => Ok(v.clone()),
+        Expr::Var(x) => ctx
+            .get(x)
+            .cloned()
+            .ok_or_else(|| EvalError::UnboundVariable(x.clone())),
+        Expr::Neg(e) => Ok(eval_scalar(e, src, ctx)?.neg()?),
+        Expr::Apply(f, args) => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_scalar(a, src, ctx))
+                .collect::<Result<_, _>>()?;
+            apply_scalar_fn(f, &vals)
+        }
+        Expr::Add(terms) =>
+
+            terms.iter().try_fold(Value::long(0), |acc, t| {
+                let v = eval_scalar(t, src, ctx)?;
+                Ok(acc.add(&v)?)
+            }),
+        Expr::Mul(factors) => factors.iter().try_fold(Value::long(1), |acc, t| {
+            let v = eval_scalar(t, src, ctx)?;
+            Ok(acc.mul(&v)?)
+        }),
+        // General case: evaluate to a GMR, which must be nullary (a scalar) — or have
+        // all of its columns bound by the context (e.g. a decorrelated nested aggregate
+        // `Sum[OK](LI(OK,Q)*Q)` looked up with OK bound), in which case the sum of its
+        // multiplicities is the scalar value.
+        other => {
+            let g = eval(other, src, ctx)?;
+            if g.schema().is_empty() || g.is_empty() {
+                Ok(Value::double(g.scalar_value()))
+            } else if g.schema().columns().iter().all(|c| ctx.contains_key(c)) {
+                Ok(Value::double(g.iter().map(|(_, m)| m).sum()))
+            } else {
+                Err(EvalError::NotScalar(other.to_string()))
+            }
+        }
+    }
+}
+
+/// Apply a scalar function to already-evaluated arguments.
+pub fn apply_scalar_fn(f: &ScalarFn, args: &[Value]) -> Result<Value, EvalError> {
+    match f {
+        ScalarFn::Div => {
+            if args.len() != 2 {
+                return Err(EvalError::BadApply("div expects 2 arguments".into()));
+            }
+            Ok(args[0].div(&args[1])?)
+        }
+        ScalarFn::ListMax => {
+            if args.is_empty() {
+                return Err(EvalError::BadApply("listmax expects >= 1 argument".into()));
+            }
+            let mut best = args[0].as_f64()?;
+            for a in &args[1..] {
+                best = best.max(a.as_f64()?);
+            }
+            Ok(Value::double(best))
+        }
+        ScalarFn::Sqrt => {
+            if args.len() != 1 {
+                return Err(EvalError::BadApply("sqrt expects 1 argument".into()));
+            }
+            Ok(Value::double(args[0].as_f64()?.max(0.0).sqrt()))
+        }
+        ScalarFn::Like(pattern) => {
+            let s = args
+                .first()
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| EvalError::BadApply("like expects a string argument".into()))?;
+            Ok(Value::bool(like_match(pattern, s)))
+        }
+    }
+}
+
+/// Match a SQL `LIKE` pattern containing `%` wildcards (no `_` support).
+pub fn like_match(pattern: &str, s: &str) -> bool {
+    let parts: Vec<&str> = pattern.split('%').collect();
+    if parts.len() == 1 {
+        return pattern == s;
+    }
+    let mut rest = s;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            match rest.strip_prefix(part) {
+                Some(r) => rest = r,
+                None => return false,
+            }
+        } else if i == parts.len() - 1 {
+            return rest.ends_with(part);
+        } else {
+            match rest.find(part) {
+                Some(pos) => rest = &rest[pos + part.len()..],
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+/// Convenience: evaluate a comparison operator symbolically when both sides are
+/// constants (used by the optimizer's partial evaluation).
+pub fn const_cmp(op: CmpOp, l: &Value, r: &Value) -> bool {
+    op.eval(l, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp as Op;
+
+    fn db() -> MemSource {
+        // R(A,B) = {(1,2)->1, (3,5)->1, (4,2)->1}, S(C,D) = {(2,10)->1, (5,20)->2}
+        let mut src = MemSource::new();
+        let mut r = Gmr::new(Schema::new(["A", "B"]));
+        r.add_tuple(vec![Value::long(1), Value::long(2)], 1.0);
+        r.add_tuple(vec![Value::long(3), Value::long(5)], 1.0);
+        r.add_tuple(vec![Value::long(4), Value::long(2)], 1.0);
+        src.set_relation("R", r);
+        let mut s = Gmr::new(Schema::new(["C", "D"]));
+        s.add_tuple(vec![Value::long(2), Value::long(10)], 1.0);
+        s.add_tuple(vec![Value::long(5), Value::long(20)], 2.0);
+        src.set_relation("S", s);
+        src
+    }
+
+    fn empty_ctx() -> Bindings {
+        Bindings::new()
+    }
+
+    #[test]
+    fn selection_via_comparison() {
+        // Sum[](R(x,y) * (x < y)) = number of tuples with A < B = 3
+        let e = Expr::agg_sum(
+            Vec::<String>::new(),
+            Expr::product_of([
+                Expr::rel("R", ["x", "y"]),
+                Expr::cmp(Op::Lt, Expr::var("x"), Expr::var("y")),
+            ]),
+        );
+        let g = eval(&e, &db(), &empty_ctx()).unwrap();
+        assert_eq!(g.scalar_value(), 2.0);
+    }
+
+    #[test]
+    fn bound_variable_selects() {
+        // Example 3: R(x,y) with x bound to 3 returns only the (3,5) tuple.
+        let e = Expr::rel("R", ["x", "y"]);
+        let mut ctx = Bindings::new();
+        ctx.insert("x".into(), Value::long(3));
+        let g = eval(&e, &db(), &ctx).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.get(&[Value::long(3), Value::long(5)]), 1.0);
+    }
+
+    #[test]
+    fn example4_weighted_group_by() {
+        // Sum[y](R(x,y) * 2 * x) over R = {(1,2),(3,5),(4,2)} gives {2 -> 10, 5 -> 6}.
+        let e = Expr::agg_sum(
+            ["y"],
+            Expr::product_of([Expr::rel("R", ["x", "y"]), Expr::val(2), Expr::var("x")]),
+        );
+        let g = eval(&e, &db(), &empty_ctx()).unwrap();
+        assert_eq!(g.get(&[Value::long(2)]), 10.0);
+        assert_eq!(g.get(&[Value::long(5)]), 6.0);
+    }
+
+    #[test]
+    fn equijoin_via_shared_variable() {
+        // Sum[](R(a,b) * S(b,d) * d): join B=C via shared variable b.
+        // Matches: (1,2)-(2,10) d=10; (4,2)-(2,10) d=10; (3,5)-(5,20) d=20*mult 2.
+        let e = Expr::agg_sum(
+            Vec::<String>::new(),
+            Expr::product_of([
+                Expr::rel("R", ["a", "b"]),
+                Expr::rel("S", ["b", "d"]),
+                Expr::var("d"),
+            ]),
+        );
+        let g = eval(&e, &db(), &empty_ctx()).unwrap();
+        assert_eq!(g.scalar_value(), 10.0 + 10.0 + 40.0);
+    }
+
+    #[test]
+    fn lift_binds_nested_aggregate() {
+        // Sum[a,b](R(a,b) * (z := Sum[](S(c,d)*(a > c)*d)) * (b < z))
+        // Example 5 shape: for each R row, total D over S rows with C < A, kept if B < z.
+        let qn = Expr::agg_sum(
+            Vec::<String>::new(),
+            Expr::product_of([
+                Expr::rel("S", ["c", "d"]),
+                Expr::cmp(Op::Gt, Expr::var("a"), Expr::var("c")),
+                Expr::var("d"),
+            ]),
+        );
+        let e = Expr::agg_sum(
+            ["a", "b"],
+            Expr::product_of([
+                Expr::rel("R", ["a", "b"]),
+                Expr::lift("z", qn),
+                Expr::cmp(Op::Lt, Expr::var("b"), Expr::var("z")),
+            ]),
+        );
+        let g = eval(&e, &db(), &empty_ctx()).unwrap();
+        // R(1,2): z = 0 (no S.C < 1) -> 2 < 0 false.
+        // R(3,5): z = 10 (S.C=2) -> 5 < 10 true.
+        // R(4,2): z = 10 -> 2 < 10 true.
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.get(&[Value::long(3), Value::long(5)]), 1.0);
+        assert_eq!(g.get(&[Value::long(4), Value::long(2)]), 1.0);
+    }
+
+    #[test]
+    fn lift_on_bound_variable_acts_as_equality() {
+        let e = Expr::product_of([
+            Expr::rel("R", ["a", "b"]),
+            Expr::lift("b", Expr::val(2)),
+        ]);
+        let g = eval(&e, &db(), &empty_ctx()).unwrap();
+        // Only rows with B = 2 survive.
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn negation_and_union() {
+        // R - R = 0
+        let e = Expr::sum_of([
+            Expr::rel("R", ["a", "b"]),
+            Expr::neg(Expr::rel("R", ["a", "b"])),
+        ]);
+        let g = eval(&e, &db(), &empty_ctx()).unwrap();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn exists_clamps_multiplicities() {
+        let e = Expr::exists(Expr::rel("S", ["c", "d"]));
+        let g = eval(&e, &db(), &empty_ctx()).unwrap();
+        assert_eq!(g.get(&[Value::long(5), Value::long(20)]), 1.0);
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let ctx = empty_ctx();
+        let d = db();
+        assert_eq!(
+            eval_scalar(
+                &Expr::apply(ScalarFn::Div, vec![Expr::val(10), Expr::val(4)]),
+                &d,
+                &ctx
+            )
+            .unwrap(),
+            Value::double(2.5)
+        );
+        assert_eq!(
+            eval_scalar(
+                &Expr::apply(ScalarFn::ListMax, vec![Expr::val(1), Expr::val(7), Expr::val(3)]),
+                &d,
+                &ctx
+            )
+            .unwrap(),
+            Value::double(7.0)
+        );
+        assert_eq!(
+            eval_scalar(
+                &Expr::apply(ScalarFn::Like("%BRASS".into()), vec![Expr::Const(Value::str("SMALL BRASS"))]),
+                &d,
+                &ctx
+            )
+            .unwrap(),
+            Value::bool(true)
+        );
+    }
+
+    #[test]
+    fn like_matching() {
+        assert!(like_match("%green%", "dark green metal"));
+        assert!(like_match("PROMO%", "PROMO BURNISHED"));
+        assert!(!like_match("PROMO%", "STANDARD"));
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abcd"));
+        assert!(like_match("%a%b%", "xxaxxbxx"));
+        assert!(!like_match("%a%b%", "bbbb-a"));
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let e = Expr::var("missing");
+        assert!(matches!(
+            eval(&e, &db(), &empty_ctx()),
+            Err(EvalError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let e = Expr::rel("Nope", ["x"]);
+        assert!(matches!(
+            eval(&e, &db(), &empty_ctx()),
+            Err(EvalError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn repeated_variable_enforces_self_equality() {
+        // T(x, x) keeps only tuples with equal columns.
+        let mut src = db();
+        let mut t = Gmr::new(Schema::new(["A", "B"]));
+        t.add_tuple(vec![Value::long(1), Value::long(1)], 1.0);
+        t.add_tuple(vec![Value::long(1), Value::long(2)], 1.0);
+        src.set_relation("T", t);
+        let e = Expr::rel("T", ["x", "x"]);
+        let g = eval(&e, &src, &empty_ctx()).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.get(&[Value::long(1)]), 1.0);
+    }
+
+    #[test]
+    fn aggsum_with_context_group_var() {
+        // Sum[k](S(c,d) * d) where k is bound from the context: the group key is taken
+        // from the context (this is what trigger statements with loop substitution do).
+        let e = Expr::agg_sum(["k"], Expr::product_of([Expr::rel("S", ["c", "d"]), Expr::var("d")]));
+        let mut ctx = Bindings::new();
+        ctx.insert("k".into(), Value::long(99));
+        let g = eval(&e, &db(), &ctx).unwrap();
+        assert_eq!(g.get(&[Value::long(99)]), 50.0);
+    }
+}

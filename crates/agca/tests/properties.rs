@@ -1,0 +1,270 @@
+//! Property-based tests of the AGCA calculus.
+//!
+//! The central invariants checked here, over randomly generated databases and update
+//! sequences, are:
+//!
+//! * **delta correctness** — `Q(D + u) = Q(D) + (Δ_u Q)(D)` for single-tuple updates
+//!   (Section 3.4), on a family of query shapes covering joins, aggregation,
+//!   comparisons and nested aggregates;
+//! * **semantics preservation of the optimizer** — `simplify` and polynomial expansion
+//!   do not change the denotation of an expression;
+//! * **higher-order termination** — repeatedly taking deltas of a query without nested
+//!   aggregates reaches zero after `degree(Q)` steps.
+
+use dbtoaster_agca::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------- random databases
+
+#[derive(Clone, Debug)]
+struct Db {
+    r: Vec<(i64, i64)>,
+    s: Vec<(i64, i64)>,
+}
+
+fn arb_db() -> impl Strategy<Value = Db> {
+    (
+        prop::collection::vec((0i64..6, 0i64..8), 0..10),
+        prop::collection::vec((0i64..6, 0i64..8), 0..10),
+    )
+        .prop_map(|(r, s)| Db { r, s })
+}
+
+fn to_source(db: &Db) -> MemSource {
+    let mut src = MemSource::new();
+    let mut r = Gmr::new(Schema::new(["A", "B"]));
+    for (a, b) in &db.r {
+        r.add_tuple(vec![Value::long(*a), Value::long(*b)], 1.0);
+    }
+    src.set_relation("R", r);
+    let mut s = Gmr::new(Schema::new(["C", "D"]));
+    for (c, d) in &db.s {
+        s.add_tuple(vec![Value::long(*c), Value::long(*d)], 1.0);
+    }
+    src.set_relation("S", s);
+    src
+}
+
+// ---------------------------------------------------------------- query shapes
+
+/// A family of query templates exercising the interesting structural cases.
+fn query_shapes() -> Vec<(&'static str, Expr)> {
+    let join_sum = Expr::agg_sum(
+        Vec::<String>::new(),
+        Expr::product_of([
+            Expr::rel("R", ["A", "B"]),
+            Expr::rel("S", ["B", "D"]),
+            Expr::var("D"),
+        ]),
+    );
+    let group_by = Expr::agg_sum(
+        ["B"],
+        Expr::product_of([Expr::rel("R", ["A", "B"]), Expr::var("A")]),
+    );
+    let selection = Expr::agg_sum(
+        Vec::<String>::new(),
+        Expr::product_of([
+            Expr::rel("R", ["A", "B"]),
+            Expr::cmp(CmpOp::Lt, Expr::var("A"), Expr::val(3)),
+            Expr::var("B"),
+        ]),
+    );
+    let self_join = Expr::agg_sum(
+        ["A"],
+        Expr::product_of([Expr::rel("R", ["A", "B"]), Expr::rel("R", ["A", "B2"])]),
+    );
+    let inequality_join = Expr::agg_sum(
+        Vec::<String>::new(),
+        Expr::product_of([
+            Expr::rel("R", ["A", "B"]),
+            Expr::rel("S", ["C", "D"]),
+            Expr::cmp(CmpOp::Lt, Expr::var("B"), Expr::var("C")),
+        ]),
+    );
+    let nested_correlated = Expr::agg_sum(
+        ["A"],
+        Expr::product_of([
+            Expr::rel("R", ["A", "B"]),
+            Expr::lift(
+                "z",
+                Expr::agg_sum(
+                    Vec::<String>::new(),
+                    Expr::product_of([
+                        Expr::rel("S", ["C", "D"]),
+                        Expr::cmp(CmpOp::Gt, Expr::var("A"), Expr::var("C")),
+                        Expr::var("D"),
+                    ]),
+                ),
+            ),
+            Expr::cmp(CmpOp::Lt, Expr::var("B"), Expr::var("z")),
+        ]),
+    );
+    let exists_like = Expr::agg_sum(
+        ["A"],
+        Expr::product_of([
+            Expr::rel("R", ["A", "B"]),
+            Expr::lift(
+                "cnt",
+                Expr::agg_sum(
+                    Vec::<String>::new(),
+                    Expr::rel("S", ["A", "D"]),
+                ),
+            ),
+            Expr::cmp(CmpOp::Gt, Expr::var("cnt"), Expr::val(0)),
+        ]),
+    );
+    vec![
+        ("join_sum", join_sum),
+        ("group_by", group_by),
+        ("selection", selection),
+        ("self_join", self_join),
+        ("inequality_join", inequality_join),
+        ("nested_correlated", nested_correlated),
+        ("exists_like", exists_like),
+    ]
+}
+
+fn eval_closed(e: &Expr, src: &MemSource) -> Gmr {
+    eval(e, src, &Bindings::new()).unwrap_or_else(|err| panic!("eval failed: {err} on {e}"))
+}
+
+fn assert_gmr_eq(context: &str, a: &Gmr, b: &Gmr) {
+    assert!(
+        a.equivalent(b, 1e-6),
+        "{context}: results differ\nleft:\n{a}\nright:\n{b}"
+    );
+}
+
+// ----------------------------------------------------------------- the properties
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Q(D + u) = Q(D) + ΔQ(D) for every query shape, update target and sign.
+    #[test]
+    fn delta_rule_is_correct(
+        db in arb_db(),
+        a in 0i64..6,
+        b in 0i64..8,
+        into_r in any::<bool>(),
+        deletion in any::<bool>(),
+    ) {
+        let (rel, cols): (&str, Vec<String>) = if into_r {
+            ("R", vec!["A".into(), "B".into()])
+        } else {
+            ("S", vec!["C".into(), "D".into()])
+        };
+        let sign = if deletion { UpdateSign::Delete } else { UpdateSign::Insert };
+        let update = TupleUpdate::new(rel, sign, &cols);
+
+        for (name, q) in query_shapes() {
+            let src = to_source(&db);
+
+            // Q(D)
+            let before = eval_closed(&q, &src);
+
+            // ΔQ(D), with the trigger variables bound to the update tuple.
+            let d = simplify(&delta(&q, &update));
+            let mut ctx = Bindings::new();
+            ctx.insert(update.trigger_vars[0].clone(), Value::long(a));
+            ctx.insert(update.trigger_vars[1].clone(), Value::long(b));
+            let delta_value = if d.is_zero() {
+                Gmr::new(Schema::empty())
+            } else {
+                eval(&d, &src, &ctx).unwrap_or_else(|e| panic!("{name}: delta eval failed: {e} on {d}"))
+            };
+
+            // Q(D + u)
+            let mut src2 = to_source(&db);
+            src2.apply_update(rel, vec![Value::long(a), Value::long(b)], sign.multiplier());
+            let after = eval_closed(&q, &src2);
+
+            // Q(D) + ΔQ(D)
+            let mut combined = before.clone();
+            combined.add_gmr(&delta_value);
+            assert_gmr_eq(&format!("{name} / {sign:?} {rel}"), &after, &combined);
+        }
+    }
+
+    /// simplify() and expansion preserve the semantics of delta expressions.
+    #[test]
+    fn optimizer_preserves_semantics(db in arb_db(), a in 0i64..6, b in 0i64..8) {
+        let update = TupleUpdate::new("R", UpdateSign::Insert, &["A".into(), "B".into()]);
+        for (name, q) in query_shapes() {
+            let src = to_source(&db);
+            let raw = delta(&q, &update);
+            if raw.is_zero() {
+                continue;
+            }
+            let mut ctx = Bindings::new();
+            ctx.insert(update.trigger_vars[0].clone(), Value::long(a));
+            ctx.insert(update.trigger_vars[1].clone(), Value::long(b));
+
+            let reference = eval(&raw, &src, &ctx).unwrap();
+            let simplified = simplify(&raw);
+            let via_simplify = if simplified.is_zero() {
+                Gmr::new(Schema::empty())
+            } else {
+                eval(&simplified, &src, &ctx).unwrap()
+            };
+            assert_gmr_eq(&format!("{name}: simplify"), &reference, &via_simplify);
+
+            let expanded = expand(&simplified).to_expr();
+            let via_expand = if expanded.is_zero() {
+                Gmr::new(Schema::empty())
+            } else {
+                eval(&expanded, &src, &ctx).unwrap()
+            };
+            assert_gmr_eq(&format!("{name}: expand"), &reference, &via_expand);
+
+            let decorrelated = dbtoaster_agca::decorrelate(&q);
+            let via_decorrelate = eval_closed(&decorrelated, &src);
+            assert_gmr_eq(&format!("{name}: decorrelate"), &eval_closed(&q, &src), &via_decorrelate);
+        }
+    }
+
+    /// Without nested aggregates, the (deg Q + 1)-th delta is identically zero.
+    #[test]
+    fn higher_order_deltas_terminate(_seed in 0u8..4) {
+        let shapes: Vec<Expr> = query_shapes()
+            .into_iter()
+            .filter(|(name, _)| !name.starts_with("nested") && !name.starts_with("exists"))
+            .map(|(_, q)| q)
+            .collect();
+        let updates = [
+            TupleUpdate::new("R", UpdateSign::Insert, &["A".into(), "B".into()]),
+            TupleUpdate::new("S", UpdateSign::Insert, &["C".into(), "D".into()]),
+        ];
+        for q in shapes {
+            let deg = q.degree();
+            let mut frontier = vec![q];
+            for _ in 0..=deg {
+                frontier = frontier
+                    .iter()
+                    .flat_map(|e| updates.iter().map(|u| simplify(&delta(e, u))))
+                    .filter(|e| !e.is_zero())
+                    .collect();
+            }
+            prop_assert!(
+                frontier.is_empty(),
+                "degree-{deg} query still has non-zero deltas after {} rounds",
+                deg + 1
+            );
+        }
+    }
+
+    /// Canonicalization is invariant under variable renaming.
+    #[test]
+    fn canonicalization_invariant_under_renaming(suffix in "[a-z]{1,3}") {
+        for (_, q) in query_shapes() {
+            let renames: HashMap<String, String> = q
+                .all_variables()
+                .into_iter()
+                .map(|v| (v.clone(), format!("{v}_{suffix}")))
+                .collect();
+            let renamed = q.rename_vars(&renames);
+            prop_assert_eq!(canonical_key(&q), canonical_key(&renamed));
+        }
+    }
+}

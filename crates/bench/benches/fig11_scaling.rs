@@ -1,0 +1,48 @@
+//! Figure 11 bench: refresh-rate scaling with stream length.
+//!
+//! The working set of Orders/Lineitem is held constant while the stream gets longer;
+//! for most queries the per-event cost (and hence the refresh rate) should stay flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbtoaster::prelude::*;
+use dbtoaster::workloads::{self, TpchConfig};
+use dbtoaster_bench::build_engine;
+use std::hint::black_box;
+
+const BASE_EVENTS: usize = 1_000;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    for query_name in ["q1", "q3", "q6", "q11a", "q17a"] {
+        let q = workloads::query(query_name).unwrap();
+        for scale in [1usize, 2, 5] {
+            let mut data = workloads::tpch::generate(&TpchConfig::with_fixed_working_set(
+                0.002 * scale as f64,
+                42,
+                150,
+                600,
+            ));
+            data.truncate(BASE_EVENTS * scale);
+            group.throughput(Throughput::Elements(data.events.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(query_name, format!("{scale}x")),
+                &data,
+                |b, data| {
+                    b.iter(|| {
+                        let mut engine = build_engine(&q, CompileMode::HigherOrder, data);
+                        engine.process_all(&data.events).unwrap();
+                        black_box(engine.stats().events)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

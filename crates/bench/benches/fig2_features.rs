@@ -1,0 +1,37 @@
+//! Figure 2 bench: compilation of every workload query under Higher-Order IVM.
+//!
+//! Reports the compile time per query and (as a side effect of the analysis test-suite)
+//! the rewrite rules each compilation applies. Run with
+//! `cargo bench -p dbtoaster-bench --bench fig2_features`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbtoaster::prelude::*;
+use dbtoaster::workloads;
+use std::hint::black_box;
+
+fn bench_compilation(c: &mut Criterion) {
+    let catalog = workloads::full_catalog();
+    let mut group = c.benchmark_group("fig2_compile");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for q in workloads::all_queries() {
+        group.bench_function(q.name, |b| {
+            b.iter(|| {
+                let engine = QueryEngineBuilder::new(catalog.clone())
+                    .add_query(q.name, q.sql)
+                    .mode(CompileMode::HigherOrder)
+                    .build()
+                    .unwrap();
+                black_box(engine.program().maps.len())
+            })
+        });
+    }
+    group.finish();
+
+    // Print the Figure 2 table once so `cargo bench` output contains the artifact.
+    println!("{}", dbtoaster_bench::format_figure2(&dbtoaster_bench::figure2_rows()));
+}
+
+criterion_group!(benches, bench_compilation);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figures 8–10 bench: trace behaviour over the stream.
+//!
+//! Criterion measures chunks of the stream at increasing offsets for representative
+//! queries of each figure, which exposes whether per-event cost stays constant (Q1,
+//! Q18a), grows with the working set, or is dominated by re-evaluation (PSP). The full
+//! 10-point traces (including the memory series) are produced by the harness binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbtoaster::prelude::*;
+use dbtoaster::workloads;
+use dbtoaster_bench::{build_engine, dataset_for};
+use std::hint::black_box;
+
+const EVENTS: usize = 3_000;
+const CHUNK: usize = 500;
+
+fn bench_traces(c: &mut Criterion) {
+    let queries = [
+        ("q1", "fig8"),
+        ("q3", "fig8"),
+        ("q11a", "fig8"),
+        ("q17a", "fig9"),
+        ("q18a", "fig9"),
+        ("q22a", "fig9"),
+        ("axf", "fig10"),
+        ("psp", "fig10"),
+    ];
+    let mut group = c.benchmark_group("trace_chunks");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.throughput(Throughput::Elements(CHUNK as u64));
+
+    for (name, figure) in queries {
+        let q = workloads::query(name).unwrap();
+        let data = dataset_for(q.family, EVENTS, 42);
+        // Measure the cost of the *last* chunk after pre-warming the views with the
+        // prefix — this is the per-event cost at the right edge of the paper's traces.
+        group.bench_function(BenchmarkId::new(figure, name), |b| {
+            b.iter_batched(
+                || {
+                    let mut engine = build_engine(&q, CompileMode::HigherOrder, &data);
+                    let prefix = data.events.len().saturating_sub(CHUNK);
+                    engine.process_all(&data.events[..prefix]).unwrap();
+                    engine
+                },
+                |mut engine| {
+                    let prefix = data.events.len().saturating_sub(CHUNK);
+                    engine.process_all(&data.events[prefix..]).unwrap();
+                    black_box(engine.stats().events)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_traces);
+criterion_main!(benches);

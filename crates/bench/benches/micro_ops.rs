@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the substrate operations: GMR ring operations, the delta
+//! transform, expression simplification and view-map maintenance. These are not paper
+//! figures but ablations that explain where the per-event time of the end-to-end
+//! benchmarks goes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbtoaster::agca::{delta, expand, simplify, Expr, TupleUpdate, UpdateSign};
+use dbtoaster::gmr::{Gmr, Schema, Value};
+use dbtoaster::runtime::ViewMap;
+use std::hint::black_box;
+
+fn gmr_of(n: i64) -> Gmr {
+    let mut g = Gmr::new(Schema::new(["a", "b"]));
+    for i in 0..n {
+        g.add_tuple(vec![Value::long(i % 50), Value::long(i)], 1.0);
+    }
+    g
+}
+
+fn bench_gmr_ops(c: &mut Criterion) {
+    let r = gmr_of(1_000);
+    let mut s = Gmr::new(Schema::new(["b", "c"]));
+    for i in 0..1_000 {
+        s.add_tuple(vec![Value::long(i), Value::long(i * 2)], 1.0);
+    }
+    c.bench_function("gmr_join_1k_x_1k", |b| b.iter(|| black_box(r.join(&s)).len()));
+    c.bench_function("gmr_agg_sum_1k", |b| {
+        b.iter(|| black_box(r.agg_sum(&["a".to_string()])).len())
+    });
+    c.bench_function("gmr_union_1k", |b| {
+        b.iter(|| {
+            let mut x = r.clone();
+            x.add_gmr(&s.agg_sum(&["b".to_string()]).reorder(&Schema::new(["b"])).join(&Gmr::scalar(1.0)).agg_sum(&["b".to_string()]));
+            black_box(x.len())
+        })
+    });
+}
+
+fn bench_delta_and_simplify(c: &mut Criterion) {
+    // A 4-way join with a nested aggregate, representative of the harder queries.
+    let nested = Expr::agg_sum(
+        ["K"],
+        Expr::product_of([Expr::rel("LI2", ["K", "Q2"]), Expr::var("Q2")]),
+    );
+    let q = Expr::agg_sum(
+        ["CK"],
+        Expr::product_of([
+            Expr::rel("C", ["CK", "NK"]),
+            Expr::rel("O", ["OK", "CK", "D"]),
+            Expr::rel("LI", ["OK", "K", "Q"]),
+            Expr::lift("z", nested),
+            Expr::cmp(dbtoaster::agca::CmpOp::Lt, Expr::val(100), Expr::var("z")),
+            Expr::var("Q"),
+        ]),
+    );
+    let upd = TupleUpdate::new(
+        "LI",
+        UpdateSign::Insert,
+        &["OK".into(), "K".into(), "Q".into()],
+    );
+    c.bench_function("delta_4way_nested", |b| b.iter(|| black_box(delta(&q, &upd))));
+    let d = delta(&q, &upd);
+    c.bench_function("simplify_delta", |b| b.iter(|| black_box(simplify(&d))));
+    let s = simplify(&d);
+    c.bench_function("expand_delta", |b| b.iter(|| black_box(expand(&s)).monomials.len()));
+}
+
+fn bench_view_map(c: &mut Criterion) {
+    c.bench_function("viewmap_insert_10k", |b| {
+        b.iter(|| {
+            let mut v = ViewMap::new(Schema::new(["a", "b"]));
+            for i in 0..10_000i64 {
+                v.add(vec![Value::long(i % 97), Value::long(i)], 1.0);
+            }
+            black_box(v.len())
+        })
+    });
+    let mut v = ViewMap::new(Schema::new(["a", "b"]));
+    for i in 0..10_000i64 {
+        v.add(vec![Value::long(i % 97), Value::long(i)], 1.0);
+    }
+    // Build the secondary index once, then measure the probe.
+    v.lookup(&[Some(Value::long(3)), None]);
+    c.bench_function("viewmap_partial_lookup", |b| {
+        b.iter(|| black_box(v.lookup(&[Some(Value::long(3)), None])).len())
+    });
+}
+
+criterion_group!(benches, bench_gmr_ops, bench_delta_and_simplify, bench_view_map);
+criterion_main!(benches);

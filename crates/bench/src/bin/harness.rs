@@ -1,0 +1,143 @@
+//! The experiment harness: regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p dbtoaster-bench --bin harness -- all
+//! cargo run --release -p dbtoaster-bench --bin harness -- fig6 --events 50000 --budget 10
+//! cargo run --release -p dbtoaster-bench --bin harness -- fig8
+//! ```
+//!
+//! Subcommands: `fig2`, `fig6` (also covers Figure 7), `fig8`, `fig9`, `fig10`,
+//! `fig11`, `traces` (Figures 13–18), `all`.
+
+use dbtoaster::prelude::*;
+use dbtoaster::workloads::{self, Family};
+use dbtoaster_bench::*;
+use std::time::Duration;
+
+struct Args {
+    command: String,
+    events: usize,
+    budget: Duration,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        command: argv.first().cloned().unwrap_or_else(|| "all".to_string()),
+        events: 20_000,
+        budget: Duration::from_secs(5),
+        seed: 42,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--events" => {
+                args.events = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(args.events);
+                i += 2;
+            }
+            "--budget" => {
+                let secs: u64 = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(5);
+                args.budget = Duration::from_secs(secs);
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(args.seed);
+                i += 2;
+            }
+            other => {
+                eprintln!("ignoring unknown argument {other}");
+                i += 1;
+            }
+        }
+    }
+    args
+}
+
+fn fig2() {
+    println!("=== Figure 2: workload features and rewrite rules applied ===");
+    println!("{}", format_figure2(&figure2_rows()));
+}
+
+fn fig6(config: &ExperimentConfig) {
+    println!("=== Figures 6 & 7: average view refresh rates (1/s) ===");
+    println!(
+        "(stream length {} events per query, {}s budget per run)\n",
+        config.events,
+        config.time_budget.as_secs()
+    );
+    let queries = workloads::all_queries();
+    let rows = figure6_rows(config, &queries);
+    println!("{}", format_figure6(&rows));
+}
+
+fn traces_for(queries: &[&str], label: &str, config: &ExperimentConfig) {
+    println!("=== {label}: per-query traces (time, refresh rate, memory vs stream fraction) ===");
+    for name in queries {
+        let q = match workloads::query(name) {
+            Some(q) => q,
+            None => continue,
+        };
+        let data = dataset_for(q.family, config.events, config.seed);
+        for mode in [CompileMode::HigherOrder, CompileMode::FirstOrder] {
+            let pts = trace_series(&q, mode, &data, 10, config.time_budget);
+            println!("{}", format_trace(name, mode, &pts));
+        }
+    }
+}
+
+fn fig11(config: &ExperimentConfig) {
+    println!("=== Figure 11: refresh-rate scaling with stream length (DBToaster) ===");
+    let rows = figure11_rows(
+        config.events / 4,
+        &[1, 2, 5, 10],
+        config.seed,
+        &["q1", "q3", "q6", "q11a", "q12", "q17a", "q18a"],
+        config.time_budget,
+    );
+    println!("{}", format_figure11(&rows));
+}
+
+fn main() {
+    let args = parse_args();
+    let config = ExperimentConfig {
+        events: args.events,
+        time_budget: args.budget,
+        seed: args.seed,
+    };
+
+    match args.command.as_str() {
+        "fig2" => fig2(),
+        "fig6" | "fig7" => fig6(&config),
+        "fig8" => traces_for(&["q1", "q3", "q11a", "q12"], "Figure 8", &config),
+        "fig9" => traces_for(&["q17a", "q18a", "q22a", "q4"], "Figure 9", &config),
+        "fig10" => traces_for(&["axf", "mst", "psp", "vwap"], "Figure 10", &config),
+        "fig11" => fig11(&config),
+        "traces" => traces_for(
+            &[
+                "q1", "q3", "q4", "q5", "q6", "q10", "q11a", "q12", "q17a", "q18a", "q22a",
+                "ssb4", "vwap", "axf", "bsp", "bsv", "mst", "psp", "mddb1",
+            ],
+            "Figures 13-18",
+            &config,
+        ),
+        "all" => {
+            fig2();
+            fig6(&config);
+            traces_for(&["q1", "q3", "q11a", "q12"], "Figure 8", &config);
+            traces_for(&["q17a", "q18a", "q22a", "q4"], "Figure 9", &config);
+            traces_for(&["axf", "mst", "psp", "vwap"], "Figure 10", &config);
+            fig11(&config);
+        }
+        other => {
+            eprintln!(
+                "unknown command {other}; expected fig2|fig6|fig8|fig9|fig10|fig11|traces|all"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    // A tiny smoke check that keeps the harness honest: the workloads and families it
+    // reports on must exist.
+    debug_assert!(workloads::queries_of(Family::Finance).len() >= 6);
+}

@@ -1,0 +1,125 @@
+//! Scratch debugging helpers (run with `cargo test -p dbtoaster-compiler --test debug_scratch -- --nocapture`).
+use dbtoaster_compiler::*;
+use dbtoaster_sql::{parse_query, translate, SqlCatalog, TableDef};
+
+fn tpch_sql_catalog() -> SqlCatalog {
+    [
+        TableDef::stream("Customer", ["custkey", "nationkey", "mktsegment", "acctbal"]),
+        TableDef::stream("Orders", ["orderkey", "custkey", "orderdate", "orderpriority", "totalprice"]),
+        TableDef::stream(
+            "Lineitem",
+            ["orderkey", "partkey", "suppkey", "quantity", "extendedprice", "discount", "shipdate", "returnflag"],
+        ),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn compiler_catalog(c: &SqlCatalog) -> Catalog {
+    c.tables()
+        .iter()
+        .map(|t| RelationMeta {
+            name: t.name.clone(),
+            columns: t.columns.clone(),
+            kind: if t.is_stream {
+                dbtoaster_agca::AtomKind::Stream
+            } else {
+                dbtoaster_agca::AtomKind::Table
+            },
+        })
+        .collect()
+}
+
+#[test]
+fn print_q4_program() {
+    let sqlcat = tpch_sql_catalog();
+    let q4 = "SELECT o.orderpriority, COUNT(*) AS order_count FROM Orders o \
+              WHERE o.orderdate >= DATE('1993-07-01') AND o.orderdate < DATE('1993-10-01') \
+              AND EXISTS (SELECT * FROM Lineitem l WHERE l.orderkey = o.orderkey AND l.shipdate > o.orderdate) \
+              GROUP BY o.orderpriority";
+    let parsed = parse_query(q4).unwrap();
+    let plan = translate("q4", &parsed, &sqlcat).unwrap();
+    println!("== translated expr ==\n{}", plan.views[0].expr);
+    let specs: Vec<QuerySpec> = plan
+        .views
+        .iter()
+        .map(|v| QuerySpec {
+            name: v.name.clone(),
+            out_vars: v.out_vars.clone(),
+            expr: v.expr.clone(),
+        })
+        .collect();
+    let cat = compiler_catalog(&sqlcat);
+    let prog = compile(&specs, &cat, &CompileOptions::default()).unwrap();
+    println!("== program ==\n{prog}");
+}
+
+#[test]
+fn q18a_step_by_step_against_reevaluation() {
+    use dbtoaster_agca::UpdateEvent;
+    use dbtoaster_gmr::Value;
+    use dbtoaster_runtime::Engine;
+
+    let sqlcat = tpch_sql_catalog();
+    let sql = "SELECT c.custkey, SUM(l1.quantity) AS query18a \
+               FROM Customer c, Orders o, Lineitem l1 \
+               WHERE 100 < (SELECT SUM(l3.quantity) FROM Lineitem l3 WHERE l1.orderkey = l3.orderkey) \
+               AND c.custkey = o.custkey AND o.orderkey = l1.orderkey \
+               GROUP BY c.custkey";
+    let parsed = parse_query(sql).unwrap();
+    let plan = translate("q18a", &parsed, &sqlcat).unwrap();
+    let specs: Vec<QuerySpec> = plan
+        .views
+        .iter()
+        .map(|v| QuerySpec { name: v.name.clone(), out_vars: v.out_vars.clone(), expr: v.expr.clone() })
+        .collect();
+    let cat = compiler_catalog(&sqlcat);
+    let ho = compile(&specs, &cat, &CompileOptions::for_mode(CompileMode::HigherOrder)).unwrap();
+    println!("== HO program ==\n{ho}");
+    let rep = compile(&specs, &cat, &CompileOptions::for_mode(CompileMode::Reevaluate)).unwrap();
+    let mut e_ho = Engine::new(ho, &cat);
+    let mut e_rep = Engine::new(rep, &cat);
+
+    let cust = |ck: i64| UpdateEvent::insert("Customer", vec![Value::long(ck), Value::long(0), Value::str("B"), Value::double(1.0)]);
+    let ord = |ok: i64, ck: i64| UpdateEvent::insert("Orders", vec![Value::long(ok), Value::long(ck), Value::long(19950101), Value::str("1-URGENT"), Value::double(1.0)]);
+    let li = |ok: i64, qty: i64| UpdateEvent::insert("Lineitem", vec![Value::long(ok), Value::long(1), Value::long(1), Value::long(qty), Value::double(1.0), Value::double(0.0), Value::long(19950101), Value::str("N")]);
+    let li_del = |ok: i64, qty: i64| UpdateEvent::delete("Lineitem", vec![Value::long(ok), Value::long(1), Value::long(1), Value::long(qty), Value::double(1.0), Value::double(0.0), Value::long(19950101), Value::str("N")]);
+
+    let events = vec![
+        cust(1), cust(2), ord(10, 1), ord(20, 2),
+        li(10, 60), li(10, 30),      // order 10 total 90 (below threshold)
+        li(20, 150),                 // order 20 total 150 (above)
+        li(10, 50),                  // order 10 now 140 (crosses threshold)
+        li_del(10, 60),              // order 10 back to 80 (drops below)
+        li(20, 10),                  // order 20 total 160
+    ];
+    for (i, ev) in events.iter().enumerate() {
+        e_ho.process(ev).unwrap();
+        e_rep.process(ev).unwrap();
+        let a = e_ho.result("q18a").unwrap();
+        let b = e_rep.result("q18a").unwrap();
+        assert!(
+            a.equivalent(&b, 1e-6),
+            "divergence after event {i} ({ev:?}):\nHO:\n{a}\nREP:\n{b}"
+        );
+    }
+}
+
+#[test]
+fn print_q22a_program() {
+    let sqlcat = tpch_sql_catalog();
+    let sql = "SELECT c1.nationkey, SUM(c1.acctbal) AS query22a FROM Customer c1 \
+               WHERE c1.acctbal < (SELECT SUM(c2.acctbal) FROM Customer c2 WHERE c2.acctbal > 0) \
+               AND 0 = (SELECT SUM(1) FROM Orders o WHERE o.custkey = c1.custkey) \
+               GROUP BY c1.nationkey";
+    let parsed = parse_query(sql).unwrap();
+    let plan = translate("q22a", &parsed, &sqlcat).unwrap();
+    let specs: Vec<QuerySpec> = plan
+        .views
+        .iter()
+        .map(|v| QuerySpec { name: v.name.clone(), out_vars: v.out_vars.clone(), expr: v.expr.clone() })
+        .collect();
+    let cat = compiler_catalog(&sqlcat);
+    let prog = compile(&specs, &cat, &CompileOptions::default()).unwrap();
+    println!("== q22a program ==\n{prog}");
+}

@@ -1,0 +1,190 @@
+//! Exact rational numbers.
+//!
+//! The paper defines GMR multiplicities over ℚ. The runtime uses `f64` for speed, but
+//! the algebraic property tests (ring axioms, delta correctness) need exact arithmetic
+//! to avoid false failures from floating-point rounding. This module provides a small
+//! normalized `i128` rational type for that purpose.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(num, den) == 1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Construct `num / den`, normalizing sign and common factors. Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Construct from an integer.
+    pub fn from_int(v: i64) -> Self {
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
+    }
+
+    /// Numerator (after normalization).
+    pub fn numerator(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denominator(&self) -> i128 {
+        self.den
+    }
+
+    /// Is this exactly zero?
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Convert to `f64` (lossy).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Multiplicative inverse; panics on zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 5), Rational::ZERO);
+    }
+
+    #[test]
+    fn field_operations() {
+        let a = Rational::new(1, 3);
+        let b = Rational::new(1, 6);
+        assert_eq!(a + b, Rational::new(1, 2));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 18));
+        assert_eq!(a / b, Rational::from_int(2));
+        assert_eq!(-a, Rational::new(-1, 3));
+        assert_eq!(a.recip(), Rational::from_int(3));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert_eq!(format!("{}", Rational::new(3, 1)), "3");
+        assert_eq!(format!("{}", Rational::new(1, 2)), "1/2");
+    }
+
+    #[test]
+    fn to_f64_roundtrip() {
+        assert_eq!(Rational::new(1, 4).to_f64(), 0.25);
+        assert_eq!(Rational::from_int(-7).to_f64(), -7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+}

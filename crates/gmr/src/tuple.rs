@@ -1,0 +1,71 @@
+//! Tuples: ordered sequences of [`Value`]s.
+//!
+//! The paper models a tuple as a partial function from column names to values; in this
+//! implementation a tuple is an ordered `Vec<Value>` whose positions are interpreted
+//! through a [`Schema`](crate::schema::Schema). Keeping names out of the tuple makes the
+//! runtime's hash-map keys compact.
+
+use crate::value::Value;
+
+/// A tuple is an ordered list of values, positionally interpreted via a schema.
+pub type Tuple = Vec<Value>;
+
+/// Project a tuple onto the given positions.
+#[inline]
+pub fn project(tuple: &[Value], positions: &[usize]) -> Tuple {
+    positions.iter().map(|&i| tuple[i].clone()).collect()
+}
+
+/// Concatenate two tuples.
+#[inline]
+pub fn concat(left: &[Value], right: &[Value]) -> Tuple {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    out.extend_from_slice(left);
+    out.extend_from_slice(right);
+    out
+}
+
+/// Check whether two tuples agree on a set of position pairs
+/// (used when testing join consistency).
+#[inline]
+pub fn consistent_on(left: &[Value], right: &[Value], pairs: &[(usize, usize)]) -> bool {
+    pairs.iter().all(|&(l, r)| left[l] == right[r])
+}
+
+/// Build the empty (nullary) tuple, the key of scalar GMRs.
+#[inline]
+pub fn empty() -> Tuple {
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Value::long(v)).collect()
+    }
+
+    #[test]
+    fn project_reorders_and_duplicates() {
+        let tup = t(&[10, 20, 30]);
+        assert_eq!(project(&tup, &[2, 0]), t(&[30, 10]));
+        assert_eq!(project(&tup, &[1, 1]), t(&[20, 20]));
+        assert_eq!(project(&tup, &[]), empty());
+    }
+
+    #[test]
+    fn concat_appends() {
+        assert_eq!(concat(&t(&[1]), &t(&[2, 3])), t(&[1, 2, 3]));
+        assert_eq!(concat(&[], &t(&[2])), t(&[2]));
+    }
+
+    #[test]
+    fn consistency_checks_pairs() {
+        let a = t(&[1, 2, 3]);
+        let b = t(&[3, 2]);
+        assert!(consistent_on(&a, &b, &[(2, 0), (1, 1)]));
+        assert!(!consistent_on(&a, &b, &[(0, 0)]));
+        assert!(consistent_on(&a, &b, &[]));
+    }
+}

@@ -1,0 +1,473 @@
+//! The query engine: executes a compiled trigger program against a stream of updates.
+//!
+//! The engine owns the [`Database`] of views, stored base relations and static tables,
+//! and processes one [`UpdateEvent`] at a time (Section 7.2 of the paper — DBToaster
+//! refreshes views on every single-tuple update rather than batching). Per event the
+//! execution order is:
+//!
+//! 1. all incremental (`+=`) statements of the matching trigger, which by construction
+//!    read the *old* versions of the views they use;
+//! 2. the update itself is applied to the stored base relation (if it is stored at all —
+//!    full Higher-Order IVM usually does not need the base relations);
+//! 3. all re-evaluation (`:=`) statements, which read the *new* versions.
+
+use crate::store::Database;
+use dbtoaster_agca::eval::{eval, Bindings, EvalError};
+use dbtoaster_agca::{UpdateEvent, UpdateSign};
+use dbtoaster_compiler::{Catalog, ResultAccess, Statement, StmtOp, TriggerProgram};
+use dbtoaster_gmr::{Gmr, Value};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors raised while processing events.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuntimeError {
+    /// Statement evaluation failed.
+    Eval(EvalError),
+    /// A statement targets a view that was never declared.
+    UnknownView(String),
+    /// A statement's key variable is neither bound by the trigger nor produced by the
+    /// right-hand side.
+    MissingKeyVariable { statement: String, variable: String },
+    /// An event's tuple arity does not match the trigger's variables.
+    EventArityMismatch { relation: String, expected: usize, actual: usize },
+    /// The named query is not part of the compiled program.
+    UnknownQuery(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Eval(e) => write!(f, "evaluation error: {e}"),
+            RuntimeError::UnknownView(v) => write!(f, "unknown view {v}"),
+            RuntimeError::MissingKeyVariable { statement, variable } => {
+                write!(f, "key variable {variable} not available in statement {statement}")
+            }
+            RuntimeError::EventArityMismatch { relation, expected, actual } => write!(
+                f,
+                "event for {relation} has {actual} values, trigger expects {expected}"
+            ),
+            RuntimeError::UnknownQuery(q) => write!(f, "unknown query {q}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<EvalError> for RuntimeError {
+    fn from(e: EvalError) -> Self {
+        RuntimeError::Eval(e)
+    }
+}
+
+/// Runtime statistics: event counts, processing time and memory footprint.
+#[derive(Clone, Debug)]
+pub struct EngineStats {
+    /// Events processed so far.
+    pub events: u64,
+    /// Statements executed so far.
+    pub statements: u64,
+    /// Total time spent inside `process`.
+    pub busy: Duration,
+    /// Wall-clock time of engine creation.
+    pub started: Instant,
+}
+
+impl EngineStats {
+    fn new() -> Self {
+        EngineStats {
+            events: 0,
+            statements: 0,
+            busy: Duration::ZERO,
+            started: Instant::now(),
+        }
+    }
+
+    /// Average view refresh rate (events per second of processing time), the metric of
+    /// Figures 6 and 7.
+    pub fn refresh_rate(&self) -> f64 {
+        let secs = self.busy.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A point-in-time sample used by the trace experiments (Figures 8–10 and 13–18).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceSample {
+    /// Fraction of the stream processed when the sample was taken.
+    pub fraction: f64,
+    /// Cumulative processing time in seconds.
+    pub elapsed_secs: f64,
+    /// Average refresh rate since the start (events / second).
+    pub refresh_rate: f64,
+    /// Approximate memory footprint of all views, in megabytes.
+    pub memory_mb: f64,
+}
+
+/// The DBToaster runtime engine.
+pub struct Engine {
+    program: Arc<TriggerProgram>,
+    db: Database,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Build an engine for a compiled program. `catalog` supplies the column names of
+    /// stored base relations and static tables.
+    pub fn new(program: TriggerProgram, catalog: &Catalog) -> Self {
+        let mut db = Database::new();
+        for m in &program.maps {
+            db.declare(m.name.clone(), m.out_vars.iter().cloned());
+        }
+        for rel in program.stored_relations.iter().chain(program.static_tables.iter()) {
+            if db.contains(rel) {
+                continue;
+            }
+            let columns: Vec<String> = catalog
+                .get(rel)
+                .map(|r| r.columns.clone())
+                .unwrap_or_default();
+            db.declare(rel.clone(), columns.into_iter());
+        }
+        Engine {
+            program: Arc::new(program),
+            db,
+            stats: EngineStats::new(),
+        }
+    }
+
+    /// The compiled program this engine executes.
+    pub fn program(&self) -> &TriggerProgram {
+        &self.program
+    }
+
+    /// Load the contents of a static table (each row with multiplicity 1). Call
+    /// [`Engine::init_static_views`] after all tables are loaded.
+    pub fn load_table(&mut self, name: &str, rows: impl IntoIterator<Item = Vec<Value>>) {
+        if !self.db.contains(name) {
+            // Declare on the fly for tables that only appear in view definitions.
+            let arity = rows.into_iter().next().map(|r| {
+                let a = r.len();
+                self.db.declare(name.to_string(), (0..a).map(|i| format!("c{i}")));
+                self.db.view_mut(name).unwrap().add(r, 1.0);
+                a
+            });
+            let _ = arity;
+            return;
+        }
+        let view = self.db.view_mut(name).expect("declared above");
+        for r in rows {
+            view.add(r, 1.0);
+        }
+    }
+
+    /// Evaluate the definitions of views that depend only on static tables and load the
+    /// results (the paper's handling of `Nation`, `Region` and the MDDB metadata).
+    pub fn init_static_views(&mut self) -> Result<(), RuntimeError> {
+        let program = self.program.clone();
+        for m in &program.maps {
+            if !m.init_from_tables {
+                continue;
+            }
+            let result = eval(&m.definition, &self.db, &Bindings::new())?;
+            if let Some(view) = self.db.view_mut(&m.name) {
+                view.load_gmr(&result);
+            }
+        }
+        Ok(())
+    }
+
+    /// Process a single update event, firing the matching trigger.
+    pub fn process(&mut self, event: &UpdateEvent) -> Result<(), RuntimeError> {
+        let t0 = Instant::now();
+        let program = self.program.clone();
+        let trigger = program
+            .triggers
+            .iter()
+            .find(|t| t.relation == event.relation && t.sign == event.sign);
+
+        if let Some(trigger) = trigger {
+            if trigger.trigger_vars.len() != event.tuple.len() {
+                return Err(RuntimeError::EventArityMismatch {
+                    relation: event.relation.clone(),
+                    expected: trigger.trigger_vars.len(),
+                    actual: event.tuple.len(),
+                });
+            }
+            let mut bindings = Bindings::with_capacity(trigger.trigger_vars.len());
+            for (var, value) in trigger.trigger_vars.iter().zip(event.tuple.iter()) {
+                bindings.insert(var.clone(), value.clone());
+            }
+
+            // Phase 1: incremental statements read the old state.
+            for stmt in trigger.statements.iter().filter(|s| s.op == StmtOp::Increment) {
+                self.exec_statement(stmt, &bindings)?;
+            }
+            // Phase 2: reflect the update in the stored base relation (if stored).
+            self.apply_base_update(event);
+            // Phase 3: re-evaluation statements read the new state.
+            for stmt in trigger.statements.iter().filter(|s| s.op == StmtOp::Replace) {
+                self.exec_statement(stmt, &bindings)?;
+            }
+        } else {
+            // No trigger (e.g. an update to a relation no query depends on): still keep
+            // the stored base relation consistent.
+            self.apply_base_update(event);
+        }
+
+        self.stats.events += 1;
+        self.stats.busy += t0.elapsed();
+        Ok(())
+    }
+
+    /// Process a sequence of events, stopping at the first error.
+    pub fn process_all<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a UpdateEvent>,
+    ) -> Result<(), RuntimeError> {
+        for e in events {
+            self.process(e)?;
+        }
+        Ok(())
+    }
+
+    fn apply_base_update(&mut self, event: &UpdateEvent) {
+        if let Some(view) = self.db.view_mut(&event.relation) {
+            view.add(event.tuple.clone(), event.sign.multiplier());
+        }
+    }
+
+    fn exec_statement(&mut self, stmt: &Statement, bindings: &Bindings) -> Result<(), RuntimeError> {
+        self.stats.statements += 1;
+        let result = eval(&stmt.rhs, &self.db, bindings)?;
+        let target = self
+            .db
+            .view_mut(&stmt.target)
+            .ok_or_else(|| RuntimeError::UnknownView(stmt.target.clone()))?;
+        if stmt.op == StmtOp::Replace {
+            target.clear();
+        }
+        if result.is_empty() {
+            return Ok(());
+        }
+        let schema = result.schema().clone();
+        for (row, mult) in result.iter() {
+            let mut key = Vec::with_capacity(stmt.key_vars.len());
+            for kv in &stmt.key_vars {
+                if let Some(v) = bindings.get(kv) {
+                    key.push(v.clone());
+                } else if let Some(i) = schema.index_of(kv) {
+                    key.push(row[i].clone());
+                } else {
+                    return Err(RuntimeError::MissingKeyVariable {
+                        statement: stmt.to_string(),
+                        variable: kv.clone(),
+                    });
+                }
+            }
+            target.add(key, mult);
+        }
+        Ok(())
+    }
+
+    /// Snapshot a query result as a GMR over its output columns.
+    pub fn result(&self, query: &str) -> Result<Gmr, RuntimeError> {
+        let qr = self
+            .program
+            .results
+            .iter()
+            .find(|r| r.name == query)
+            .ok_or_else(|| RuntimeError::UnknownQuery(query.to_string()))?;
+        match &qr.access {
+            ResultAccess::Map(name) => self
+                .db
+                .view(name)
+                .map(|v| v.to_gmr())
+                .ok_or_else(|| RuntimeError::UnknownView(name.clone())),
+            ResultAccess::Computed { expr, .. } => {
+                eval(expr, &self.db, &Bindings::new()).map_err(RuntimeError::from)
+            }
+        }
+    }
+
+    /// Direct access to a view's contents (for tests and debugging).
+    pub fn view(&self, name: &str) -> Option<Gmr> {
+        self.db.view(name).map(|v| v.to_gmr())
+    }
+
+    /// Approximate memory footprint of all views and stored relations, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.db.approx_bytes()
+    }
+
+    /// Total number of entries across all views and stored relations.
+    pub fn total_entries(&self) -> usize {
+        self.db
+            .names()
+            .iter()
+            .filter_map(|n| self.db.view(n).map(|v| v.len()))
+            .sum()
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Build a trace sample at the given stream fraction.
+    pub fn sample(&self, fraction: f64) -> TraceSample {
+        TraceSample {
+            fraction,
+            elapsed_secs: self.stats.busy.as_secs_f64(),
+            refresh_rate: self.stats.refresh_rate(),
+            memory_mb: self.memory_bytes() as f64 / (1024.0 * 1024.0),
+        }
+    }
+
+    /// The sign multiplier helper re-exported for callers building events by hand.
+    pub fn sign_multiplier(sign: UpdateSign) -> f64 {
+        sign.multiplier()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_agca::Expr;
+    use dbtoaster_compiler::{compile, CompileMode, CompileOptions, QuerySpec, RelationMeta};
+
+    fn catalog() -> Catalog {
+        [
+            RelationMeta::stream("R", ["A", "B"]),
+            RelationMeta::stream("S", ["B", "C"]),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn example1_query() -> QuerySpec {
+        // Q = Sum[]( R(a,b) * S(c,d) ): count of the cross product (Example 1).
+        QuerySpec {
+            name: "Q".into(),
+            out_vars: vec![],
+            expr: Expr::agg_sum(
+                Vec::<String>::new(),
+                Expr::product_of([Expr::rel("R", ["a", "b"]), Expr::rel("S", ["c", "d"])]),
+            ),
+        }
+    }
+
+    fn long_tuple(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::long(v)).collect()
+    }
+
+    fn run_example1(mode: CompileMode) -> f64 {
+        let program = compile(&[example1_query()], &catalog(), &CompileOptions::for_mode(mode)).unwrap();
+        let mut engine = Engine::new(program, &catalog());
+        engine.init_static_views().unwrap();
+        // ||R|| = 2, ||S|| = 3 as in the paper's example table, then the insert sequence
+        // S, R, S, S.
+        let events = vec![
+            UpdateEvent::insert("R", long_tuple(&[1, 1])),
+            UpdateEvent::insert("R", long_tuple(&[2, 2])),
+            UpdateEvent::insert("S", long_tuple(&[1, 10])),
+            UpdateEvent::insert("S", long_tuple(&[2, 20])),
+            UpdateEvent::insert("S", long_tuple(&[3, 30])),
+            UpdateEvent::insert("S", long_tuple(&[4, 40])),
+            UpdateEvent::insert("R", long_tuple(&[3, 3])),
+            UpdateEvent::insert("S", long_tuple(&[5, 50])),
+            UpdateEvent::insert("S", long_tuple(&[6, 60])),
+        ];
+        engine.process_all(&events).unwrap();
+        engine.result("Q").unwrap().scalar_value()
+    }
+
+    #[test]
+    fn example1_sequence_matches_paper_table() {
+        // After the full sequence: ||R|| = 3, ||S|| = 6, so Q = 18 (paper, time point 4).
+        for mode in [
+            CompileMode::HigherOrder,
+            CompileMode::FirstOrder,
+            CompileMode::NaiveViewlet,
+            CompileMode::Reevaluate,
+        ] {
+            assert_eq!(run_example1(mode), 18.0, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn deletions_are_handled() {
+        let program = compile(
+            &[example1_query()],
+            &catalog(),
+            &CompileOptions::for_mode(CompileMode::HigherOrder),
+        )
+        .unwrap();
+        let mut engine = Engine::new(program, &catalog());
+        engine
+            .process_all(&[
+                UpdateEvent::insert("R", long_tuple(&[1, 1])),
+                UpdateEvent::insert("S", long_tuple(&[7, 7])),
+                UpdateEvent::insert("S", long_tuple(&[8, 8])),
+                UpdateEvent::delete("S", long_tuple(&[7, 7])),
+            ])
+            .unwrap();
+        assert_eq!(engine.result("Q").unwrap().scalar_value(), 1.0);
+        assert_eq!(engine.stats().events, 4);
+    }
+
+    #[test]
+    fn unknown_query_errors() {
+        let program = compile(
+            &[example1_query()],
+            &catalog(),
+            &CompileOptions::for_mode(CompileMode::HigherOrder),
+        )
+        .unwrap();
+        let engine = Engine::new(program, &catalog());
+        assert!(matches!(
+            engine.result("Nope"),
+            Err(RuntimeError::UnknownQuery(_))
+        ));
+    }
+
+    #[test]
+    fn event_arity_mismatch_detected() {
+        let program = compile(
+            &[example1_query()],
+            &catalog(),
+            &CompileOptions::for_mode(CompileMode::HigherOrder),
+        )
+        .unwrap();
+        let mut engine = Engine::new(program, &catalog());
+        let err = engine
+            .process(&UpdateEvent::insert("R", long_tuple(&[1])))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::EventArityMismatch { .. }));
+    }
+
+    #[test]
+    fn stats_and_memory_accumulate() {
+        let program = compile(
+            &[example1_query()],
+            &catalog(),
+            &CompileOptions::for_mode(CompileMode::HigherOrder),
+        )
+        .unwrap();
+        let mut engine = Engine::new(program, &catalog());
+        let before = engine.memory_bytes();
+        engine
+            .process(&UpdateEvent::insert("R", long_tuple(&[1, 2])))
+            .unwrap();
+        assert!(engine.memory_bytes() >= before);
+        let sample = engine.sample(0.5);
+        assert_eq!(sample.fraction, 0.5);
+        assert_eq!(engine.stats().events, 1);
+        assert!(engine.total_entries() >= 1);
+    }
+}

@@ -1,0 +1,378 @@
+//! View storage: keyed multiplicity maps with secondary indexes.
+//!
+//! The runtime stores every materialized view (and, in the baseline modes, the base
+//! relations) as a [`ViewMap`]: a hash map from key tuples to multiplicities, plus
+//! lazily-built secondary indexes for the partial-key binding patterns that trigger
+//! statements actually use. This mirrors Section 7.1 of the paper, where the generated
+//! C++ uses Boost Multi-Index containers with one secondary index per binding pattern.
+//!
+//! Secondary indexes live behind an [`RwLock`] so that read-only evaluation (through the
+//! [`RelationSource`] trait) can build an index on first use; afterwards every partial
+//! lookup is a hash probe, which is what gives compiled trigger statements their
+//! constant-time behaviour.
+
+use dbtoaster_agca::eval::{EvalError, RelationSource};
+use dbtoaster_gmr::{Gmr, Schema, Value};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+type Index = HashMap<Vec<Value>, Vec<Vec<Value>>>;
+
+/// A materialized view: tuples over a fixed-arity key mapped to `f64` multiplicities,
+/// with secondary hash indexes per binding pattern.
+#[derive(Debug)]
+pub struct ViewMap {
+    schema: Schema,
+    data: HashMap<Vec<Value>, f64>,
+    /// Secondary indexes: bitmask of bound key positions → (projected key → full keys).
+    indexes: RwLock<HashMap<u64, Index>>,
+}
+
+impl Clone for ViewMap {
+    fn clone(&self) -> Self {
+        ViewMap {
+            schema: self.schema.clone(),
+            data: self.data.clone(),
+            indexes: RwLock::new(self.indexes.read().clone()),
+        }
+    }
+}
+
+impl ViewMap {
+    /// An empty view with the given key schema.
+    pub fn new(schema: Schema) -> Self {
+        ViewMap {
+            schema,
+            data: HashMap::new(),
+            indexes: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The key schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the view empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Multiplicity of a key (0.0 when absent).
+    pub fn get(&self, key: &[Value]) -> f64 {
+        self.data.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Iterate `(key, multiplicity)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, f64)> {
+        self.data.iter().map(|(k, &m)| (k, m))
+    }
+
+    /// Add `mult` to the entry for `key`, removing it if the result is zero.
+    pub fn add(&mut self, key: Vec<Value>, mult: f64) {
+        if mult == 0.0 {
+            return;
+        }
+        debug_assert_eq!(key.len(), self.schema.arity(), "key arity mismatch");
+        let existed = self.data.contains_key(&key);
+        let entry = self.data.entry(key.clone()).or_insert(0.0);
+        *entry += mult;
+        let removed = *entry == 0.0;
+        if removed {
+            self.data.remove(&key);
+        }
+        let mut indexes = self.indexes.write();
+        for (mask, index) in indexes.iter_mut() {
+            let proj = project_mask(&key, *mask);
+            if removed {
+                if let Some(bucket) = index.get_mut(&proj) {
+                    bucket.retain(|k| k != &key);
+                    if bucket.is_empty() {
+                        index.remove(&proj);
+                    }
+                }
+            } else if !existed {
+                index.entry(proj).or_default().push(key.clone());
+            }
+        }
+    }
+
+    /// Remove all entries (used by `:=` statements).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.indexes.write().clear();
+    }
+
+    /// Entries matching a partial binding pattern. Builds a secondary index for the
+    /// pattern's mask on first use; subsequent lookups are hash probes.
+    pub fn lookup(&self, pattern: &[Option<Value>]) -> Vec<(Vec<Value>, f64)> {
+        debug_assert_eq!(pattern.len(), self.schema.arity());
+        let mask = pattern_mask(pattern);
+        if mask == 0 {
+            return self.data.iter().map(|(k, &m)| (k.clone(), m)).collect();
+        }
+        let arity = self.schema.arity();
+        if arity <= 63 && mask == (1u64 << arity) - 1 {
+            let key: Vec<Value> = pattern.iter().map(|p| p.clone().unwrap()).collect();
+            let m = self.get(&key);
+            return if m != 0.0 { vec![(key, m)] } else { vec![] };
+        }
+        self.ensure_index(mask);
+        let probe: Vec<Value> = pattern.iter().flatten().cloned().collect();
+        let indexes = self.indexes.read();
+        match indexes.get(&mask).and_then(|idx| idx.get(&probe)) {
+            Some(keys) => keys
+                .iter()
+                .filter_map(|k| self.data.get(k).map(|&m| (k.clone(), m)))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Build (if needed) the secondary index for a binding-pattern mask.
+    pub fn ensure_index(&self, mask: u64) {
+        if mask == 0 || self.indexes.read().contains_key(&mask) {
+            return;
+        }
+        let mut index: Index = HashMap::new();
+        for k in self.data.keys() {
+            index.entry(project_mask(k, mask)).or_default().push(k.clone());
+        }
+        self.indexes.write().insert(mask, index);
+    }
+
+    /// Snapshot the view contents as a GMR over its key schema.
+    pub fn to_gmr(&self) -> Gmr {
+        let mut g = Gmr::with_capacity(self.schema.clone(), self.len());
+        for (k, m) in self.iter() {
+            g.add_tuple(k.clone(), m);
+        }
+        g
+    }
+
+    /// Replace the contents of the view from a GMR (columns matched by name when the
+    /// schemas share the same column set, positionally otherwise).
+    pub fn load_gmr(&mut self, gmr: &Gmr) {
+        self.clear();
+        let positions: Option<Vec<usize>> = if gmr.schema().same_columns(&self.schema) {
+            self.schema
+                .columns()
+                .iter()
+                .map(|c| gmr.schema().index_of(c))
+                .collect()
+        } else {
+            None
+        };
+        for (t, m) in gmr.iter() {
+            let key = match &positions {
+                Some(pos) => pos.iter().map(|&i| t[i].clone()).collect(),
+                None => t.clone(),
+            };
+            self.add(key, m);
+        }
+    }
+
+    /// Approximate heap footprint in bytes (entries plus secondary indexes).
+    pub fn approx_bytes(&self) -> usize {
+        let per_value = std::mem::size_of::<Value>();
+        let entry = |arity: usize| 24 + arity * per_value + 8;
+        let base: usize = self.data.keys().map(|k| entry(k.len())).sum();
+        let idx: usize = self
+            .indexes
+            .read()
+            .values()
+            .map(|i| i.iter().map(|(k, v)| entry(k.len()) + v.len() * 8).sum::<usize>())
+            .sum();
+        base + idx
+    }
+}
+
+fn pattern_mask(pattern: &[Option<Value>]) -> u64 {
+    pattern
+        .iter()
+        .enumerate()
+        .fold(0u64, |m, (i, p)| if p.is_some() && i < 63 { m | (1 << i) } else { m })
+}
+
+fn project_mask(key: &[Value], mask: u64) -> Vec<Value> {
+    key.iter()
+        .enumerate()
+        .filter(|(i, _)| *i < 63 && mask & (1 << i) != 0)
+        .map(|(_, v)| v.clone())
+        .collect()
+}
+
+/// The runtime database: a namespace of [`ViewMap`]s holding materialized views, stored
+/// base relations and static tables.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    maps: HashMap<String, ViewMap>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Create (or replace) a view with the given key columns.
+    pub fn declare(&mut self, name: impl Into<String>, columns: impl IntoIterator<Item = String>) {
+        self.maps
+            .insert(name.into(), ViewMap::new(Schema::new(columns)));
+    }
+
+    /// Does a view with this name exist?
+    pub fn contains(&self, name: &str) -> bool {
+        self.maps.contains_key(name)
+    }
+
+    /// Immutable access to a view.
+    pub fn view(&self, name: &str) -> Option<&ViewMap> {
+        self.maps.get(name)
+    }
+
+    /// Mutable access to a view.
+    pub fn view_mut(&mut self, name: &str) -> Option<&mut ViewMap> {
+        self.maps.get_mut(name)
+    }
+
+    /// Names of all views (sorted).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.maps.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Total approximate memory footprint of all views, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.maps.values().map(|m| m.approx_bytes()).sum()
+    }
+}
+
+impl RelationSource for Database {
+    fn relation_arity(&self, name: &str) -> Option<usize> {
+        self.maps.get(name).map(|m| m.schema().arity())
+    }
+
+    fn iter_matching(
+        &self,
+        name: &str,
+        pattern: &[Option<Value>],
+    ) -> Result<Vec<(Vec<Value>, f64)>, EvalError> {
+        let m = self
+            .maps
+            .get(name)
+            .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))?;
+        Ok(m.lookup(pattern))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::long(v)).collect()
+    }
+
+    #[test]
+    fn add_and_cancel() {
+        let mut v = ViewMap::new(Schema::new(["a", "b"]));
+        v.add(key(&[1, 2]), 2.5);
+        v.add(key(&[1, 2]), -2.5);
+        assert!(v.is_empty());
+        v.add(key(&[1, 2]), 1.0);
+        assert_eq!(v.get(&key(&[1, 2])), 1.0);
+        assert_eq!(v.get(&key(&[9, 9])), 0.0);
+    }
+
+    #[test]
+    fn lookup_with_full_and_partial_patterns() {
+        let mut v = ViewMap::new(Schema::new(["a", "b"]));
+        v.add(key(&[1, 10]), 1.0);
+        v.add(key(&[1, 20]), 2.0);
+        v.add(key(&[2, 30]), 3.0);
+        // Full key lookup.
+        let full = v.lookup(&[Some(Value::long(1)), Some(Value::long(20))]);
+        assert_eq!(full, vec![(key(&[1, 20]), 2.0)]);
+        // Partial: first column bound.
+        let part = v.lookup(&[Some(Value::long(1)), None]);
+        assert_eq!(part.len(), 2);
+        // Unbound: full scan.
+        assert_eq!(v.lookup(&[None, None]).len(), 3);
+        // Missing key.
+        assert!(v.lookup(&[Some(Value::long(7)), None]).is_empty());
+    }
+
+    #[test]
+    fn secondary_index_stays_consistent_under_updates() {
+        let mut v = ViewMap::new(Schema::new(["a", "b"]));
+        v.add(key(&[1, 10]), 1.0);
+        // Build the index, then mutate.
+        assert_eq!(v.lookup(&[Some(Value::long(1)), None]).len(), 1);
+        v.add(key(&[1, 20]), 1.0);
+        v.add(key(&[1, 10]), -1.0); // removes the first entry
+        let res = v.lookup(&[Some(Value::long(1)), None]);
+        assert_eq!(res, vec![(key(&[1, 20]), 1.0)]);
+    }
+
+    #[test]
+    fn gmr_round_trip() {
+        let mut v = ViewMap::new(Schema::new(["a"]));
+        v.add(key(&[1]), 5.0);
+        v.add(key(&[2]), -1.0);
+        let g = v.to_gmr();
+        assert_eq!(g.get(&key(&[1])), 5.0);
+        let mut v2 = ViewMap::new(Schema::new(["a"]));
+        v2.load_gmr(&g);
+        assert_eq!(v2.get(&key(&[2])), -1.0);
+        assert_eq!(v2.len(), 2);
+    }
+
+    #[test]
+    fn load_gmr_matches_columns_by_name() {
+        let mut g = Gmr::new(Schema::new(["b", "a"]));
+        g.add_tuple(key(&[10, 1]), 3.0);
+        let mut v = ViewMap::new(Schema::new(["a", "b"]));
+        v.load_gmr(&g);
+        assert_eq!(v.get(&key(&[1, 10])), 3.0);
+    }
+
+    #[test]
+    fn database_implements_relation_source() {
+        let mut db = Database::new();
+        db.declare("R", vec!["a".to_string(), "b".to_string()]);
+        db.view_mut("R").unwrap().add(key(&[1, 2]), 1.0);
+        assert_eq!(db.relation_arity("R"), Some(2));
+        let rows = db.iter_matching("R", &[Some(Value::long(1)), None]).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(db.iter_matching("Nope", &[]).is_err());
+        assert!(db.approx_bytes() > 0);
+        assert_eq!(db.names(), vec!["R".to_string()]);
+    }
+
+    #[test]
+    fn clear_resets_indexes() {
+        let mut v = ViewMap::new(Schema::new(["a", "b"]));
+        v.add(key(&[1, 10]), 1.0);
+        v.lookup(&[Some(Value::long(1)), None]);
+        v.clear();
+        assert!(v.is_empty());
+        assert!(v.lookup(&[Some(Value::long(1)), None]).is_empty());
+    }
+
+    #[test]
+    fn clone_preserves_contents_and_indexes() {
+        let mut v = ViewMap::new(Schema::new(["a", "b"]));
+        v.add(key(&[1, 10]), 1.0);
+        v.lookup(&[Some(Value::long(1)), None]);
+        let c = v.clone();
+        assert_eq!(c.get(&key(&[1, 10])), 1.0);
+        assert_eq!(c.lookup(&[Some(Value::long(1)), None]).len(), 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! A small SQL lexer for the fragment used by the DBToaster workload queries.
+
+use std::fmt;
+
+/// Lexical tokens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Semicolon => write!(f, ";"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// Lexer errors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset of the error.
+    pub position: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.position)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a SQL string. Line comments (`-- ...`) are skipped.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                tokens.push(Token::Ne);
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        position: i,
+                    });
+                }
+                tokens.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || (bytes[i] == b'.'
+                            && i + 1 < bytes.len()
+                            && (bytes[i + 1] as char).is_ascii_digit()))
+                {
+                    if bytes[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if is_float {
+                    tokens.push(Token::Float(text.parse().map_err(|_| LexError {
+                        message: format!("invalid float literal {text}"),
+                        position: start,
+                    })?));
+                } else {
+                    tokens.push(Token::Int(text.parse().map_err(|_| LexError {
+                        message: format!("invalid integer literal {text}"),
+                        position: start,
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character '{other}'"),
+                    position: i,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_query() {
+        let toks = tokenize("SELECT SUM(a.x) FROM T a WHERE a.y >= 10.5;").unwrap();
+        assert!(toks.contains(&Token::Ident("SELECT".into())));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Float(10.5)));
+        assert!(toks.contains(&Token::Semicolon));
+    }
+
+    #[test]
+    fn tokenizes_strings_and_comments() {
+        let toks = tokenize("-- comment\nWHERE name = 'BUILDING' AND x <> 3").unwrap();
+        assert!(toks.contains(&Token::Str("BUILDING".into())));
+        assert!(toks.contains(&Token::Ne));
+        assert!(!toks.iter().any(|t| matches!(t, Token::Ident(s) if s == "comment")));
+    }
+
+    #[test]
+    fn distinguishes_operators() {
+        let toks = tokenize("< <= > >= = <> !=").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::Eq, Token::Ne, Token::Ne]
+        );
+    }
+
+    #[test]
+    fn numbers_and_dots() {
+        let toks = tokenize("a.b 0.25 100").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("b".into()),
+                Token::Float(0.25),
+                Token::Int(100)
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'abc").is_err());
+        assert!(tokenize("SELECT @").is_err());
+    }
+}

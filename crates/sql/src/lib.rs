@@ -1,0 +1,45 @@
+//! # DBToaster SQL frontend
+//!
+//! Parses the SQL fragment used by the paper's workload (select-project-join aggregate
+//! queries with nested subqueries) and translates it into the AGCA calculus consumed by
+//! the Higher-Order IVM compiler.
+//!
+//! * [`lexer`] / [`parser`] / [`ast`] — a small recursive-descent SQL parser;
+//! * [`catalog`] — table definitions ([`SqlCatalog`]);
+//! * [`translate`] — SQL → AGCA translation producing one maintained view per aggregate
+//!   plus a description of how the result columns are read back.
+//!
+//! ```
+//! use dbtoaster_sql::prelude::*;
+//!
+//! let catalog: SqlCatalog = [
+//!     TableDef::stream("Orders", ["ordk", "xch"]),
+//!     TableDef::stream("Lineitem", ["ordk", "price"]),
+//! ].into_iter().collect();
+//!
+//! let q = parse_query(
+//!     "SELECT SUM(li.price * o.xch) FROM Orders o, Lineitem li WHERE o.ordk = li.ordk",
+//! ).unwrap();
+//! let plan = translate("total_sales", &q, &catalog).unwrap();
+//! assert_eq!(plan.views.len(), 1);
+//! assert_eq!(plan.views[0].expr.degree(), 2);
+//! ```
+
+pub mod ast;
+pub mod catalog;
+pub mod lexer;
+pub mod parser;
+pub mod translate;
+
+pub use ast::{AggFunc, ArithOp, ColumnRef, Condition, SelectItem, SelectQuery, SqlCmpOp, SqlExpr, TableRef};
+pub use catalog::{SqlCatalog, TableDef};
+pub use parser::{parse_query, ParseError};
+pub use translate::{translate, OutputColumn, TranslateError, TranslatedQuery, ViewSpec};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::ast::{AggFunc, SelectQuery};
+    pub use crate::catalog::{SqlCatalog, TableDef};
+    pub use crate::parser::{parse_query, ParseError};
+    pub use crate::translate::{translate, OutputColumn, TranslateError, TranslatedQuery, ViewSpec};
+}

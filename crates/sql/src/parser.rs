@@ -1,0 +1,588 @@
+//! Recursive-descent parser for the SQL fragment.
+
+use crate::ast::{
+    AggFunc, ArithOp, ColumnRef, Condition, SelectItem, SelectQuery, SqlCmpOp, SqlExpr, TableRef,
+};
+use crate::lexer::{tokenize, LexError, Token};
+use std::fmt;
+
+/// Parse errors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Index of the offending token.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (token #{})", self.message, self.position)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            position: e.position,
+        }
+    }
+}
+
+/// Parse a single `SELECT` query.
+pub fn parse_query(sql: &str) -> Result<SelectQuery, ParseError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.select_query()?;
+    p.accept_punct(&Token::Semicolon);
+    if !p.at_end() {
+        return Err(p.error("unexpected trailing tokens"));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+const RESERVED: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AND", "OR", "NOT", "AS", "EXISTS", "IN", "LIKE",
+    "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END", "ON", "ORDER", "HAVING", "DATE", "SUM",
+    "COUNT", "AVG", "LISTMAX",
+];
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            position: self.pos,
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn accept_punct(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, tok: &Token) -> Result<(), ParseError> {
+        if self.accept_punct(tok) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {tok}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    // ----------------------------------------------------------------- query
+
+    fn select_query(&mut self) -> Result<SelectQuery, ParseError> {
+        self.expect_kw("SELECT")?;
+        let mut select = vec![self.select_item()?];
+        while self.accept_punct(&Token::Comma) {
+            select.push(self.select_item()?);
+        }
+        self.expect_kw("FROM")?;
+        let mut from = vec![self.table_ref()?];
+        while self.accept_punct(&Token::Comma) {
+            from.push(self.table_ref()?);
+        }
+        let where_clause = if self.accept_kw("WHERE") {
+            Some(self.condition()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.accept_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.column_ref()?);
+            while self.accept_punct(&Token::Comma) {
+                group_by.push(self.column_ref()?);
+            }
+        }
+        Ok(SelectQuery {
+            select,
+            from,
+            where_clause,
+            group_by,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        // `SELECT *` (used inside EXISTS subqueries) is treated as COUNT(*).
+        if self.accept_punct(&Token::Star) {
+            return Ok(SelectItem {
+                expr: SqlExpr::Aggregate(AggFunc::Count, None),
+                alias: None,
+            });
+        }
+        let expr = self.expr()?;
+        let alias = if self.accept_kw("AS") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let table = self.ident()?;
+        let alias = match self.peek() {
+            Some(Token::Ident(s)) if !RESERVED.iter().any(|k| s.eq_ignore_ascii_case(k)) => {
+                let a = s.clone();
+                self.pos += 1;
+                a
+            }
+            _ => table.clone(),
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let first = self.ident()?;
+        if self.accept_punct(&Token::Dot) {
+            let col = self.ident()?;
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                column: col,
+            })
+        } else {
+            Ok(ColumnRef {
+                qualifier: None,
+                column: first,
+            })
+        }
+    }
+
+    // ------------------------------------------------------------- conditions
+
+    fn condition(&mut self) -> Result<Condition, ParseError> {
+        let mut left = self.and_condition()?;
+        while self.accept_kw("OR") {
+            let right = self.and_condition()?;
+            left = Condition::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_condition(&mut self) -> Result<Condition, ParseError> {
+        let mut left = self.not_condition()?;
+        while self.accept_kw("AND") {
+            let right = self.not_condition()?;
+            left = Condition::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_condition(&mut self) -> Result<Condition, ParseError> {
+        if self.accept_kw("NOT") {
+            let inner = self.not_condition()?;
+            return Ok(Condition::Not(Box::new(inner)));
+        }
+        self.primary_condition()
+    }
+
+    fn primary_condition(&mut self) -> Result<Condition, ParseError> {
+        if self.is_kw("EXISTS") {
+            self.pos += 1;
+            self.expect_punct(&Token::LParen)?;
+            let q = self.select_query()?;
+            self.expect_punct(&Token::RParen)?;
+            return Ok(Condition::Exists(Box::new(q)));
+        }
+        // A parenthesized condition, unless it is the start of a scalar expression such
+        // as `(a.price - b.price) > 1000` — disambiguate by attempting the condition
+        // parse and falling back to the expression parse.
+        if self.peek() == Some(&Token::LParen) && !matches!(self.peek_at(1), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("SELECT"))
+        {
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(c) = self.condition() {
+                if self.accept_punct(&Token::RParen) {
+                    // Only a genuine grouped condition: nothing comparison-like follows.
+                    if !self.peek_is_cmp() {
+                        return Ok(c);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        let left = self.expr()?;
+        if self.accept_kw("BETWEEN") {
+            let lo = self.expr()?;
+            self.expect_kw("AND")?;
+            let hi = self.expr()?;
+            return Ok(Condition::Between(left, lo, hi));
+        }
+        if self.accept_kw("LIKE") {
+            match self.advance() {
+                Some(Token::Str(p)) => return Ok(Condition::Like(left, p)),
+                _ => return Err(self.error("expected string pattern after LIKE")),
+            }
+        }
+        if self.accept_kw("NOT") {
+            if self.accept_kw("LIKE") {
+                match self.advance() {
+                    Some(Token::Str(p)) => {
+                        return Ok(Condition::Not(Box::new(Condition::Like(left, p))))
+                    }
+                    _ => return Err(self.error("expected string pattern after NOT LIKE")),
+                }
+            }
+            if self.accept_kw("IN") {
+                let list = self.in_list()?;
+                return Ok(Condition::Not(Box::new(Condition::InList(left, list))));
+            }
+            return Err(self.error("expected LIKE or IN after NOT"));
+        }
+        if self.accept_kw("IN") {
+            let list = self.in_list()?;
+            return Ok(Condition::InList(left, list));
+        }
+        let op = self.cmp_op()?;
+        let right = self.expr()?;
+        Ok(Condition::Cmp(op, left, right))
+    }
+
+    fn peek_is_cmp(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token::Eq | Token::Ne | Token::Lt | Token::Le | Token::Gt | Token::Ge)
+        ) || self.is_kw("BETWEEN")
+            || self.is_kw("IN")
+            || self.is_kw("LIKE")
+    }
+
+    fn in_list(&mut self) -> Result<Vec<SqlExpr>, ParseError> {
+        self.expect_punct(&Token::LParen)?;
+        let mut out = vec![self.expr()?];
+        while self.accept_punct(&Token::Comma) {
+            out.push(self.expr()?);
+        }
+        self.expect_punct(&Token::RParen)?;
+        Ok(out)
+    }
+
+    fn cmp_op(&mut self) -> Result<SqlCmpOp, ParseError> {
+        let op = match self.peek() {
+            Some(Token::Eq) => SqlCmpOp::Eq,
+            Some(Token::Ne) => SqlCmpOp::Ne,
+            Some(Token::Lt) => SqlCmpOp::Lt,
+            Some(Token::Le) => SqlCmpOp::Le,
+            Some(Token::Gt) => SqlCmpOp::Gt,
+            Some(Token::Ge) => SqlCmpOp::Ge,
+            _ => return Err(self.error("expected comparison operator")),
+        };
+        self.pos += 1;
+        Ok(op)
+    }
+
+    // ------------------------------------------------------------ expressions
+
+    fn expr(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut left = self.term()?;
+        loop {
+            if self.accept_punct(&Token::Plus) {
+                let right = self.term()?;
+                left = SqlExpr::Arith(ArithOp::Add, Box::new(left), Box::new(right));
+            } else if self.accept_punct(&Token::Minus) {
+                let right = self.term()?;
+                left = SqlExpr::Arith(ArithOp::Sub, Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            if self.accept_punct(&Token::Star) {
+                let right = self.unary()?;
+                left = SqlExpr::Arith(ArithOp::Mul, Box::new(left), Box::new(right));
+            } else if self.accept_punct(&Token::Slash) {
+                let right = self.unary()?;
+                left = SqlExpr::Arith(ArithOp::Div, Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<SqlExpr, ParseError> {
+        if self.accept_punct(&Token::Minus) {
+            let e = self.unary()?;
+            return Ok(SqlExpr::Neg(Box::new(e)));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Int(v)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Int(v))
+            }
+            Some(Token::Float(v)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Float(v))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Str(s))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                if self.is_kw("SELECT") {
+                    let q = self.select_query()?;
+                    self.expect_punct(&Token::RParen)?;
+                    Ok(SqlExpr::Subquery(Box::new(q)))
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(&Token::RParen)?;
+                    Ok(e)
+                }
+            }
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("CASE") {
+                    return self.case_expr();
+                }
+                if name.eq_ignore_ascii_case("DATE") {
+                    self.pos += 1;
+                    self.expect_punct(&Token::LParen)?;
+                    let lit = match self.advance() {
+                        Some(Token::Str(s)) => s,
+                        _ => return Err(self.error("expected date string")),
+                    };
+                    self.expect_punct(&Token::RParen)?;
+                    return Ok(SqlExpr::Date(parse_date(&lit).ok_or_else(|| {
+                        self.error(format!("invalid date literal '{lit}'"))
+                    })?));
+                }
+                if name.eq_ignore_ascii_case("LISTMAX") {
+                    self.pos += 1;
+                    self.expect_punct(&Token::LParen)?;
+                    let mut args = vec![self.expr()?];
+                    while self.accept_punct(&Token::Comma) {
+                        args.push(self.expr()?);
+                    }
+                    self.expect_punct(&Token::RParen)?;
+                    return Ok(SqlExpr::ListMax(args));
+                }
+                for (kw, func) in [("SUM", AggFunc::Sum), ("COUNT", AggFunc::Count), ("AVG", AggFunc::Avg)] {
+                    if name.eq_ignore_ascii_case(kw) {
+                        self.pos += 1;
+                        self.expect_punct(&Token::LParen)?;
+                        if self.accept_punct(&Token::Star) {
+                            self.expect_punct(&Token::RParen)?;
+                            return Ok(SqlExpr::Aggregate(AggFunc::Count, None));
+                        }
+                        let arg = self.expr()?;
+                        self.expect_punct(&Token::RParen)?;
+                        return Ok(SqlExpr::Aggregate(func, Some(Box::new(arg))));
+                    }
+                }
+                // Plain column reference.
+                let col = self.column_ref()?;
+                Ok(SqlExpr::Column(col))
+            }
+            _ => Err(self.error("expected expression")),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        self.expect_kw("CASE")?;
+        self.expect_kw("WHEN")?;
+        let when = self.condition()?;
+        self.expect_kw("THEN")?;
+        let then = self.expr()?;
+        self.expect_kw("ELSE")?;
+        let otherwise = self.expr()?;
+        self.expect_kw("END")?;
+        Ok(SqlExpr::Case {
+            when: Box::new(when),
+            then: Box::new(then),
+            otherwise: Box::new(otherwise),
+        })
+    }
+}
+
+/// Parse `yyyy-mm-dd` into the integer `yyyymmdd`.
+pub fn parse_date(s: &str) -> Option<i64> {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return None;
+    }
+    let y: i64 = parts[0].parse().ok()?;
+    let m: i64 = parts[1].parse().ok()?;
+    let d: i64 = parts[2].parse().ok()?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(y * 10_000 + m * 100 + d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_aggregate_query() {
+        let q = parse_query(
+            "SELECT o.ck, SUM(li.price * o.xch) AS total \
+             FROM Orders o, Lineitem li \
+             WHERE o.ordk = li.ordk GROUP BY o.ck;",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[1].alias, "li");
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.select[1].alias.as_deref(), Some("total"));
+        assert!(matches!(q.where_clause, Some(Condition::Cmp(SqlCmpOp::Eq, _, _))));
+    }
+
+    #[test]
+    fn parses_nested_scalar_subquery() {
+        let q = parse_query(
+            "SELECT SUM(l.extendedprice) FROM Lineitem l, Part p \
+             WHERE p.partkey = l.partkey AND l.quantity < 0.005 * \
+             (SELECT SUM(l2.quantity) FROM Lineitem l2 WHERE l2.partkey = p.partkey)",
+        )
+        .unwrap();
+        assert_eq!(q.nesting_depth(), 1);
+        let tables = q.all_tables();
+        assert_eq!(tables.iter().filter(|t| *t == "Lineitem").count(), 2);
+    }
+
+    #[test]
+    fn parses_exists_and_not_exists() {
+        let q = parse_query(
+            "SELECT COUNT(*) FROM Orders o WHERE NOT EXISTS \
+             (SELECT * FROM Lineitem l WHERE l.orderkey = o.orderkey)",
+        )
+        .unwrap();
+        match q.where_clause.unwrap() {
+            Condition::Not(inner) => assert!(matches!(*inner, Condition::Exists(_))),
+            other => panic!("expected NOT EXISTS, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_date_between_in_like_case() {
+        let q = parse_query(
+            "SELECT SUM(CASE WHEN o.priority IN ('1-URGENT', '2-HIGH') THEN 1 ELSE 0 END) \
+             FROM Orders o, Lineitem l \
+             WHERE l.shipdate >= DATE('1994-01-01') \
+             AND (l.discount BETWEEN 0.05 AND 0.07) \
+             AND (o.comment NOT LIKE '%special%') \
+             AND l.quantity < 24",
+        )
+        .unwrap();
+        assert!(q.where_clause.is_some());
+        assert!(matches!(q.select[0].expr, SqlExpr::Aggregate(AggFunc::Sum, Some(_))));
+    }
+
+    #[test]
+    fn parses_disjunction_of_parenthesized_conditions() {
+        let q = parse_query(
+            "SELECT SUM(a.p - b.p) FROM Asks a, Bids b \
+             WHERE (a.price - b.price > 1000) OR (b.price - a.price > 1000)",
+        )
+        .unwrap();
+        assert!(matches!(q.where_clause, Some(Condition::Or(_, _))));
+    }
+
+    #[test]
+    fn parses_uncorrelated_double_nested() {
+        // PSP from the financial workload.
+        let q = parse_query(
+            "SELECT SUM(a.price - b.price) FROM Bids b, Asks a \
+             WHERE b.volume > 0.0001 * (SELECT SUM(b1.volume) FROM Bids b1) \
+             AND a.volume > 0.0001 * (SELECT SUM(a1.volume) FROM Asks a1)",
+        )
+        .unwrap();
+        assert_eq!(q.nesting_depth(), 1);
+        assert_eq!(q.from.len(), 2);
+    }
+
+    #[test]
+    fn date_parsing() {
+        assert_eq!(parse_date("1995-03-15"), Some(19950315));
+        assert_eq!(parse_date("1995-13-15"), None);
+        assert_eq!(parse_date("nonsense"), None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("SELECT FROM").is_err());
+        assert!(parse_query("FOO BAR").is_err());
+        assert!(parse_query("SELECT 1 FROM T extra garbage !!").is_err());
+    }
+
+    #[test]
+    fn parses_avg_and_count_star() {
+        let q = parse_query(
+            "SELECT returnflag, COUNT(*) AS cnt, AVG(quantity) AS aq FROM Lineitem GROUP BY returnflag",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 3);
+        assert!(matches!(q.select[1].expr, SqlExpr::Aggregate(AggFunc::Count, None)));
+        assert!(matches!(q.select[2].expr, SqlExpr::Aggregate(AggFunc::Avg, Some(_))));
+        assert_eq!(q.from[0].alias, "Lineitem");
+    }
+}

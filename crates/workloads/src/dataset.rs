@@ -1,0 +1,60 @@
+//! The common shape of a generated workload: static tables plus an update stream.
+
+use dbtoaster_agca::UpdateEvent;
+use dbtoaster_gmr::Value;
+use std::collections::HashMap;
+
+/// A generated workload: preloaded static tables and a stream of single-tuple updates.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    /// Static table contents, loaded into the engine before the stream starts.
+    pub tables: HashMap<String, Vec<Vec<Value>>>,
+    /// The update stream (inserts and deletes), in arrival order.
+    pub events: Vec<UpdateEvent>,
+}
+
+impl Dataset {
+    /// Number of stream events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the stream empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Truncate the stream to at most `n` events (used by the scaled-down benchmark
+    /// configurations).
+    pub fn truncate(&mut self, n: usize) {
+        self.events.truncate(n);
+    }
+
+    /// Count events per relation.
+    pub fn events_per_relation(&self) -> HashMap<String, usize> {
+        let mut out = HashMap::new();
+        for e in &self.events {
+            *out.entry(e.relation.clone()).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_truncation() {
+        let mut d = Dataset::default();
+        assert!(d.is_empty());
+        d.events.push(UpdateEvent::insert("R", vec![Value::long(1)]));
+        d.events.push(UpdateEvent::insert("S", vec![Value::long(2)]));
+        d.events.push(UpdateEvent::delete("R", vec![Value::long(1)]));
+        assert_eq!(d.len(), 3);
+        let counts = d.events_per_relation();
+        assert_eq!(counts["R"], 2);
+        d.truncate(1);
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Synthetic order-book stream (the paper's financial workload).
+//!
+//! The original experiments replay 2.63 million order-book updates for one day of MSFT
+//! trading. That trace is proprietary, so this module generates a synthetic equivalent:
+//! bid and ask orders whose prices follow a bounded random walk around a mid price,
+//! with volumes drawn uniformly and a fraction of orders later removed (executed or
+//! revoked), so that the book contains long-lived state — exactly the property that
+//! rules out window semantics and motivates the paper's approach.
+
+use crate::dataset::Dataset;
+use dbtoaster_agca::UpdateEvent;
+use dbtoaster_gmr::Value;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Order-book generator parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FinanceConfig {
+    /// Total number of stream events to generate.
+    pub events: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of distinct brokers.
+    pub brokers: i64,
+    /// Probability that an event removes an existing order instead of adding one.
+    pub delete_probability: f64,
+}
+
+impl Default for FinanceConfig {
+    fn default() -> Self {
+        FinanceConfig {
+            events: 50_000,
+            seed: 42,
+            brokers: 10,
+            delete_probability: 0.25,
+        }
+    }
+}
+
+/// Generate the order-book stream over the `Bids` and `Asks` relations.
+pub fn generate(config: &FinanceConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut dataset = Dataset::default();
+    let mut events = Vec::with_capacity(config.events);
+
+    let mut mid_price: f64 = 10_000.0;
+    let mut next_id: i64 = 0;
+    let mut live_bids: Vec<Vec<Value>> = Vec::new();
+    let mut live_asks: Vec<Vec<Value>> = Vec::new();
+
+    for t in 0..config.events as i64 {
+        if events.len() >= config.events {
+            break;
+        }
+        // Random walk of the mid price.
+        mid_price = (mid_price + rng.random_range(-50..=50) as f64).max(1_000.0);
+
+        let is_bid = rng.random_bool(0.5);
+        let deleting = rng.random_bool(config.delete_probability);
+        let (book, relation) = if is_bid {
+            (&mut live_bids, "Bids")
+        } else {
+            (&mut live_asks, "Asks")
+        };
+
+        if deleting && !book.is_empty() {
+            let idx = rng.random_range(0..book.len());
+            let tuple = book.swap_remove(idx);
+            events.push(UpdateEvent::delete(relation, tuple));
+            continue;
+        }
+
+        next_id += 1;
+        let spread = rng.random_range(0..200) as f64;
+        let price = if is_bid { mid_price - spread } else { mid_price + spread };
+        let tuple = vec![
+            Value::long(t),
+            Value::long(next_id),
+            Value::long(rng.random_range(0..config.brokers)),
+            Value::double(price),
+            Value::double(rng.random_range(1..1_000) as f64),
+        ];
+        book.push(tuple.clone());
+        events.push(UpdateEvent::insert(relation, tuple));
+    }
+
+    dataset.events = events;
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_agca::UpdateSign;
+
+    #[test]
+    fn generates_requested_number_of_events() {
+        let d = generate(&FinanceConfig { events: 1_000, ..Default::default() });
+        assert_eq!(d.len(), 1_000);
+        let counts = d.events_per_relation();
+        assert!(counts.contains_key("Bids") && counts.contains_key("Asks"));
+    }
+
+    #[test]
+    fn deletions_only_remove_previously_inserted_orders() {
+        let d = generate(&FinanceConfig { events: 5_000, seed: 9, ..Default::default() });
+        let mut live: std::collections::HashSet<(String, i64)> = Default::default();
+        for e in &d.events {
+            let id = e.tuple[1].as_i64().unwrap();
+            match e.sign {
+                UpdateSign::Insert => {
+                    live.insert((e.relation.clone(), id));
+                }
+                UpdateSign::Delete => {
+                    assert!(live.remove(&(e.relation.clone(), id)), "deleted unknown order");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&FinanceConfig { events: 500, seed: 1, ..Default::default() });
+        let b = generate(&FinanceConfig { events: 500, seed: 1, ..Default::default() });
+        let c = generate(&FinanceConfig { events: 500, seed: 2, ..Default::default() });
+        assert_eq!(a.events, b.events);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn prices_stay_positive() {
+        let d = generate(&FinanceConfig { events: 2_000, seed: 4, ..Default::default() });
+        for e in &d.events {
+            assert!(e.tuple[3].as_f64().unwrap() > 0.0);
+            assert!(e.tuple[4].as_f64().unwrap() > 0.0);
+        }
+    }
+}

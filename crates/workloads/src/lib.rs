@@ -1,0 +1,49 @@
+//! # DBToaster benchmark workloads
+//!
+//! Deterministic, seeded generators for the three workload families of the paper's
+//! evaluation (Section 8) plus the SQL text of the benchmark queries:
+//!
+//! * [`schema`] — catalogs of the TPC-H-like, financial and MDDB schemas;
+//! * [`queries`] — the query set with the structural features of Figure 2;
+//! * [`tpch`] — a DBGEN-like generator and the FK-preserving agenda/stream synthesizer
+//!   with working-set deletions;
+//! * [`finance`] — a synthetic order-book stream (random-walk prices);
+//! * [`mddb`] — a synthetic molecular-dynamics position stream;
+//! * [`dataset`] — the common `static tables + update stream` container.
+
+pub mod dataset;
+pub mod finance;
+pub mod mddb;
+pub mod queries;
+pub mod schema;
+pub mod tpch;
+
+pub use dataset::Dataset;
+pub use finance::FinanceConfig;
+pub use mddb::MddbConfig;
+pub use queries::{all_queries, queries_of, query, Family, WorkloadQuery};
+pub use schema::{finance_catalog, full_catalog, mddb_catalog, tpch_catalog};
+pub use tpch::TpchConfig;
+
+/// Generate the dataset (static tables + stream) appropriate for a query's family.
+pub fn dataset_for(family: Family, size_hint: usize, seed: u64) -> Dataset {
+    match family {
+        Family::Tpch => {
+            let scale = (size_hint as f64 / 50_000.0).clamp(0.001, 10.0) * 0.01;
+            let mut d = tpch::generate(&TpchConfig::scaled(scale, seed));
+            d.truncate(size_hint);
+            d
+        }
+        Family::Finance => finance::generate(&FinanceConfig {
+            events: size_hint,
+            seed,
+            ..Default::default()
+        }),
+        Family::Scientific => {
+            let steps = (size_hint / 100).max(1);
+            let mut d = mddb::generate(&MddbConfig { atoms: 100, steps, seed });
+            d.truncate(size_hint);
+            d
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end smoke tests: every benchmark query compiles under every strategy and
+//! processes a realistic stream without errors, producing finite results; multiple
+//! queries can share one engine; static tables are honoured.
+
+use dbtoaster::prelude::*;
+use dbtoaster::workloads::{self, Family};
+
+fn small_dataset(family: Family) -> workloads::Dataset {
+    match family {
+        Family::Tpch => {
+            let mut d = workloads::tpch::generate(&workloads::TpchConfig {
+                scale: 0.003,
+                seed: 11,
+                orders_working_set: 60,
+                lineitem_working_set: 240,
+            });
+            d.truncate(1_500);
+            d
+        }
+        Family::Finance => workloads::finance::generate(&workloads::FinanceConfig {
+            events: 1_500,
+            seed: 11,
+            ..Default::default()
+        }),
+        Family::Scientific => workloads::mddb::generate(&workloads::MddbConfig {
+            atoms: 20,
+            steps: 30,
+            seed: 11,
+        }),
+    }
+}
+
+#[test]
+fn every_query_compiles_under_every_strategy() {
+    let catalog = workloads::full_catalog();
+    for q in workloads::all_queries() {
+        for mode in [
+            CompileMode::HigherOrder,
+            CompileMode::FirstOrder,
+            CompileMode::NaiveViewlet,
+            CompileMode::Reevaluate,
+        ] {
+            let engine = QueryEngineBuilder::new(catalog.clone())
+                .add_query(q.name, q.sql)
+                .mode(mode)
+                .build()
+                .unwrap_or_else(|e| panic!("{} [{mode}] failed to compile: {e}", q.name));
+            assert!(
+                !engine.program().maps.is_empty(),
+                "{} [{mode}]: no maps",
+                q.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_query_processes_a_stream_with_higher_order_ivm() {
+    let catalog = workloads::full_catalog();
+    for q in workloads::all_queries() {
+        let mut engine = QueryEngineBuilder::new(catalog.clone())
+            .add_query(q.name, q.sql)
+            .mode(CompileMode::HigherOrder)
+            .build()
+            .unwrap_or_else(|e| panic!("{}: {e}", q.name));
+        let mut data = small_dataset(q.family);
+        // MST and VWAP have quadratic per-event cost even under Higher-Order IVM (the
+        // paper's worst cases); keep their streams short so the smoke test stays fast.
+        match q.name {
+            "mst" => data.truncate(150),
+            "vwap" => data.truncate(300),
+            _ => {}
+        }
+        for (t, rows) in &data.tables {
+            engine.load_table(t, rows.clone()).unwrap();
+        }
+        engine.init().unwrap();
+        engine
+            .process_all(&data.events)
+            .unwrap_or_else(|e| panic!("{}: stream processing failed: {e}", q.name));
+        let result = engine
+            .result(q.name)
+            .unwrap_or_else(|e| panic!("{}: {e}", q.name));
+        for row in &result.rows {
+            for v in &row.values {
+                assert!(v.is_finite(), "{}: non-finite aggregate {v}", q.name);
+            }
+        }
+        assert_eq!(engine.stats().events as usize, data.events.len());
+        assert!(engine.stats().refresh_rate() > 0.0);
+    }
+}
+
+#[test]
+fn multiple_queries_share_one_engine_and_deduplicate_views() {
+    let catalog = workloads::tpch_catalog();
+    let q3 = workloads::query("q3").unwrap();
+    let q10 = workloads::query("q10").unwrap();
+    let q6 = workloads::query("q6").unwrap();
+    let mut engine = QueryEngineBuilder::new(catalog)
+        .add_query(q3.name, q3.sql)
+        .add_query(q10.name, q10.sql)
+        .add_query(q6.name, q6.sql)
+        .mode(CompileMode::HigherOrder)
+        .build()
+        .unwrap();
+    let data = small_dataset(Family::Tpch);
+    for (t, rows) in &data.tables {
+        engine.load_table(t, rows.clone()).unwrap();
+    }
+    engine.init().unwrap();
+    engine.process_all(&data.events).unwrap();
+    for name in ["q3", "q10", "q6"] {
+        let r = engine.result(name).unwrap();
+        for row in &r.rows {
+            assert!(row.values.iter().all(|v| v.is_finite()));
+        }
+    }
+    assert_eq!(engine.program().results.len(), 3);
+}
+
+#[test]
+fn static_tables_affect_results() {
+    // SSB4 groups by the region of the supplier's nation, which comes from the static
+    // Nation table; loading the tables before the stream must produce a non-empty
+    // grouped result, and skipping them must leave the result empty.
+    let catalog = workloads::tpch_catalog();
+    let q = workloads::query("ssb4").unwrap();
+    let mut engine = QueryEngineBuilder::new(catalog)
+        .add_query(q.name, q.sql)
+        .mode(CompileMode::HigherOrder)
+        .build()
+        .unwrap();
+    let data = small_dataset(Family::Tpch);
+    for (t, rows) in &data.tables {
+        engine.load_table(t, rows.clone()).unwrap();
+    }
+    engine.init().unwrap();
+    engine.process_all(&data.events).unwrap();
+
+    // Without the static tables the same stream yields an empty result.
+    let mut engine2 = QueryEngineBuilder::new(workloads::tpch_catalog())
+        .add_query(q.name, q.sql)
+        .mode(CompileMode::HigherOrder)
+        .build()
+        .unwrap();
+    engine2.process_all(&data.events).unwrap();
+    let with_tables: f64 = engine
+        .result("ssb4")
+        .unwrap()
+        .rows
+        .iter()
+        .flat_map(|r| r.values.clone())
+        .map(f64::abs)
+        .sum();
+    let without_tables: f64 = engine2
+        .result("ssb4")
+        .unwrap()
+        .rows
+        .iter()
+        .flat_map(|r| r.values.clone())
+        .map(f64::abs)
+        .sum();
+    assert!(with_tables > 0.0, "expected non-empty SSB4 result");
+    assert_eq!(without_tables, 0.0);
+}
+
+#[test]
+fn memory_and_trace_samples_are_monotone_in_events() {
+    let catalog = workloads::finance_catalog();
+    let q = workloads::query("bsv").unwrap();
+    let mut engine = QueryEngineBuilder::new(catalog)
+        .add_query(q.name, q.sql)
+        .build()
+        .unwrap();
+    let data = small_dataset(Family::Finance);
+    let half = data.events.len() / 2;
+    engine.process_all(&data.events[..half]).unwrap();
+    let s1 = engine.sample(0.5);
+    engine.process_all(&data.events[half..]).unwrap();
+    let s2 = engine.sample(1.0);
+    assert!(s2.elapsed_secs >= s1.elapsed_secs);
+    assert!(s2.refresh_rate > 0.0);
+    assert!(s2.memory_mb > 0.0);
+}
+
+#[test]
+fn query_engine_reports_compilation_features() {
+    // The compile report drives Figure 2; spot-check a few entries.
+    let catalog = workloads::full_catalog();
+    let cases = [
+        ("q3", false),   // flat equijoin: no nested rewrite needed
+        ("q17a", true),  // equality-correlated nested aggregate
+        ("vwap", true),  // inequality-correlated nested aggregate
+    ];
+    for (name, nested) in cases {
+        let q = workloads::query(name).unwrap();
+        let engine = QueryEngineBuilder::new(catalog.clone())
+            .add_query(q.name, q.sql)
+            .build()
+            .unwrap();
+        assert_eq!(
+            engine.program().report.used_nested_rewrite,
+            nested,
+            "{name} nested-rewrite flag"
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Cross-strategy equivalence tests.
+//!
+//! The strongest correctness check in the repository: for every benchmark query, the
+//! result produced by Higher-Order IVM (the paper's contribution) must equal — at every
+//! point we sample, and in particular at the end of the stream — the result produced by
+//! classical first-order IVM and by full re-evaluation of the query. Any bug in the
+//! delta transform, the materialization heuristics, statement ordering or the runtime
+//! shows up as a divergence here.
+
+use dbtoaster::prelude::*;
+use dbtoaster::workloads::{self, Family};
+
+const EPS: f64 = 1e-6;
+
+fn dataset_for(family: Family, events: usize) -> workloads::Dataset {
+    match family {
+        Family::Tpch => {
+            let mut d = workloads::tpch::generate(&workloads::TpchConfig {
+                scale: 0.002,
+                seed: 7,
+                orders_working_set: 40,
+                lineitem_working_set: 160,
+            });
+            d.truncate(events);
+            d
+        }
+        Family::Finance => workloads::finance::generate(&workloads::FinanceConfig {
+            events,
+            seed: 7,
+            brokers: 5,
+            delete_probability: 0.25,
+        }),
+        Family::Scientific => {
+            let mut d = workloads::mddb::generate(&workloads::MddbConfig {
+                atoms: 12,
+                steps: 20,
+                seed: 7,
+            });
+            d.truncate(events);
+            d
+        }
+    }
+}
+
+fn run_query(q: &workloads::WorkloadQuery, mode: CompileMode, events: usize) -> ResultTable {
+    let catalog = workloads::full_catalog();
+    let mut engine = QueryEngineBuilder::new(catalog)
+        .add_query(q.name, q.sql)
+        .mode(mode)
+        .build()
+        .unwrap_or_else(|e| panic!("{} [{mode}]: build failed: {e}", q.name));
+    let data = dataset_for(q.family, events);
+    for (table, rows) in &data.tables {
+        engine.load_table(table, rows.clone()).unwrap();
+    }
+    engine.init().unwrap();
+    engine
+        .process_all(&data.events)
+        .unwrap_or_else(|e| panic!("{} [{mode}]: processing failed: {e}", q.name));
+    engine
+        .result(q.name)
+        .unwrap_or_else(|e| panic!("{} [{mode}]: result failed: {e}", q.name))
+}
+
+/// Compare two result tables modulo row order and floating-point noise.
+fn assert_equivalent(query: &str, mode: CompileMode, got: &ResultTable, expected: &ResultTable) {
+    // Collect (key -> values) from both, treating missing rows as all-zero aggregates
+    // (an empty group and an absent group are indistinguishable for SUM/COUNT views).
+    let mut keys: Vec<Vec<Value>> = Vec::new();
+    for r in got.rows.iter().chain(expected.rows.iter()) {
+        if !keys.contains(&r.key) {
+            keys.push(r.key.clone());
+        }
+    }
+    let lookup = |t: &ResultTable, key: &Vec<Value>| -> Vec<f64> {
+        t.rows
+            .iter()
+            .find(|r| &r.key == key)
+            .map(|r| r.values.clone())
+            .unwrap_or_else(|| vec![0.0; t.columns.len()])
+    };
+    for key in keys {
+        let g = lookup(got, &key);
+        let e = lookup(expected, &key);
+        let n = g.len().max(e.len());
+        for i in 0..n {
+            let gv = g.get(i).copied().unwrap_or(0.0);
+            let ev = e.get(i).copied().unwrap_or(0.0);
+            let scale = 1.0_f64.max(ev.abs());
+            assert!(
+                (gv - ev).abs() / scale < EPS,
+                "{query} [{mode}] diverges from re-evaluation at key {key:?} column {i}: {gv} vs {ev}"
+            );
+        }
+    }
+}
+
+fn check_query(name: &str, events: usize, modes: &[CompileMode]) {
+    let q = workloads::query(name).unwrap_or_else(|| panic!("unknown query {name}"));
+    let reference = run_query(&q, CompileMode::Reevaluate, events);
+    assert!(
+        !reference.columns.is_empty(),
+        "{name}: reference result has no columns"
+    );
+    for &mode in modes {
+        let got = run_query(&q, mode, events);
+        assert_equivalent(name, mode, &got, &reference);
+    }
+}
+
+const STANDARD_MODES: &[CompileMode] = &[CompileMode::HigherOrder, CompileMode::FirstOrder];
+const ALL_MODES: &[CompileMode] = &[
+    CompileMode::HigherOrder,
+    CompileMode::FirstOrder,
+    CompileMode::NaiveViewlet,
+];
+
+// ------------------------------------------------------------------- TPC-H queries
+
+#[test]
+fn q1_equivalence() {
+    check_query("q1", 800, ALL_MODES);
+}
+
+#[test]
+fn q3_equivalence() {
+    check_query("q3", 800, STANDARD_MODES);
+}
+
+#[test]
+fn q4_equivalence() {
+    check_query("q4", 500, STANDARD_MODES);
+}
+
+#[test]
+fn q5_equivalence() {
+    check_query("q5", 600, STANDARD_MODES);
+}
+
+#[test]
+fn q6_equivalence() {
+    check_query("q6", 800, ALL_MODES);
+}
+
+#[test]
+fn q10_equivalence() {
+    check_query("q10", 800, STANDARD_MODES);
+}
+
+#[test]
+fn q11a_equivalence() {
+    check_query("q11a", 800, ALL_MODES);
+}
+
+#[test]
+fn q12_equivalence() {
+    check_query("q12", 800, STANDARD_MODES);
+}
+
+#[test]
+fn q17a_equivalence() {
+    check_query("q17a", 500, STANDARD_MODES);
+}
+
+#[test]
+fn q18a_equivalence() {
+    check_query("q18a", 500, STANDARD_MODES);
+}
+
+#[test]
+fn q22a_equivalence() {
+    check_query("q22a", 500, STANDARD_MODES);
+}
+
+#[test]
+fn ssb4_equivalence() {
+    check_query("ssb4", 600, STANDARD_MODES);
+}
+
+// ----------------------------------------------------------------- finance queries
+
+#[test]
+fn vwap_equivalence() {
+    check_query("vwap", 150, STANDARD_MODES);
+}
+
+#[test]
+fn axf_equivalence() {
+    check_query("axf", 500, STANDARD_MODES);
+}
+
+#[test]
+fn bsp_equivalence() {
+    check_query("bsp", 500, STANDARD_MODES);
+}
+
+#[test]
+fn bsv_equivalence() {
+    check_query("bsv", 500, ALL_MODES);
+}
+
+#[test]
+fn mst_equivalence() {
+    check_query("mst", 60, STANDARD_MODES);
+}
+
+#[test]
+fn psp_equivalence() {
+    check_query("psp", 250, STANDARD_MODES);
+}
+
+// -------------------------------------------------------------- scientific queries
+
+#[test]
+fn mddb1_equivalence() {
+    check_query("mddb1", 200, STANDARD_MODES);
+}
+
+// ----------------------------------------------------- deletions / negative results
+
+#[test]
+fn deletions_restore_previous_results() {
+    // Processing an insert followed by the matching delete must leave every query
+    // result exactly where it was (GMRs make deletions just negative-multiplicity
+    // insertions, so this checks the whole pipeline's sign handling).
+    let catalog = workloads::full_catalog();
+    let q = workloads::query("axf").unwrap();
+    let mut engine = QueryEngineBuilder::new(catalog)
+        .add_query(q.name, q.sql)
+        .mode(CompileMode::HigherOrder)
+        .build()
+        .unwrap();
+    let data = dataset_for(Family::Finance, 300);
+    engine.process_all(&data.events).unwrap();
+    let before = engine.result("axf").unwrap();
+
+    let bid = vec![
+        Value::long(99_999),
+        Value::long(424_242),
+        Value::long(1),
+        Value::double(9_000.0),
+        Value::double(10.0),
+    ];
+    engine.process(&UpdateEvent::insert("Bids", bid.clone())).unwrap();
+    engine.process(&UpdateEvent::delete("Bids", bid)).unwrap();
+    let after = engine.result("axf").unwrap();
+    assert_equivalent("axf", CompileMode::HigherOrder, &after, &before);
+}
