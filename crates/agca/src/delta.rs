@@ -63,11 +63,7 @@ impl TupleUpdate {
     /// `<relation>@<column>` derived from the given column names. The `@` separator
     /// cannot appear in SQL identifiers, so trigger variables can never collide with the
     /// column variables produced by the SQL frontend.
-    pub fn new(
-        relation: impl Into<String>,
-        sign: UpdateSign,
-        columns: &[String],
-    ) -> TupleUpdate {
+    pub fn new(relation: impl Into<String>, sign: UpdateSign, columns: &[String]) -> TupleUpdate {
         let relation = relation.into();
         let prefix = relation.to_lowercase();
         TupleUpdate {
@@ -83,7 +79,13 @@ impl TupleUpdate {
 
 impl fmt::Display for TupleUpdate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}({})", self.sign, self.relation, self.trigger_vars.join(", "))
+        write!(
+            f,
+            "{}{}({})",
+            self.sign,
+            self.relation,
+            self.trigger_vars.join(", ")
+        )
     }
 }
 
@@ -232,7 +234,11 @@ mod tests {
     }
 
     fn upd(rel: &str, cols: &[&str], sign: UpdateSign) -> TupleUpdate {
-        TupleUpdate::new(rel, sign, &cols.iter().map(|c| c.to_string()).collect::<Vec<_>>())
+        TupleUpdate::new(
+            rel,
+            sign,
+            &cols.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+        )
     }
 
     #[test]
@@ -338,7 +344,11 @@ mod tests {
 
     #[test]
     fn trigger_variable_naming() {
-        let u = TupleUpdate::new("Lineitem", UpdateSign::Insert, &["ORDK".into(), "PRICE".into()]);
+        let u = TupleUpdate::new(
+            "Lineitem",
+            UpdateSign::Insert,
+            &["ORDK".into(), "PRICE".into()],
+        );
         assert_eq!(u.trigger_vars, vec!["lineitem@ordk", "lineitem@price"]);
         assert_eq!(format!("{u}"), "+Lineitem(lineitem@ordk, lineitem@price)");
     }

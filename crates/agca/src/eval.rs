@@ -9,14 +9,123 @@
 //! The evaluator is the semantic ground truth of the whole system: the runtime executes
 //! compiled trigger statements with it, and the test-suite checks every compilation
 //! strategy against re-evaluation through it.
+//!
+//! ## Hot-path design
+//!
+//! Per-event evaluation is engineered to stay allocation-free in its inner loops:
+//!
+//! * **Cursor protocol** — [`RelationSource::for_each_matching`] streams borrowed
+//!   `(&[Value], f64)` entries straight out of the backing store into a visitor
+//!   closure; no result vector is materialized and no tuple is cloned on the read
+//!   path. [`RelationSource::iter_matching`] survives as a collecting shim for
+//!   callers that genuinely need an owned snapshot.
+//! * **Scoped bindings** — [`Bindings`] is a shadow stack, not a hash map. The
+//!   product loop pushes one scope per factor (bind → recurse → unbind via
+//!   [`Bindings`] truncation) and overwrites the scope's value slots per tuple, so
+//!   per-tuple context handling costs a few `Value` clones and zero allocations
+//!   (the old implementation cloned the entire context map per tuple). Lookups are
+//!   reverse linear scans, which beats hashing at the handful-of-variables sizes
+//!   AGCA contexts have, and makes shadowing automatic.
+//! * **Tuple keys** — result GMRs are keyed by [`Tuple`] (inline up to
+//!   [`dbtoaster_gmr::tuple::INLINE_CAP`] values), so group-by keys and join
+//!   outputs of typical arity are built without heap allocation.
+//! * **Join-order hoisting** — before evaluating a product, scalar lifts whose
+//!   value is already computable are hoisted ahead of relation atoms that
+//!   would otherwise be scanned with unbound arguments (see
+//!   `product_eval_order`), turning the compiler's delta-statement pattern
+//!   `M(ok) * (ok := t)` into an indexed probe.
 
 use crate::expr::{AtomKind, CmpOp, Expr, ScalarFn};
-use dbtoaster_gmr::{Gmr, Schema, Value};
-use std::collections::HashMap;
+use dbtoaster_gmr::{Gmr, Schema, Tuple, Value};
 use std::fmt;
 
-/// A variable-binding context.
-pub type Bindings = HashMap<String, Value>;
+/// A variable-binding context: a stack of `(name, value)` pairs with
+/// last-binding-wins lookup (shadowing) and O(1) scope push/undo.
+#[derive(Clone, Debug, Default)]
+pub struct Bindings {
+    entries: Vec<(String, Value)>,
+}
+
+impl Bindings {
+    /// An empty context.
+    pub fn new() -> Self {
+        Bindings::default()
+    }
+
+    /// An empty context with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Bindings {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bind `name` to `value`, replacing the innermost existing binding of the
+    /// same name (top-level map-like semantics).
+    pub fn insert(&mut self, name: String, value: Value) {
+        match self.entries.iter_mut().rev().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 = value,
+            None => self.entries.push((name, value)),
+        }
+    }
+
+    /// The value bound to `name`, if any (innermost binding wins).
+    #[inline]
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Is `name` bound?
+    #[inline]
+    pub fn contains_key(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Number of bindings (shadowed bindings count).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the context empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(name, value)` pairs, innermost last.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    // ---- scope stack (crate-internal hot path) ----
+
+    /// Current stack depth; pass to [`Bindings::unwind`] to undo.
+    #[inline]
+    pub(crate) fn mark(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Push a shadowing binding slot for `name` with a placeholder value; the
+    /// caller overwrites it through [`Bindings::set_slot`] before any lookup.
+    #[inline]
+    pub(crate) fn push_slot(&mut self, name: &str) {
+        self.entries.push((name.to_string(), Value::Long(0)));
+    }
+
+    /// Overwrite the value of the slot at absolute index `slot`.
+    #[inline]
+    pub(crate) fn set_slot(&mut self, slot: usize, value: Value) {
+        self.entries[slot].1 = value;
+    }
+
+    /// Drop every binding pushed since `mark`.
+    #[inline]
+    pub(crate) fn unwind(&mut self, mark: usize) {
+        self.entries.truncate(mark);
+    }
+}
 
 /// Errors raised during evaluation.
 #[derive(Clone, Debug, PartialEq)]
@@ -28,7 +137,11 @@ pub enum EvalError {
     /// An expression used in scalar position produced a non-scalar result.
     NotScalar(String),
     /// A tuple's arity did not match the atom's argument list.
-    ArityMismatch { relation: String, expected: usize, actual: usize },
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        actual: usize,
+    },
     /// A value-level operation failed (e.g. arithmetic on a string).
     Value(String),
     /// A scalar function was applied to the wrong number or type of arguments.
@@ -41,7 +154,11 @@ impl fmt::Display for EvalError {
             EvalError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
             EvalError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
             EvalError::NotScalar(e) => write!(f, "expression is not scalar: {e}"),
-            EvalError::ArityMismatch { relation, expected, actual } => write!(
+            EvalError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "arity mismatch for {relation}: expected {expected}, got {actual}"
             ),
@@ -61,28 +178,55 @@ impl From<dbtoaster_gmr::value::ValueError> for EvalError {
 
 /// A source of relation and view contents.
 ///
-/// `iter_matching` receives a partial binding pattern: `pattern[i] = Some(v)` constrains
-/// position `i` of the tuple to equal `v`. Implementations are free to answer with any
-/// superset of the matching tuples (the evaluator re-checks the constraints), but an
-/// index-backed implementation that answers exactly is what gives compiled trigger
+/// The primary access path is the **cursor protocol**: `for_each_matching`
+/// receives a partial binding pattern (`pattern[i] = Some(v)` constrains
+/// position `i` of the tuple to equal `v`) and streams every matching
+/// `(tuple, multiplicity)` pair into the visitor as a *borrowed* slice —
+/// implementations must not clone tuples to answer a lookup.
+/// Implementations are free to stream any superset of the matching tuples
+/// (the evaluator re-checks the constraints), but an index-backed
+/// implementation that answers exactly is what gives compiled trigger
 /// statements their constant-time behaviour.
 pub trait RelationSource {
     /// Arity of the named relation, or `None` if unknown.
     fn relation_arity(&self, name: &str) -> Option<usize>;
 
-    /// Tuples (with multiplicities) matching the partial binding pattern.
+    /// Stream tuples (with multiplicities) matching the partial binding
+    /// pattern into `visit`.
+    fn for_each_matching(
+        &self,
+        name: &str,
+        pattern: &[Option<Value>],
+        visit: &mut dyn FnMut(&[Value], f64),
+    ) -> Result<(), EvalError>;
+
+    /// Collecting shim over [`RelationSource::for_each_matching`] for callers
+    /// that need an owned snapshot of the matches. Avoid on hot paths.
     fn iter_matching(
         &self,
         name: &str,
         pattern: &[Option<Value>],
-    ) -> Result<Vec<(Vec<Value>, f64)>, EvalError>;
+    ) -> Result<Vec<(Tuple, f64)>, EvalError> {
+        let mut out = Vec::new();
+        self.for_each_matching(name, pattern, &mut |t, m| out.push((Tuple::from(t), m)))?;
+        Ok(out)
+    }
+}
+
+/// Does `tuple` satisfy the partial binding pattern?
+#[inline]
+pub fn matches_pattern(tuple: &[Value], pattern: &[Option<Value>]) -> bool {
+    pattern
+        .iter()
+        .zip(tuple.iter())
+        .all(|(p, v)| p.as_ref().map(|want| want == v).unwrap_or(true))
 }
 
 /// A trivial in-memory [`RelationSource`] backed by a map of GMRs. Used by tests, by the
 /// re-evaluation (REP) baseline and as the initial database of the runtime engine.
 #[derive(Clone, Debug, Default)]
 pub struct MemSource {
-    relations: HashMap<String, Gmr>,
+    relations: dbtoaster_gmr::FastMap<String, Gmr>,
 }
 
 impl MemSource {
@@ -119,31 +263,39 @@ impl RelationSource for MemSource {
         self.relations.get(name).map(|g| g.schema().arity())
     }
 
-    fn iter_matching(
+    fn for_each_matching(
         &self,
         name: &str,
         pattern: &[Option<Value>],
-    ) -> Result<Vec<(Vec<Value>, f64)>, EvalError> {
+        visit: &mut dyn FnMut(&[Value], f64),
+    ) -> Result<(), EvalError> {
         let g = self
             .relations
             .get(name)
             .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))?;
-        let mut out = Vec::new();
         for (t, m) in g.iter() {
-            let ok = pattern
-                .iter()
-                .enumerate()
-                .all(|(i, p)| p.as_ref().map(|v| &t[i] == v).unwrap_or(true));
-            if ok {
-                out.push((t.clone(), m));
+            if matches_pattern(t, pattern) {
+                visit(t, m);
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 
 /// Evaluate an expression to a GMR over its output variables.
 pub fn eval(expr: &Expr, src: &dyn RelationSource, ctx: &Bindings) -> Result<Gmr, EvalError> {
+    let mut scratch = ctx.clone();
+    eval_with(expr, src, &mut scratch)
+}
+
+/// Evaluate an expression in a mutable context. Equivalent to [`eval`] but
+/// avoids cloning the context; the context is returned unchanged (inner scopes
+/// are pushed and unwound internally).
+pub fn eval_with(
+    expr: &Expr,
+    src: &dyn RelationSource,
+    ctx: &mut Bindings,
+) -> Result<Gmr, EvalError> {
     match expr {
         Expr::Const(v) => Ok(Gmr::scalar(v.as_f64().map_err(EvalError::from)?)),
         Expr::Var(x) => {
@@ -156,7 +308,7 @@ pub fn eval(expr: &Expr, src: &dyn RelationSource, ctx: &Bindings) -> Result<Gmr
         Expr::Add(terms) => {
             let mut acc = Gmr::new(Schema::empty());
             for t in terms {
-                let g = eval(t, src, ctx)?;
+                let g = eval_with(t, src, ctx)?;
                 if acc.is_empty() {
                     acc = g;
                 } else if !g.is_empty() {
@@ -166,9 +318,9 @@ pub fn eval(expr: &Expr, src: &dyn RelationSource, ctx: &Bindings) -> Result<Gmr
             Ok(acc)
         }
         Expr::Mul(factors) => eval_product(factors, src, ctx),
-        Expr::Neg(e) => Ok(eval(e, src, ctx)?.negate()),
+        Expr::Neg(e) => Ok(eval_with(e, src, ctx)?.negate()),
         Expr::AggSum(gb, e) => {
-            let inner = eval(e, src, ctx)?;
+            let inner = eval_with(e, src, ctx)?;
             let mut out = Gmr::new(Schema::new(gb.iter().cloned()));
             if inner.is_empty() {
                 return Ok(out);
@@ -187,7 +339,7 @@ pub fn eval(expr: &Expr, src: &dyn RelationSource, ctx: &Bindings) -> Result<Gmr
                 })
                 .collect::<Result<_, _>>()?;
             for (t, m) in inner.iter() {
-                let key: Vec<Value> = sources
+                let key: Tuple = sources
                     .iter()
                     .map(|s| match s {
                         Ok(i) => t[*i].clone(),
@@ -199,7 +351,7 @@ pub fn eval(expr: &Expr, src: &dyn RelationSource, ctx: &Bindings) -> Result<Gmr
             Ok(out)
         }
         Expr::Lift(x, e) => {
-            let v = eval_scalar(e, src, ctx)?;
+            let v = eval_scalar_with(e, src, ctx)?;
             // If the variable is already bound, the lift degenerates into an equality
             // check on the bound value (Section 3.2's distinction between `=` and `:=`
             // is handled here by the context).
@@ -209,11 +361,11 @@ pub fn eval(expr: &Expr, src: &dyn RelationSource, ctx: &Bindings) -> Result<Gmr
                 }
                 return Ok(Gmr::new(Schema::empty()));
             }
-            Ok(Gmr::singleton(Schema::new([x.clone()]), vec![v], 1.0))
+            Ok(Gmr::singleton(Schema::new([x.clone()]), [v], 1.0))
         }
         Expr::Cmp(op, l, r) => {
-            let lv = eval_scalar(l, src, ctx)?;
-            let rv = eval_scalar(r, src, ctx)?;
+            let lv = eval_scalar_with(l, src, ctx)?;
+            let rv = eval_scalar_with(r, src, ctx)?;
             if op.eval(&lv, &rv) {
                 Ok(Gmr::scalar(1.0))
             } else {
@@ -221,13 +373,13 @@ pub fn eval(expr: &Expr, src: &dyn RelationSource, ctx: &Bindings) -> Result<Gmr
             }
         }
         Expr::Exists(e) => {
-            let g = eval(e, src, ctx)?;
+            let g = eval_with(e, src, ctx)?;
             Ok(g.map_multiplicities(|m| if m != 0.0 { 1.0 } else { 0.0 }))
         }
         Expr::Apply(f, args) => {
             let vals: Vec<Value> = args
                 .iter()
-                .map(|a| eval_scalar(a, src, ctx))
+                .map(|a| eval_scalar_with(a, src, ctx))
                 .collect::<Result<_, _>>()?;
             let v = apply_scalar_fn(f, &vals)?;
             Ok(Gmr::scalar(v.as_f64().map_err(EvalError::from)?))
@@ -238,7 +390,7 @@ pub fn eval(expr: &Expr, src: &dyn RelationSource, ctx: &Bindings) -> Result<Gmr
 fn eval_atom(
     r: &crate::expr::RelRef,
     src: &dyn RelationSource,
-    ctx: &Bindings,
+    ctx: &mut Bindings,
 ) -> Result<Gmr, EvalError> {
     let _ = AtomKind::Stream; // all kinds are looked up the same way at evaluation time
     if let Some(arity) = src.relation_arity(&r.name) {
@@ -255,63 +407,143 @@ fn eval_atom(
 
     // Output schema: argument variables, deduplicated in order (repeated variables add
     // an implicit self-equality constraint).
-    let mut out_cols: Vec<String> = Vec::new();
+    let mut out_cols: Vec<&String> = Vec::with_capacity(r.args.len());
     for a in &r.args {
-        if !out_cols.contains(a) {
-            out_cols.push(a.clone());
+        if !out_cols.contains(&a) {
+            out_cols.push(a);
         }
     }
     let dedup = out_cols.len() != r.args.len();
-    let mut out = Gmr::new(Schema::new(out_cols.iter().cloned()));
+    let mut out = Gmr::new(Schema::new(out_cols.iter().map(|c| c.as_str())));
 
-    for (t, m) in src.iter_matching(&r.name, &pattern)? {
+    let mut arity_err: Option<EvalError> = None;
+    src.for_each_matching(&r.name, &pattern, &mut |t, m| {
+        if arity_err.is_some() {
+            return;
+        }
         if t.len() != r.args.len() {
-            return Err(EvalError::ArityMismatch {
+            arity_err = Some(EvalError::ArityMismatch {
                 relation: r.name.clone(),
                 expected: r.args.len(),
                 actual: t.len(),
             });
+            return;
         }
         // Re-check the context constraints (sources may over-approximate).
-        let consistent = pattern
-            .iter()
-            .enumerate()
-            .all(|(i, p)| p.as_ref().map(|v| &t[i] == v).unwrap_or(true));
-        if !consistent {
-            continue;
+        if !matches_pattern(t, &pattern) {
+            return;
         }
         if dedup {
-            // Check repeated-variable consistency and project to the deduplicated schema.
-            let mut assignment: HashMap<&str, &Value> = HashMap::new();
-            let mut ok = true;
-            for (a, v) in r.args.iter().zip(t.iter()) {
-                match assignment.get(a.as_str()) {
-                    Some(prev) if *prev != v => {
-                        ok = false;
-                        break;
-                    }
-                    _ => {
-                        assignment.insert(a, v);
-                    }
+            // Check repeated-variable consistency (each argument must agree with
+            // its first occurrence) and project to the deduplicated schema. The
+            // argument lists are short, so positional scans are allocation-free
+            // and faster than a hash map here.
+            let consistent = r.args.iter().enumerate().all(|(i, a)| {
+                match r.args[..i].iter().position(|b| b == a) {
+                    Some(j) => t[i] == t[j],
+                    None => true,
                 }
+            });
+            if !consistent {
+                return;
             }
-            if !ok {
-                continue;
-            }
-            let key: Vec<Value> = out_cols.iter().map(|c| assignment[c.as_str()].clone()).collect();
+            let key: Tuple = out_cols
+                .iter()
+                .map(|c| {
+                    let i = r
+                        .args
+                        .iter()
+                        .position(|a| &a == c)
+                        .expect("output columns come from the argument list");
+                    t[i].clone()
+                })
+                .collect();
             out.add_tuple(key, m);
         } else {
-            out.add_tuple(t, m);
+            out.add_tuple(Tuple::from(t), m);
         }
+    })?;
+    if let Some(e) = arity_err {
+        return Err(e);
     }
     Ok(out)
+}
+
+/// Is `e` a pure scalar expression (no collection-valued subterms) whose
+/// variables are all currently bound?
+fn scalar_ready(e: &Expr, extra: &[&str], ctx: &Bindings) -> bool {
+    match e {
+        Expr::Const(_) => true,
+        Expr::Var(x) => extra.iter().any(|n| *n == x) || ctx.contains_key(x),
+        Expr::Neg(inner) => scalar_ready(inner, extra, ctx),
+        Expr::Add(ts) | Expr::Mul(ts) | Expr::Apply(_, ts) => {
+            ts.iter().all(|t| scalar_ready(t, extra, ctx))
+        }
+        Expr::Cmp(_, l, r) => scalar_ready(l, extra, ctx) && scalar_ready(r, extra, ctx),
+        // Rel / AggSum / Lift / Exists: collection-valued — never hoisted.
+        _ => false,
+    }
+}
+
+/// Variables a factor binds for the factors to its right.
+fn push_outputs<'e>(f: &'e Expr, extra: &mut Vec<&'e str>) {
+    match f {
+        Expr::Rel(r) => extra.extend(r.args.iter().map(String::as_str)),
+        Expr::Lift(x, _) => extra.push(x),
+        Expr::AggSum(gb, _) => extra.extend(gb.iter().map(String::as_str)),
+        Expr::Neg(e) | Expr::Exists(e) => push_outputs(e, extra),
+        _ => {}
+    }
+}
+
+/// Plan the evaluation order of product factors: left-to-right, except that
+/// scalar lifts whose value is already computable are hoisted ahead of the
+/// first relation atom that would otherwise leave their target unbound.
+///
+/// This turns the delta-statement pattern `M(ok) * (ok := t)` — which the
+/// delta transform emits with the lift *after* the atom — into an indexed
+/// probe of `M` instead of a full scan, restoring the paper's constant-time
+/// per-update claim. It does not change the denotation: the product is
+/// ring-commutative, only sideways information passing is order-sensitive,
+/// and a hoisted lift depends exclusively on variables bound before the
+/// product started.
+fn product_eval_order<'e>(factors: &'e [Expr], ctx: &Bindings) -> Vec<&'e Expr> {
+    let mut order: Vec<&'e Expr> = Vec::with_capacity(factors.len());
+    let mut extra: Vec<&str> = Vec::new();
+    let mut hoisted = vec![false; factors.len()];
+    for (i, factor) in factors.iter().enumerate() {
+        if hoisted[i] {
+            continue;
+        }
+        if let Expr::Rel(r) = factor {
+            for a in &r.args {
+                if extra.iter().any(|n| n == a) || ctx.contains_key(a) {
+                    continue;
+                }
+                if let Some(j) = factors.iter().enumerate().skip(i + 1).position(|(j, f)| {
+                    !hoisted[j]
+                        && matches!(f, Expr::Lift(x, body)
+                            if x == a && scalar_ready(body, &extra, ctx))
+                }) {
+                    let j = j + i + 1;
+                    hoisted[j] = true;
+                    order.push(&factors[j]);
+                    push_outputs(&factors[j], &mut extra);
+                }
+            }
+        }
+        order.push(factor);
+        push_outputs(factor, &mut extra);
+    }
+    order
 }
 
 fn eval_product(
     factors: &[Expr],
     src: &dyn RelationSource,
-    ctx: &Bindings,
+    ctx: &mut Bindings,
 ) -> Result<Gmr, EvalError> {
+    let factors = product_eval_order(factors, ctx);
     // Accumulator starts as the ring's one: {<> -> 1}.
     let mut acc = Gmr::scalar(1.0);
     for factor in factors {
@@ -320,13 +552,27 @@ fn eval_product(
         }
         let acc_schema = acc.schema().clone();
         let mut next: Option<Gmr> = None;
+
+        // Open one binding scope for this factor: a shadow slot per accumulator
+        // column, overwritten in place for every accumulator tuple. This is the
+        // bind → recurse → unbind discipline that replaces per-tuple context
+        // cloning.
+        let mark = ctx.mark();
+        for col in acc_schema.columns() {
+            ctx.push_slot(col);
+        }
+        let mut failure: Option<EvalError> = None;
         for (t, m) in acc.iter() {
-            // Extend the context with the bindings produced so far.
-            let mut ctx2 = ctx.clone();
-            for (i, col) in acc_schema.columns().iter().enumerate() {
-                ctx2.insert(col.clone(), t[i].clone());
+            for (i, v) in t.iter().enumerate() {
+                ctx.set_slot(mark + i, v.clone());
             }
-            let r = eval(factor, src, &ctx2)?;
+            let r = match eval_with(factor, src, ctx) {
+                Ok(r) => r,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            };
             if r.is_empty() {
                 continue;
             }
@@ -341,14 +587,21 @@ fn eval_product(
                 .collect();
             for (s, n) in r.iter() {
                 // Join consistency on shared columns (defensive: most factors already
-                // respect the bindings of ctx2, but e.g. unbound lifts might not).
+                // respect the bindings of ctx, but e.g. unbound lifts might not).
                 if !shared.iter().all(|&(i, j)| t[i] == s[j]) {
                     continue;
                 }
-                let mut tuple = t.clone();
-                tuple.extend(new_positions.iter().map(|&j| s[j].clone()));
+                let tuple: Tuple = t
+                    .iter()
+                    .cloned()
+                    .chain(new_positions.iter().map(|&j| s[j].clone()))
+                    .collect();
                 out.add_tuple(tuple, m * n);
             }
+        }
+        ctx.unwind(mark);
+        if let Some(e) = failure {
+            return Err(e);
         }
         acc = next.unwrap_or_else(|| Gmr::new(Schema::empty()));
     }
@@ -357,29 +610,41 @@ fn eval_product(
 
 /// Evaluate an expression in scalar position (comparison operand, lift body, `Apply`
 /// argument) to a single [`Value`].
-pub fn eval_scalar(expr: &Expr, src: &dyn RelationSource, ctx: &Bindings) -> Result<Value, EvalError> {
+pub fn eval_scalar(
+    expr: &Expr,
+    src: &dyn RelationSource,
+    ctx: &Bindings,
+) -> Result<Value, EvalError> {
+    let mut scratch = ctx.clone();
+    eval_scalar_with(expr, src, &mut scratch)
+}
+
+/// [`eval_scalar`] over a mutable context (no clone; context returned unchanged).
+pub fn eval_scalar_with(
+    expr: &Expr,
+    src: &dyn RelationSource,
+    ctx: &mut Bindings,
+) -> Result<Value, EvalError> {
     match expr {
         Expr::Const(v) => Ok(v.clone()),
         Expr::Var(x) => ctx
             .get(x)
             .cloned()
             .ok_or_else(|| EvalError::UnboundVariable(x.clone())),
-        Expr::Neg(e) => Ok(eval_scalar(e, src, ctx)?.neg()?),
+        Expr::Neg(e) => Ok(eval_scalar_with(e, src, ctx)?.neg()?),
         Expr::Apply(f, args) => {
             let vals: Vec<Value> = args
                 .iter()
-                .map(|a| eval_scalar(a, src, ctx))
+                .map(|a| eval_scalar_with(a, src, ctx))
                 .collect::<Result<_, _>>()?;
             apply_scalar_fn(f, &vals)
         }
-        Expr::Add(terms) =>
-
-            terms.iter().try_fold(Value::long(0), |acc, t| {
-                let v = eval_scalar(t, src, ctx)?;
-                Ok(acc.add(&v)?)
-            }),
+        Expr::Add(terms) => terms.iter().try_fold(Value::long(0), |acc, t| {
+            let v = eval_scalar_with(t, src, ctx)?;
+            Ok(acc.add(&v)?)
+        }),
         Expr::Mul(factors) => factors.iter().try_fold(Value::long(1), |acc, t| {
-            let v = eval_scalar(t, src, ctx)?;
+            let v = eval_scalar_with(t, src, ctx)?;
             Ok(acc.mul(&v)?)
         }),
         // General case: evaluate to a GMR, which must be nullary (a scalar) — or have
@@ -387,7 +652,7 @@ pub fn eval_scalar(expr: &Expr, src: &dyn RelationSource, ctx: &Bindings) -> Res
         // `Sum[OK](LI(OK,Q)*Q)` looked up with OK bound), in which case the sum of its
         // multiplicities is the scalar value.
         other => {
-            let g = eval(other, src, ctx)?;
+            let g = eval_with(other, src, ctx)?;
             if g.schema().is_empty() || g.is_empty() {
                 Ok(Value::double(g.scalar_value()))
             } else if g.schema().columns().iter().all(|c| ctx.contains_key(c)) {
@@ -576,10 +841,7 @@ mod tests {
 
     #[test]
     fn lift_on_bound_variable_acts_as_equality() {
-        let e = Expr::product_of([
-            Expr::rel("R", ["a", "b"]),
-            Expr::lift("b", Expr::val(2)),
-        ]);
+        let e = Expr::product_of([Expr::rel("R", ["a", "b"]), Expr::lift("b", Expr::val(2))]);
         let g = eval(&e, &db(), &empty_ctx()).unwrap();
         // Only rows with B = 2 survive.
         assert_eq!(g.len(), 2);
@@ -618,7 +880,10 @@ mod tests {
         );
         assert_eq!(
             eval_scalar(
-                &Expr::apply(ScalarFn::ListMax, vec![Expr::val(1), Expr::val(7), Expr::val(3)]),
+                &Expr::apply(
+                    ScalarFn::ListMax,
+                    vec![Expr::val(1), Expr::val(7), Expr::val(3)]
+                ),
                 &d,
                 &ctx
             )
@@ -627,7 +892,10 @@ mod tests {
         );
         assert_eq!(
             eval_scalar(
-                &Expr::apply(ScalarFn::Like("%BRASS".into()), vec![Expr::Const(Value::str("SMALL BRASS"))]),
+                &Expr::apply(
+                    ScalarFn::Like("%BRASS".into()),
+                    vec![Expr::Const(Value::str("SMALL BRASS"))]
+                ),
                 &d,
                 &ctx
             )
@@ -683,7 +951,10 @@ mod tests {
     fn aggsum_with_context_group_var() {
         // Sum[k](S(c,d) * d) where k is bound from the context: the group key is taken
         // from the context (this is what trigger statements with loop substitution do).
-        let e = Expr::agg_sum(["k"], Expr::product_of([Expr::rel("S", ["c", "d"]), Expr::var("d")]));
+        let e = Expr::agg_sum(
+            ["k"],
+            Expr::product_of([Expr::rel("S", ["c", "d"]), Expr::var("d")]),
+        );
         let mut ctx = Bindings::new();
         ctx.insert("k".into(), Value::long(99));
         let g = eval(&e, &db(), &ctx).unwrap();

@@ -13,9 +13,10 @@
 //! * [`Expr::Apply`] — scalar function application (division, `LISTMAX`, `LIKE`, …) used
 //!   to translate arithmetic that has no multiplicity-level encoding.
 
+use dbtoaster_gmr::FastMap;
 use dbtoaster_gmr::Value;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Comparison operators usable in [`Expr::Cmp`].
@@ -188,7 +189,10 @@ impl Expr {
     }
 
     /// A stream relation atom.
-    pub fn rel<S: Into<String>>(name: impl Into<String>, args: impl IntoIterator<Item = S>) -> Expr {
+    pub fn rel<S: Into<String>>(
+        name: impl Into<String>,
+        args: impl IntoIterator<Item = S>,
+    ) -> Expr {
         Expr::Rel(RelRef {
             name: name.into(),
             args: args.into_iter().map(Into::into).collect(),
@@ -254,7 +258,10 @@ impl Expr {
 
     /// Group-by summation.
     pub fn agg_sum<S: Into<String>>(group_by: impl IntoIterator<Item = S>, body: Expr) -> Expr {
-        Expr::AggSum(group_by.into_iter().map(Into::into).collect(), Box::new(body))
+        Expr::AggSum(
+            group_by.into_iter().map(Into::into).collect(),
+            Box::new(body),
+        )
     }
 
     /// Lift `var := body`.
@@ -268,6 +275,7 @@ impl Expr {
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(e: Expr) -> Expr {
         Expr::Neg(Box::new(e))
     }
@@ -391,9 +399,9 @@ impl Expr {
     pub fn map_children(&self, f: &mut impl FnMut(&Expr) -> Expr) -> Expr {
         match self {
             Expr::Const(_) | Expr::Var(_) | Expr::Rel(_) => self.clone(),
-            Expr::Add(ts) => Expr::Add(ts.iter().map(|t| f(t)).collect()),
-            Expr::Mul(ts) => Expr::Mul(ts.iter().map(|t| f(t)).collect()),
-            Expr::Apply(func, ts) => Expr::Apply(func.clone(), ts.iter().map(|t| f(t)).collect()),
+            Expr::Add(ts) => Expr::Add(ts.iter().map(&mut *f).collect()),
+            Expr::Mul(ts) => Expr::Mul(ts.iter().map(&mut *f).collect()),
+            Expr::Apply(func, ts) => Expr::Apply(func.clone(), ts.iter().map(&mut *f).collect()),
             Expr::Neg(e) => Expr::Neg(Box::new(f(e))),
             Expr::AggSum(gb, e) => Expr::AggSum(gb.clone(), Box::new(f(e))),
             Expr::Lift(x, e) => Expr::Lift(x.clone(), Box::new(f(e))),
@@ -407,13 +415,13 @@ impl Expr {
     /// Rename a variable everywhere it appears: value uses (`Var`), relation-atom
     /// arguments, group-by lists and lift targets.
     pub fn rename_var(&self, old: &str, new: &str) -> Expr {
-        let mut map = HashMap::new();
+        let mut map = FastMap::default();
         map.insert(old.to_string(), new.to_string());
         self.rename_vars(&map)
     }
 
     /// Rename variables everywhere according to `map`.
-    pub fn rename_vars(&self, map: &HashMap<String, String>) -> Expr {
+    pub fn rename_vars(&self, map: &FastMap<String, String>) -> Expr {
         let rn = |s: &String| map.get(s).cloned().unwrap_or_else(|| s.clone());
         match self {
             Expr::Const(_) => self.clone(),
@@ -528,10 +536,8 @@ mod tests {
     #[test]
     fn degree_counts_stream_atoms() {
         assert_eq!(sample().degree(), 2);
-        let with_table = Expr::product_of([
-            Expr::rel("R", ["A"]),
-            Expr::table("Nation", ["A", "N"]),
-        ]);
+        let with_table =
+            Expr::product_of([Expr::rel("R", ["A"]), Expr::table("Nation", ["A", "N"])]);
         assert_eq!(with_table.degree(), 1);
         assert_eq!(Expr::val(5).degree(), 0);
         let union = Expr::sum_of([sample(), Expr::rel("T", ["X"])]);
@@ -543,7 +549,9 @@ mod tests {
         let rels = sample().stream_relations();
         assert_eq!(rels.len(), 2);
         assert!(rels.contains("R") && rels.contains("S"));
-        assert!(!Expr::table("Nation", ["N"]).stream_relations().contains("Nation"));
+        assert!(!Expr::table("Nation", ["N"])
+            .stream_relations()
+            .contains("Nation"));
     }
 
     #[test]

@@ -20,11 +20,12 @@
 //! * **canonicalization** ([`canonicalize`]) — rename variables into a canonical form so
 //!   the compiler can deduplicate structurally equivalent views.
 
-use crate::expr::{CmpOp, Expr};
 use crate::eval::apply_scalar_fn;
+use crate::expr::{CmpOp, Expr};
 use crate::scope::{self, var_info};
+use dbtoaster_gmr::FastMap;
 use dbtoaster_gmr::Value;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 // ---------------------------------------------------------------------------
 // Simplification
@@ -275,7 +276,10 @@ pub fn expand(expr: &Expr) -> Polynomial {
                 if x == 0.0 {
                     Polynomial::zero()
                 } else {
-                    Polynomial::singleton(Monomial { coef: x, factors: vec![] })
+                    Polynomial::singleton(Monomial {
+                        coef: x,
+                        factors: vec![],
+                    })
                 }
             }
             Err(_) => Polynomial::singleton(Monomial::of(vec![expr.clone()])),
@@ -283,9 +287,10 @@ pub fn expand(expr: &Expr) -> Polynomial {
         Expr::Var(_) | Expr::Rel(_) | Expr::Cmp(..) | Expr::Apply(..) => {
             Polynomial::singleton(Monomial::of(vec![expr.clone()]))
         }
-        Expr::Lift(x, e) => {
-            Polynomial::singleton(Monomial::of(vec![Expr::Lift(x.clone(), Box::new(simplify(e)))]))
-        }
+        Expr::Lift(x, e) => Polynomial::singleton(Monomial::of(vec![Expr::Lift(
+            x.clone(),
+            Box::new(simplify(e)),
+        )])),
         Expr::Exists(e) => {
             Polynomial::singleton(Monomial::of(vec![Expr::Exists(Box::new(simplify(e)))]))
         }
@@ -304,7 +309,10 @@ pub fn expand(expr: &Expr) -> Polynomial {
             out.combine()
         }
         Expr::Mul(factors) => {
-            let mut acc = Polynomial::singleton(Monomial { coef: 1.0, factors: vec![] });
+            let mut acc = Polynomial::singleton(Monomial {
+                coef: 1.0,
+                factors: vec![],
+            });
             for f in factors {
                 acc = acc.multiply(&expand(f));
                 if acc.monomials.is_empty() {
@@ -328,7 +336,11 @@ pub fn expand(expr: &Expr) -> Polynomial {
                 };
                 out.monomials.push(Monomial {
                     coef: m.coef,
-                    factors: if factor.is_one() { vec![] } else { vec![factor] },
+                    factors: if factor.is_one() {
+                        vec![]
+                    } else {
+                        vec![factor]
+                    },
                 });
             }
             out.combine()
@@ -378,11 +390,7 @@ pub fn unify_factors(
         let factor = match &factor {
             Expr::Cmp(CmpOp::Eq, l, r) => {
                 let to_lift = |v: &str, other: &Expr| -> Option<Expr> {
-                    if !scope.contains(v)
-                        && other
-                            .all_variables()
-                            .iter()
-                            .all(|x| scope.contains(x))
+                    if !scope.contains(v) && other.all_variables().iter().all(|x| scope.contains(x))
                     {
                         Some(Expr::lift(v.to_string(), other.clone()))
                     } else {
@@ -470,7 +478,7 @@ pub fn order_factors(factors: &[Expr], bound: &BTreeSet<String>) -> Vec<Expr> {
                 out.push(f);
             }
             None => {
-                out.extend(remaining.drain(..));
+                out.append(&mut remaining);
                 break;
             }
         }
@@ -485,8 +493,8 @@ pub fn extract_range_restrictions(
     factors: &[Expr],
     loop_vars: &[String],
     bound: &BTreeSet<String>,
-) -> (HashMap<String, String>, Vec<Expr>) {
-    let mut subst: HashMap<String, String> = HashMap::new();
+) -> (FastMap<String, String>, Vec<Expr>) {
+    let mut subst: FastMap<String, String> = FastMap::default();
     let mut rest: Vec<Expr> = Vec::with_capacity(factors.len());
     for f in factors {
         if let Expr::Lift(x, e) = f {
@@ -502,7 +510,7 @@ pub fn extract_range_restrictions(
         rest.push(f.clone());
     }
     // Apply the substitution to the remaining factors so the loop variable disappears.
-    let rename: HashMap<String, String> = subst.clone();
+    let rename: FastMap<String, String> = subst.clone();
     let rest = rest.iter().map(|f| f.rename_vars(&rename)).collect();
     (subst, rest)
 }
@@ -578,10 +586,10 @@ pub fn decorrelate(expr: &Expr) -> Expr {
 /// Two expressions are structurally equivalent modulo variable naming iff their
 /// canonical forms are equal, which is how the compiler deduplicates views
 /// (Section 5.1, "Duplicate View Elimination").
-pub fn canonicalize(expr: &Expr) -> (Expr, HashMap<String, String>) {
+pub fn canonicalize(expr: &Expr) -> (Expr, FastMap<String, String>) {
     let mut order: Vec<String> = Vec::new();
     collect_var_order(expr, &mut order);
-    let map: HashMap<String, String> = order
+    let map: FastMap<String, String> = order
         .iter()
         .enumerate()
         .map(|(i, v)| (v.clone(), format!("%{i}")))
@@ -657,10 +665,7 @@ mod tests {
     fn simplify_folds_constants() {
         let e = Expr::product_of([Expr::val(2), Expr::val(3), Expr::rel("R", ["a"])]);
         let s = simplify(&e);
-        assert_eq!(
-            s,
-            Expr::Mul(vec![Expr::val(6), Expr::rel("R", ["a"])])
-        );
+        assert_eq!(s, Expr::Mul(vec![Expr::val(6), Expr::rel("R", ["a"])]));
         let c = Expr::cmp(Op::Lt, Expr::val(1), Expr::val(2));
         assert!(simplify(&c).is_one());
         let c2 = Expr::cmp(Op::Gt, Expr::val(1), Expr::val(2));
@@ -669,7 +674,10 @@ mod tests {
 
     #[test]
     fn simplify_neg_and_exists() {
-        assert_eq!(simplify(&Expr::neg(Expr::neg(Expr::var("x")))), Expr::var("x"));
+        assert_eq!(
+            simplify(&Expr::neg(Expr::neg(Expr::var("x")))),
+            Expr::var("x")
+        );
         assert_eq!(simplify(&Expr::neg(Expr::val(3))), Expr::val(-3));
         assert!(simplify(&Expr::exists(Expr::zero())).is_zero());
         assert!(simplify(&Expr::exists(Expr::val(5))).is_one());
@@ -756,7 +764,10 @@ mod tests {
             Expr::rel("S", ["C", "D"]),
         ];
         let out = unify_factors(&factors, &set(&[]), &set(&[]));
-        assert_eq!(out, vec![Expr::rel("R", ["A", "B"]), Expr::rel("S", ["A", "D"])]);
+        assert_eq!(
+            out,
+            vec![Expr::rel("R", ["A", "B"]), Expr::rel("S", ["A", "D"])]
+        );
     }
 
     #[test]
@@ -789,11 +800,8 @@ mod tests {
     fn range_restriction_extraction() {
         // foreach A, B: M[A,B] += (A := r_a) * S(B) — the loop over A collapses.
         let factors = vec![Expr::lift("A", Expr::var("r_a")), Expr::rel("S", ["B"])];
-        let (subst, rest) = extract_range_restrictions(
-            &factors,
-            &["A".into(), "B".into()],
-            &set(&["r_a"]),
-        );
+        let (subst, rest) =
+            extract_range_restrictions(&factors, &["A".into(), "B".into()], &set(&["r_a"]));
         assert_eq!(subst.get("A"), Some(&"r_a".to_string()));
         assert_eq!(rest, vec![Expr::rel("S", ["B"])]);
     }
@@ -825,9 +833,18 @@ mod tests {
 
     #[test]
     fn canonicalization_identifies_renamed_duplicates() {
-        let a = Expr::agg_sum(["B"], Expr::product_of([Expr::rel("R", ["A", "B"]), Expr::var("A")]));
-        let b = Expr::agg_sum(["Y"], Expr::product_of([Expr::rel("R", ["X", "Y"]), Expr::var("X")]));
-        let c = Expr::agg_sum(["Y"], Expr::product_of([Expr::rel("R", ["X", "Y"]), Expr::var("Y")]));
+        let a = Expr::agg_sum(
+            ["B"],
+            Expr::product_of([Expr::rel("R", ["A", "B"]), Expr::var("A")]),
+        );
+        let b = Expr::agg_sum(
+            ["Y"],
+            Expr::product_of([Expr::rel("R", ["X", "Y"]), Expr::var("X")]),
+        );
+        let c = Expr::agg_sum(
+            ["Y"],
+            Expr::product_of([Expr::rel("R", ["X", "Y"]), Expr::var("Y")]),
+        );
         assert_eq!(canonical_key(&a), canonical_key(&b));
         assert_ne!(canonical_key(&a), canonical_key(&c));
     }

@@ -118,8 +118,8 @@ fn collect(expr: &Expr, bound: &BTreeSet<String>, info: &mut VarInfo) -> Result<
                         first = Some(ti.outputs);
                     }
                     Some(f) => {
-                        let same = f.len() == ti.outputs.len()
-                            && f.iter().all(|c| ti.outputs.contains(c));
+                        let same =
+                            f.len() == ti.outputs.len() && f.iter().all(|c| ti.outputs.contains(c));
                         if !same {
                             return Err(ScopeError::UnionSchemaMismatch(
                                 f.join(", "),
@@ -136,7 +136,7 @@ fn collect(expr: &Expr, bound: &BTreeSet<String>, info: &mut VarInfo) -> Result<
             for f in factors {
                 let fi = var_info(f, &scope)?;
                 for i in fi.inputs {
-                    if !scope.contains(&i) && !info.outputs.iter().any(|o| *o == i) {
+                    if !scope.contains(&i) && !info.outputs.contains(&i) {
                         info.inputs.insert(i);
                     }
                 }

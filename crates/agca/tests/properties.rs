@@ -12,8 +12,8 @@
 //!   aggregates reaches zero after `degree(Q)` steps.
 
 use dbtoaster_agca::prelude::*;
+use dbtoaster_gmr::FastMap;
 use proptest::prelude::*;
-use std::collections::HashMap;
 
 // ---------------------------------------------------------------- random databases
 
@@ -106,10 +106,7 @@ fn query_shapes() -> Vec<(&'static str, Expr)> {
             Expr::rel("R", ["A", "B"]),
             Expr::lift(
                 "cnt",
-                Expr::agg_sum(
-                    Vec::<String>::new(),
-                    Expr::rel("S", ["A", "D"]),
-                ),
+                Expr::agg_sum(Vec::<String>::new(), Expr::rel("S", ["A", "D"])),
             ),
             Expr::cmp(CmpOp::Gt, Expr::var("cnt"), Expr::val(0)),
         ]),
@@ -258,7 +255,7 @@ proptest! {
     #[test]
     fn canonicalization_invariant_under_renaming(suffix in "[a-z]{1,3}") {
         for (_, q) in query_shapes() {
-            let renames: HashMap<String, String> = q
+            let renames: FastMap<String, String> = q
                 .all_variables()
                 .into_iter()
                 .map(|v| (v.clone(), format!("{v}_{suffix}")))

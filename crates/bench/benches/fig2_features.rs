@@ -30,7 +30,10 @@ fn bench_compilation(c: &mut Criterion) {
     group.finish();
 
     // Print the Figure 2 table once so `cargo bench` output contains the artifact.
-    println!("{}", dbtoaster_bench::format_figure2(&dbtoaster_bench::figure2_rows()));
+    println!(
+        "{}",
+        dbtoaster_bench::format_figure2(&dbtoaster_bench::figure2_rows())
+    );
 }
 
 criterion_group!(benches, bench_compilation);

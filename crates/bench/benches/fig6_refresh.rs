@@ -41,17 +41,13 @@ fn bench_refresh_rates(c: &mut Criterion) {
                 &baseline_data
             };
             group.throughput(Throughput::Elements(data.events.len() as u64));
-            group.bench_with_input(
-                BenchmarkId::new(q.name, mode),
-                &mode,
-                |b, &mode| {
-                    b.iter(|| {
-                        let mut engine = build_engine(&q, mode, data);
-                        engine.process_all(&data.events).unwrap();
-                        black_box(engine.stats().events)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(q.name, mode), &mode, |b, &mode| {
+                b.iter(|| {
+                    let mut engine = build_engine(&q, mode, data);
+                    engine.process_all(&data.events).unwrap();
+                    black_box(engine.stats().events)
+                })
+            });
         }
     }
     group.finish();

@@ -23,14 +23,22 @@ fn bench_gmr_ops(c: &mut Criterion) {
     for i in 0..1_000 {
         s.add_tuple(vec![Value::long(i), Value::long(i * 2)], 1.0);
     }
-    c.bench_function("gmr_join_1k_x_1k", |b| b.iter(|| black_box(r.join(&s)).len()));
+    c.bench_function("gmr_join_1k_x_1k", |b| {
+        b.iter(|| black_box(r.join(&s)).len())
+    });
     c.bench_function("gmr_agg_sum_1k", |b| {
         b.iter(|| black_box(r.agg_sum(&["a".to_string()])).len())
     });
+    // Union of two same-schema relations, one reordered (the seed version of
+    // this bench unioned incompatible schemas and panicked on first run).
+    let mut r2 = Gmr::new(Schema::new(["b", "a"]));
+    for i in 0..1_000 {
+        r2.add_tuple(vec![Value::long(i), Value::long(i % 50)], 1.0);
+    }
     c.bench_function("gmr_union_1k", |b| {
         b.iter(|| {
             let mut x = r.clone();
-            x.add_gmr(&s.agg_sum(&["b".to_string()]).reorder(&Schema::new(["b"])).join(&Gmr::scalar(1.0)).agg_sum(&["b".to_string()]));
+            x.add_gmr(&r2);
             black_box(x.len())
         })
     });
@@ -58,11 +66,15 @@ fn bench_delta_and_simplify(c: &mut Criterion) {
         UpdateSign::Insert,
         &["OK".into(), "K".into(), "Q".into()],
     );
-    c.bench_function("delta_4way_nested", |b| b.iter(|| black_box(delta(&q, &upd))));
+    c.bench_function("delta_4way_nested", |b| {
+        b.iter(|| black_box(delta(&q, &upd)))
+    });
     let d = delta(&q, &upd);
     c.bench_function("simplify_delta", |b| b.iter(|| black_box(simplify(&d))));
     let s = simplify(&d);
-    c.bench_function("expand_delta", |b| b.iter(|| black_box(expand(&s)).monomials.len()));
+    c.bench_function("expand_delta", |b| {
+        b.iter(|| black_box(expand(&s)).monomials.len())
+    });
 }
 
 fn bench_view_map(c: &mut Criterion) {
@@ -86,5 +98,10 @@ fn bench_view_map(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gmr_ops, bench_delta_and_simplify, bench_view_map);
+criterion_group!(
+    benches,
+    bench_gmr_ops,
+    bench_delta_and_simplify,
+    bench_view_map
+);
 criterion_main!(benches);

@@ -19,6 +19,8 @@ struct Args {
     events: usize,
     budget: Duration,
     seed: u64,
+    json: Option<String>,
+    label: String,
 }
 
 fn parse_args() -> Args {
@@ -28,12 +30,17 @@ fn parse_args() -> Args {
         events: 20_000,
         budget: Duration::from_secs(5),
         seed: 42,
+        json: None,
+        label: "run".to_string(),
     };
     let mut i = 1;
     while i < argv.len() {
         match argv[i].as_str() {
             "--events" => {
-                args.events = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(args.events);
+                args.events = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.events);
                 i += 2;
             }
             "--budget" => {
@@ -42,7 +49,18 @@ fn parse_args() -> Args {
                 i += 2;
             }
             "--seed" => {
-                args.seed = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(args.seed);
+                args.seed = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.seed);
+                i += 2;
+            }
+            "--json" => {
+                args.json = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--label" => {
+                args.label = argv.get(i + 1).cloned().unwrap_or(args.label);
                 i += 2;
             }
             other => {
@@ -52,6 +70,17 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+fn micro(config: &ExperimentConfig, label: &str, json: Option<&str>) {
+    println!("=== micro: substrate operations and fig6 Higher-Order refresh rates ===");
+    let results = micro_benchmarks(config);
+    println!("{}", format_micro(&results));
+    if let Some(path) = json {
+        let payload = micro_json(label, config, &results);
+        std::fs::write(path, &payload).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+        println!("wrote {path}");
+    }
 }
 
 fn fig2() {
@@ -107,6 +136,7 @@ fn main() {
     };
 
     match args.command.as_str() {
+        "micro" => micro(&config, &args.label, args.json.as_deref()),
         "fig2" => fig2(),
         "fig6" | "fig7" => fig6(&config),
         "fig8" => traces_for(&["q1", "q3", "q11a", "q12"], "Figure 8", &config),
@@ -115,8 +145,8 @@ fn main() {
         "fig11" => fig11(&config),
         "traces" => traces_for(
             &[
-                "q1", "q3", "q4", "q5", "q6", "q10", "q11a", "q12", "q17a", "q18a", "q22a",
-                "ssb4", "vwap", "axf", "bsp", "bsv", "mst", "psp", "mddb1",
+                "q1", "q3", "q4", "q5", "q6", "q10", "q11a", "q12", "q17a", "q18a", "q22a", "ssb4",
+                "vwap", "axf", "bsp", "bsv", "mst", "psp", "mddb1",
             ],
             "Figures 13-18",
             &config,
@@ -131,7 +161,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other}; expected fig2|fig6|fig8|fig9|fig10|fig11|traces|all"
+                "unknown command {other}; expected micro|fig2|fig6|fig8|fig9|fig10|fig11|traces|all"
             );
             std::process::exit(2);
         }

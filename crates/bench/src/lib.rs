@@ -108,7 +108,11 @@ pub fn dataset_for(family: Family, events: usize, seed: u64) -> workloads::Datas
 }
 
 /// Build a ready-to-run engine (static tables loaded) for one query and strategy.
-pub fn build_engine(q: &WorkloadQuery, mode: CompileMode, data: &workloads::Dataset) -> QueryEngine {
+pub fn build_engine(
+    q: &WorkloadQuery,
+    mode: CompileMode,
+    data: &workloads::Dataset,
+) -> QueryEngine {
     let catalog = workloads::full_catalog();
     let mut engine = QueryEngineBuilder::new(catalog)
         .add_query(q.name, q.sql)
@@ -138,7 +142,7 @@ pub fn run_stream(
             .unwrap_or_else(|e| panic!("{} [{mode}]: {e}", q.name));
         processed += 1;
         // Check the budget every 64 events to keep the overhead negligible.
-        if processed % 64 == 0 && start.elapsed() > budget {
+        if processed.is_multiple_of(64) && start.elapsed() > budget {
             break;
         }
     }
@@ -344,6 +348,156 @@ pub fn figure11_rows(
 }
 
 // ---------------------------------------------------------------------------
+// Micro benchmark suite (harness `micro` subcommand, BENCH_micro.json)
+// ---------------------------------------------------------------------------
+
+/// One measured micro-benchmark: a named operation with its achieved rate.
+#[derive(Clone, Debug)]
+pub struct MicroResult {
+    /// Benchmark name (stable across runs; the perf trajectory is keyed on it).
+    pub name: String,
+    /// Operations (events, inserts, probes...) per second of processing time.
+    pub ops_per_sec: f64,
+    /// Operations performed during the measurement.
+    pub ops: usize,
+    /// Measured wall-clock seconds.
+    pub elapsed_secs: f64,
+}
+
+fn time_ops(name: &str, ops: usize, f: impl FnOnce()) -> MicroResult {
+    let t0 = Instant::now();
+    f();
+    let elapsed = t0.elapsed().as_secs_f64();
+    MicroResult {
+        name: name.to_string(),
+        ops_per_sec: if elapsed > 0.0 {
+            ops as f64 / elapsed
+        } else {
+            0.0
+        },
+        ops,
+        elapsed_secs: elapsed,
+    }
+}
+
+/// Run the substrate micro-benchmarks (view-map maintenance, GMR join/agg) and
+/// the fig6 Higher-Order refresh-rate runs for a representative query subset.
+/// This is the data series behind `BENCH_micro.json`.
+pub fn micro_benchmarks(config: &ExperimentConfig) -> Vec<MicroResult> {
+    use dbtoaster::gmr::{Gmr, Schema, Value};
+    use dbtoaster::runtime::ViewMap;
+    let mut out = Vec::new();
+
+    // View-map insert/cancel churn: the inner operation of every trigger statement.
+    const VM_OPS: usize = 400_000;
+    out.push(time_ops("viewmap_insert_churn", VM_OPS, || {
+        let mut v = ViewMap::new(Schema::new(["a", "b"]));
+        for i in 0..VM_OPS as i64 {
+            v.add(vec![Value::long(i % 4_093), Value::long(i % 64)], 1.0);
+        }
+        std::hint::black_box(v.len());
+    }));
+
+    // Partial-pattern probes against a pre-built secondary index.
+    let mut probe_map = ViewMap::new(Schema::new(["a", "b"]));
+    for i in 0..40_000i64 {
+        probe_map.add(vec![Value::long(i % 997), Value::long(i)], 1.0);
+    }
+    probe_map.lookup(&[Some(Value::long(3)), None]);
+    const PROBES: usize = 200_000;
+    out.push(time_ops("viewmap_partial_lookup", PROBES, || {
+        let mut total = 0usize;
+        for i in 0..PROBES as i64 {
+            total += probe_map.lookup(&[Some(Value::long(i % 997)), None]).len();
+        }
+        std::hint::black_box(total);
+    }));
+
+    // GMR hash join, the re-evaluation baseline's dominant operation.
+    let mut r = Gmr::new(Schema::new(["a", "b"]));
+    let mut s = Gmr::new(Schema::new(["b", "c"]));
+    for i in 0..2_000i64 {
+        r.add_tuple(vec![Value::long(i % 50), Value::long(i)], 1.0);
+        s.add_tuple(vec![Value::long(i), Value::long(i * 2)], 1.0);
+    }
+    const JOINS: usize = 50;
+    out.push(time_ops("gmr_join_2k_x_2k", JOINS * r.len(), || {
+        for _ in 0..JOINS {
+            std::hint::black_box(r.join(&s).len());
+        }
+    }));
+
+    // fig6 refresh rate, Higher-Order IVM only, representative query subset.
+    for name in ["q1", "q3", "q6", "axf", "bsv"] {
+        let q = match workloads::query(name) {
+            Some(q) => q,
+            None => continue,
+        };
+        let data = dataset_for(q.family, config.events, config.seed);
+        let stats = run_stream(&q, CompileMode::HigherOrder, &data, config.time_budget);
+        out.push(MicroResult {
+            name: format!("fig6_ho_{name}"),
+            ops_per_sec: stats.refresh_rate,
+            ops: stats.processed,
+            elapsed_secs: stats.elapsed,
+        });
+    }
+    out
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render micro-benchmark results as JSON (hand-rolled: the workspace builds
+/// without a JSON dependency).
+pub fn micro_json(label: &str, config: &ExperimentConfig, results: &[MicroResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"label\": \"{}\",\n", json_escape(label)));
+    out.push_str(&format!("  \"events\": {},\n", config.events));
+    out.push_str(&format!("  \"seed\": {},\n", config.seed));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ops_per_sec\": {:.1}, \"ops\": {}, \"elapsed_secs\": {:.4}}}{}\n",
+            json_escape(&r.name),
+            r.ops_per_sec,
+            r.ops,
+            r.elapsed_secs,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render micro-benchmark results as an aligned text table.
+pub fn format_micro(results: &[MicroResult]) -> String {
+    let mut out =
+        String::from("benchmark                      ops/sec        ops      elapsed(s)\n");
+    for r in results {
+        out.push_str(&format!(
+            "{:<28} {:>12.1} {:>10} {:>12.4}\n",
+            r.name, r.ops_per_sec, r.ops, r.elapsed_secs
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Formatting helpers
 // ---------------------------------------------------------------------------
 
@@ -379,7 +533,11 @@ pub fn format_figure6(rows: &[Figure6Row]) -> String {
     );
     for r in rows {
         let rates: Vec<f64> = r.rates.iter().map(|s| s.refresh_rate).collect();
-        let speedup = if rates[0] > 0.0 { rates[3] / rates[0] } else { f64::INFINITY };
+        let speedup = if rates[0] > 0.0 {
+            rates[3] / rates[0]
+        } else {
+            f64::INFINITY
+        };
         out.push_str(&format!(
             "{:<10} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1}x\n",
             r.query, rates[0], rates[1], rates[2], rates[3], speedup
@@ -444,7 +602,13 @@ mod tests {
     fn trace_series_is_monotone_in_time() {
         let q = workloads::query("bsv").unwrap();
         let data = dataset_for(Family::Finance, 600, 1);
-        let pts = trace_series(&q, CompileMode::HigherOrder, &data, 5, Duration::from_secs(10));
+        let pts = trace_series(
+            &q,
+            CompileMode::HigherOrder,
+            &data,
+            5,
+            Duration::from_secs(10),
+        );
         assert_eq!(pts.len(), 5);
         for w in pts.windows(2) {
             assert!(w[1].time_minutes >= w[0].time_minutes);

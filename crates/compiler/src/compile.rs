@@ -15,7 +15,7 @@
 
 use crate::materialize::{contains_base_atoms, MapRegistry, Materializer};
 use crate::program::{
-    Catalog, CompileOptions, CompileMode, CompileReport, MapDecl, QueryResult, QuerySpec,
+    Catalog, CompileMode, CompileOptions, CompileReport, MapDecl, QueryResult, QuerySpec,
     ResultAccess, Statement, StmtOp, Trigger, TriggerProgram,
 };
 use dbtoaster_agca::opt::{extract_range_restrictions, order_factors, unify_factors, Monomial};
@@ -23,7 +23,8 @@ use dbtoaster_agca::scope::output_vars;
 use dbtoaster_agca::{
     decorrelate, delta, expand, simplify, AtomKind, Expr, TupleUpdate, UpdateSign,
 };
-use std::collections::{BTreeSet, HashMap};
+use dbtoaster_gmr::FastMap;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Errors raised during compilation.
@@ -32,7 +33,11 @@ pub enum CompileError {
     /// A relation atom refers to a relation missing from the catalog.
     UnknownRelation(String),
     /// A relation atom's arity does not match the catalog.
-    ArityMismatch { relation: String, expected: usize, actual: usize },
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        actual: usize,
+    },
     /// No queries were given.
     NoQueries,
 }
@@ -41,7 +46,11 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
-            CompileError::ArityMismatch { relation, expected, actual } => write!(
+            CompileError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "relation {relation} has {actual} columns, atom uses {expected}"
             ),
@@ -140,7 +149,11 @@ pub fn compile(
                             avoid: Some(my_canon.clone()),
                             name_hint: short_hint(&decl.name),
                         };
-                        let rhs = mat.materialize_body(&decl.definition, &decl.out_vars, &BTreeSet::new());
+                        let rhs = mat.materialize_body(
+                            &decl.definition,
+                            &decl.out_vars,
+                            &BTreeSet::new(),
+                        );
                         let rhs = reorder_products(&rhs, &BTreeSet::new());
                         Some(Statement {
                             target: decl.name.clone(),
@@ -261,7 +274,10 @@ pub fn fix_atom_kinds(expr: &Expr, catalog: &Catalog) -> Result<Expr, CompileErr
 }
 
 fn short_hint(name: &str) -> String {
-    name.chars().filter(|c| c.is_alphanumeric()).take(8).collect()
+    name.chars()
+        .filter(|c| c.is_alphanumeric())
+        .take(8)
+        .collect()
 }
 
 fn push_statement(
@@ -326,7 +342,7 @@ fn make_increment_statement(
         .collect();
 
     // Range restrictions shared by every clause can be applied to the statement's key.
-    let mut common: Option<HashMap<String, String>> = None;
+    let mut common: Option<FastMap<String, String>> = None;
     if options.enable_range_restriction {
         for m in &unified {
             let (subst, _) = extract_range_restrictions(&m.factors, &out_vars, bound);
@@ -386,7 +402,9 @@ fn make_increment_statement(
         );
         // Normalize every clause to exactly the loop variables so the clauses of the
         // statement's right-hand side union cleanly at runtime.
-        terms.push(crate::materialize::normalize_schema(term, &loop_vars, bound));
+        terms.push(crate::materialize::normalize_schema(
+            term, &loop_vars, bound,
+        ));
     }
     let rhs = simplify(&Expr::sum_of(terms));
     if rhs.is_zero() {
@@ -436,10 +454,8 @@ fn outer_atom_vars(expr: &Expr, out: &mut BTreeSet<String>) {
 fn nested_bodies(expr: &Expr) -> Vec<Expr> {
     let mut out = Vec::new();
     expr.visit(&mut |e| match e {
-        Expr::Lift(_, b) | Expr::Exists(b) => {
-            if contains_base_atoms(b) {
-                out.push((**b).clone());
-            }
+        Expr::Lift(_, b) | Expr::Exists(b) if contains_base_atoms(b) => {
+            out.push((**b).clone());
         }
         _ => {}
     });
@@ -476,9 +492,9 @@ fn equality_correlated(body: &Expr, outer: &BTreeSet<String>) -> bool {
 pub fn nested_requires_reevaluation(definition: &Expr, relation: &str) -> bool {
     let mut outer = BTreeSet::new();
     outer_atom_vars(definition, &mut outer);
-    nested_bodies(definition).iter().any(|b| {
-        b.references_relation(relation) && !equality_correlated(b, &outer)
-    })
+    nested_bodies(definition)
+        .iter()
+        .any(|b| b.references_relation(relation) && !equality_correlated(b, &outer))
 }
 
 /// Does the view have an equality-correlated nested aggregate over `relation`?
@@ -509,7 +525,10 @@ fn order_statements(trigger: &mut Trigger) {
 
 /// Stable topological order where `precedes(a, b)` means `a` must come before `b`.
 /// Falls back to the original order if the constraint graph has a cycle.
-fn topo_order(stmts: &[Statement], precedes: impl Fn(&Statement, &Statement) -> bool) -> Vec<Statement> {
+fn topo_order(
+    stmts: &[Statement],
+    precedes: impl Fn(&Statement, &Statement) -> bool,
+) -> Vec<Statement> {
     let n = stmts.len();
     let mut indegree = vec![0usize; n];
     let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -741,7 +760,10 @@ mod tests {
         .unwrap();
         assert!(prog.report.used_reevaluation);
         let s_trigger = prog.trigger("S", UpdateSign::Insert).unwrap();
-        assert!(s_trigger.statements.iter().any(|s| s.op == StmtOp::Replace && s.target == "Q"));
+        assert!(s_trigger
+            .statements
+            .iter()
+            .any(|s| s.op == StmtOp::Replace && s.target == "Q"));
         // Replaces are ordered after the increments that maintain the views they read.
         let last = s_trigger.statements.last().unwrap();
         assert_eq!(last.op, StmtOp::Replace);
@@ -799,7 +821,7 @@ mod tests {
                 }
                 for earlier in &t.statements[..i] {
                     assert!(
-                        !s.reads().contains(&earlier.target) || earlier.op == StmtOp::Increment && false,
+                        !s.reads().contains(&earlier.target),
                         "statement {s} reads {} which was already updated",
                         earlier.target
                     );

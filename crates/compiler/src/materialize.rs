@@ -58,7 +58,10 @@ impl MapRegistry {
 
     /// Canonical key of a prospective map (definition + key order).
     pub fn key_of(definition: &Expr, out_vars: &[String]) -> String {
-        canonical_key(&Expr::AggSum(out_vars.to_vec(), Box::new(definition.clone())))
+        canonical_key(&Expr::AggSum(
+            out_vars.to_vec(),
+            Box::new(definition.clone()),
+        ))
     }
 
     /// Register a view with an explicit name (used for query results). Returns its index.
@@ -177,7 +180,12 @@ impl<'a> Materializer<'a> {
         }
     }
 
-    fn materialize_sum(&mut self, expr: &Expr, needed: &[String], bound: &BTreeSet<String>) -> Expr {
+    fn materialize_sum(
+        &mut self,
+        expr: &Expr,
+        needed: &[String],
+        bound: &BTreeSet<String>,
+    ) -> Expr {
         let poly = dbtoaster_agca::expand(expr);
         if poly.monomials.len() > 1 {
             self.report.used_expansion = true;
@@ -331,7 +339,8 @@ impl<'a> Materializer<'a> {
                 continue;
             }
             let home = components.iter().position(|comp| {
-                vars.iter().all(|v| comp.iter().any(|&j| outputs_of[j].contains(v)))
+                vars.iter()
+                    .all(|v| comp.iter().any(|&j| outputs_of[j].contains(v)))
             });
             match home {
                 Some(c) => assigned[i] = Some(c),
@@ -474,7 +483,8 @@ fn push_down_aggregation(
         'outer: for a in 0..groups.len() {
             for b in (a + 1)..groups.len() {
                 if !groups[a].0.is_disjoint(&groups[b].0)
-                    && !(groups[a].0.is_empty() || groups[b].0.is_empty())
+                    && !groups[a].0.is_empty()
+                    && !groups[b].0.is_empty()
                 {
                     let (vars, idxs) = groups.remove(b);
                     groups[a].0.extend(vars);
@@ -567,7 +577,11 @@ mod tests {
         assert!(keys.contains(&vec!["b".to_string()]));
         assert!(keys.contains(&vec!["c".to_string()]));
         // The rewritten clause references both views.
-        let views: Vec<_> = e.atoms().into_iter().filter(|a| a.kind == AtomKind::View).collect();
+        let views: Vec<_> = e
+            .atoms()
+            .into_iter()
+            .filter(|a| a.kind == AtomKind::View)
+            .collect();
         assert_eq!(views.len(), 2);
     }
 
@@ -604,8 +618,14 @@ mod tests {
         assert_eq!(maps.len(), 1);
         assert_eq!(maps[0].out_vars, vec!["o_ordk"]);
         let def = maps[0].definition.to_string();
-        assert!(def.contains("PRICE"), "aggregated value folded into the map: {def}");
-        assert!(!def.contains("o_xch"), "trigger variable must stay outside: {def}");
+        assert!(
+            def.contains("PRICE"),
+            "aggregated value folded into the map: {def}"
+        );
+        assert!(
+            !def.contains("o_xch"),
+            "trigger variable must stay outside: {def}"
+        );
         assert!(e.to_string().contains("o_xch"));
         assert!(report.used_input_var_extraction);
     }
@@ -641,7 +661,10 @@ mod tests {
         let mut reg = MapRegistry::new();
         let mut report = CompileReport::default();
         let options = ho_options();
-        let def = Expr::agg_sum(["ok"], Expr::product_of([Expr::rel("LI", ["ok", "q"]), Expr::var("q")]));
+        let def = Expr::agg_sum(
+            ["ok"],
+            Expr::product_of([Expr::rel("LI", ["ok", "q"]), Expr::var("q")]),
+        );
         {
             let mut mat = Materializer {
                 registry: &mut reg,
@@ -651,13 +674,21 @@ mod tests {
                 avoid: None,
                 name_hint: "q".into(),
             };
-            let m1 = mat.materialize_monomial(&Monomial::of(vec![def.clone()]), &["ok".to_string()], &bound(&[]));
+            let m1 = mat.materialize_monomial(
+                &Monomial::of(vec![def.clone()]),
+                &["ok".to_string()],
+                &bound(&[]),
+            );
             // Same definition with renamed variables: must reuse the same map.
             let def2 = Expr::agg_sum(
                 ["o2"],
                 Expr::product_of([Expr::rel("LI", ["o2", "q2"]), Expr::var("q2")]),
             );
-            let m2 = mat.materialize_monomial(&Monomial::of(vec![def2]), &["o2".to_string()], &bound(&[]));
+            let m2 = mat.materialize_monomial(
+                &Monomial::of(vec![def2]),
+                &["o2".to_string()],
+                &bound(&[]),
+            );
             let name1 = match &m1 {
                 Expr::Rel(r) => r.name.clone(),
                 other => panic!("expected view ref, got {other}"),

@@ -31,7 +31,10 @@ pub struct RelationMeta {
 
 impl RelationMeta {
     /// A stream relation.
-    pub fn stream<S: Into<String>>(name: impl Into<String>, columns: impl IntoIterator<Item = S>) -> Self {
+    pub fn stream<S: Into<String>>(
+        name: impl Into<String>,
+        columns: impl IntoIterator<Item = S>,
+    ) -> Self {
         RelationMeta {
             name: name.into(),
             columns: columns.into_iter().map(Into::into).collect(),
@@ -40,7 +43,10 @@ impl RelationMeta {
     }
 
     /// A static table.
-    pub fn table<S: Into<String>>(name: impl Into<String>, columns: impl IntoIterator<Item = S>) -> Self {
+    pub fn table<S: Into<String>>(
+        name: impl Into<String>,
+        columns: impl IntoIterator<Item = S>,
+    ) -> Self {
         RelationMeta {
             name: name.into(),
             columns: columns.into_iter().map(Into::into).collect(),
@@ -184,7 +190,14 @@ impl Statement {
 impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.loop_vars.is_empty() {
-            write!(f, "{}[{}] {} {}", self.target, self.key_vars.join(", "), self.op, self.rhs)
+            write!(
+                f,
+                "{}[{}] {} {}",
+                self.target,
+                self.key_vars.join(", "),
+                self.op,
+                self.rhs
+            )
         } else {
             write!(
                 f,
@@ -218,7 +231,11 @@ impl fmt::Display for Trigger {
         writeln!(
             f,
             "on {} into {} values ({}):",
-            if self.sign == UpdateSign::Insert { "insert" } else { "delete" },
+            if self.sign == UpdateSign::Insert {
+                "insert"
+            } else {
+                "delete"
+            },
             self.relation,
             self.trigger_vars.join(", ")
         )?;
@@ -321,7 +338,13 @@ impl fmt::Display for TriggerProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "-- maps --")?;
         for m in &self.maps {
-            writeln!(f, "{}[{}] := {}", m.name, m.out_vars.join(", "), m.definition)?;
+            writeln!(
+                f,
+                "{}[{}] := {}",
+                m.name,
+                m.out_vars.join(", "),
+                m.definition
+            )?;
         }
         writeln!(f, "-- triggers --")?;
         for t in &self.triggers {

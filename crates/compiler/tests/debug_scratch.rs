@@ -4,11 +4,32 @@ use dbtoaster_sql::{parse_query, translate, SqlCatalog, TableDef};
 
 fn tpch_sql_catalog() -> SqlCatalog {
     [
-        TableDef::stream("Customer", ["custkey", "nationkey", "mktsegment", "acctbal"]),
-        TableDef::stream("Orders", ["orderkey", "custkey", "orderdate", "orderpriority", "totalprice"]),
+        TableDef::stream(
+            "Customer",
+            ["custkey", "nationkey", "mktsegment", "acctbal"],
+        ),
+        TableDef::stream(
+            "Orders",
+            [
+                "orderkey",
+                "custkey",
+                "orderdate",
+                "orderpriority",
+                "totalprice",
+            ],
+        ),
         TableDef::stream(
             "Lineitem",
-            ["orderkey", "partkey", "suppkey", "quantity", "extendedprice", "discount", "shipdate", "returnflag"],
+            [
+                "orderkey",
+                "partkey",
+                "suppkey",
+                "quantity",
+                "extendedprice",
+                "discount",
+                "shipdate",
+                "returnflag",
+            ],
         ),
     ]
     .into_iter()
@@ -71,27 +92,94 @@ fn q18a_step_by_step_against_reevaluation() {
     let specs: Vec<QuerySpec> = plan
         .views
         .iter()
-        .map(|v| QuerySpec { name: v.name.clone(), out_vars: v.out_vars.clone(), expr: v.expr.clone() })
+        .map(|v| QuerySpec {
+            name: v.name.clone(),
+            out_vars: v.out_vars.clone(),
+            expr: v.expr.clone(),
+        })
         .collect();
     let cat = compiler_catalog(&sqlcat);
-    let ho = compile(&specs, &cat, &CompileOptions::for_mode(CompileMode::HigherOrder)).unwrap();
+    let ho = compile(
+        &specs,
+        &cat,
+        &CompileOptions::for_mode(CompileMode::HigherOrder),
+    )
+    .unwrap();
     println!("== HO program ==\n{ho}");
-    let rep = compile(&specs, &cat, &CompileOptions::for_mode(CompileMode::Reevaluate)).unwrap();
+    let rep = compile(
+        &specs,
+        &cat,
+        &CompileOptions::for_mode(CompileMode::Reevaluate),
+    )
+    .unwrap();
     let mut e_ho = Engine::new(ho, &cat);
     let mut e_rep = Engine::new(rep, &cat);
 
-    let cust = |ck: i64| UpdateEvent::insert("Customer", vec![Value::long(ck), Value::long(0), Value::str("B"), Value::double(1.0)]);
-    let ord = |ok: i64, ck: i64| UpdateEvent::insert("Orders", vec![Value::long(ok), Value::long(ck), Value::long(19950101), Value::str("1-URGENT"), Value::double(1.0)]);
-    let li = |ok: i64, qty: i64| UpdateEvent::insert("Lineitem", vec![Value::long(ok), Value::long(1), Value::long(1), Value::long(qty), Value::double(1.0), Value::double(0.0), Value::long(19950101), Value::str("N")]);
-    let li_del = |ok: i64, qty: i64| UpdateEvent::delete("Lineitem", vec![Value::long(ok), Value::long(1), Value::long(1), Value::long(qty), Value::double(1.0), Value::double(0.0), Value::long(19950101), Value::str("N")]);
+    let cust = |ck: i64| {
+        UpdateEvent::insert(
+            "Customer",
+            vec![
+                Value::long(ck),
+                Value::long(0),
+                Value::str("B"),
+                Value::double(1.0),
+            ],
+        )
+    };
+    let ord = |ok: i64, ck: i64| {
+        UpdateEvent::insert(
+            "Orders",
+            vec![
+                Value::long(ok),
+                Value::long(ck),
+                Value::long(19950101),
+                Value::str("1-URGENT"),
+                Value::double(1.0),
+            ],
+        )
+    };
+    let li = |ok: i64, qty: i64| {
+        UpdateEvent::insert(
+            "Lineitem",
+            vec![
+                Value::long(ok),
+                Value::long(1),
+                Value::long(1),
+                Value::long(qty),
+                Value::double(1.0),
+                Value::double(0.0),
+                Value::long(19950101),
+                Value::str("N"),
+            ],
+        )
+    };
+    let li_del = |ok: i64, qty: i64| {
+        UpdateEvent::delete(
+            "Lineitem",
+            vec![
+                Value::long(ok),
+                Value::long(1),
+                Value::long(1),
+                Value::long(qty),
+                Value::double(1.0),
+                Value::double(0.0),
+                Value::long(19950101),
+                Value::str("N"),
+            ],
+        )
+    };
 
     let events = vec![
-        cust(1), cust(2), ord(10, 1), ord(20, 2),
-        li(10, 60), li(10, 30),      // order 10 total 90 (below threshold)
-        li(20, 150),                 // order 20 total 150 (above)
-        li(10, 50),                  // order 10 now 140 (crosses threshold)
-        li_del(10, 60),              // order 10 back to 80 (drops below)
-        li(20, 10),                  // order 20 total 160
+        cust(1),
+        cust(2),
+        ord(10, 1),
+        ord(20, 2),
+        li(10, 60),
+        li(10, 30),     // order 10 total 90 (below threshold)
+        li(20, 150),    // order 20 total 150 (above)
+        li(10, 50),     // order 10 now 140 (crosses threshold)
+        li_del(10, 60), // order 10 back to 80 (drops below)
+        li(20, 10),     // order 20 total 160
     ];
     for (i, ev) in events.iter().enumerate() {
         e_ho.process(ev).unwrap();
@@ -117,7 +205,11 @@ fn print_q22a_program() {
     let specs: Vec<QuerySpec> = plan
         .views
         .iter()
-        .map(|v| QuerySpec { name: v.name.clone(), out_vars: v.out_vars.clone(), expr: v.expr.clone() })
+        .map(|v| QuerySpec {
+            name: v.name.clone(),
+            out_vars: v.out_vars.clone(),
+            expr: v.expr.clone(),
+        })
         .collect();
     let cat = compiler_catalog(&sqlcat);
     let prog = compile(&specs, &cat, &CompileOptions::default()).unwrap();

@@ -49,7 +49,11 @@ fn example10_insert_trigger_uses_decomposed_maps() {
     assert_eq!(views.len(), 2, "{q_stmt}");
     for v in &views {
         let decl = prog.map(v).unwrap();
-        assert_eq!(decl.out_vars.len(), 1, "decomposed map {v} must have one key column");
+        assert_eq!(
+            decl.out_vars.len(),
+            1,
+            "decomposed map {v} must have one key column"
+        );
     }
     assert!(prog.report.used_decomposition);
 }
@@ -96,10 +100,7 @@ fn q18a_style_program_shape() {
     // Every map definition is closed: no unbound input variables.
     for m in &prog.maps {
         let inputs = dbtoaster_agca::input_vars(&m.definition);
-        let foreign: Vec<_> = inputs
-            .iter()
-            .filter(|v| !m.out_vars.contains(v))
-            .collect();
+        let foreign: Vec<_> = inputs.iter().filter(|v| !m.out_vars.contains(v)).collect();
         assert!(
             foreign.is_empty(),
             "map {} has unbound input variables {foreign:?}: {}",
@@ -146,14 +147,23 @@ fn compiled_programs_are_well_formed() {
         let map_names: Vec<&str> = prog.maps.iter().map(|m| m.name.as_str()).collect();
         for t in &prog.triggers {
             for s in &t.statements {
-                assert!(map_names.contains(&s.target.as_str()), "unknown target in {s}");
+                assert!(
+                    map_names.contains(&s.target.as_str()),
+                    "unknown target in {s}"
+                );
                 for read in s.reads() {
-                    assert!(map_names.contains(&read.as_str()), "unknown view {read} in {s}");
+                    assert!(
+                        map_names.contains(&read.as_str()),
+                        "unknown view {read} in {s}"
+                    );
                 }
                 for kv in &s.key_vars {
                     let bound = t.trigger_vars.contains(kv);
                     let looped = s.loop_vars.contains(kv);
-                    assert!(bound || looped, "[{mode}] key variable {kv} of {s} is neither bound nor looped");
+                    assert!(
+                        bound || looped,
+                        "[{mode}] key variable {kv} of {s} is neither bound nor looped"
+                    );
                 }
             }
         }

@@ -68,7 +68,11 @@ pub fn to_compiler_catalog(catalog: &SqlCatalog) -> Catalog {
         .map(|t| RelationMeta {
             name: t.name.clone(),
             columns: t.columns.clone(),
-            kind: if t.is_stream { AtomKind::Stream } else { AtomKind::Table },
+            kind: if t.is_stream {
+                AtomKind::Stream
+            } else {
+                AtomKind::Table
+            },
         })
         .collect()
 }
@@ -114,8 +118,7 @@ impl QueryEngineBuilder {
         let mut specs: Vec<QuerySpec> = Vec::new();
         let mut plans: Vec<TranslatedQuery> = Vec::new();
         for (name, sql) in &self.queries {
-            let parsed =
-                parse_query(sql).map_err(|e| DbToasterError::Parse(name.clone(), e))?;
+            let parsed = parse_query(sql).map_err(|e| DbToasterError::Parse(name.clone(), e))?;
             let plan = translate(name, &parsed, &self.catalog)
                 .map_err(|e| DbToasterError::Translate(name.clone(), e))?;
             for v in &plan.views {
@@ -170,7 +173,11 @@ impl ResultTable {
     /// The single scalar value of a grand-total query (first aggregate of the only row),
     /// or 0.0 when the result is empty.
     pub fn scalar(&self) -> f64 {
-        self.rows.first().and_then(|r| r.values.first()).copied().unwrap_or(0.0)
+        self.rows
+            .first()
+            .and_then(|r| r.values.first())
+            .copied()
+            .unwrap_or(0.0)
     }
 }
 
@@ -204,7 +211,9 @@ impl QueryEngine {
 
     /// Initialize static views after all tables have been loaded.
     pub fn init(&mut self) -> Result<(), DbToasterError> {
-        self.engine.init_static_views().map_err(DbToasterError::from)
+        self.engine
+            .init_static_views()
+            .map_err(DbToasterError::from)
     }
 
     /// Process one update event.
@@ -246,12 +255,16 @@ impl QueryEngine {
         }
 
         // Collect every key that appears in any aggregate view.
-        let mut keys: Vec<Vec<Value>> = Vec::new();
+        let mut keys: Vec<dbtoaster_gmr::Tuple> = Vec::new();
         let mut view_snapshots: HashMap<&str, Gmr> = HashMap::new();
         for out in &plan.outputs {
             let names: Vec<&str> = match out {
                 OutputColumn::Aggregate { view, .. } => vec![view.as_str()],
-                OutputColumn::Average { sum_view, count_view, .. } => {
+                OutputColumn::Average {
+                    sum_view,
+                    count_view,
+                    ..
+                } => {
                     vec![sum_view.as_str(), count_view.as_str()]
                 }
                 OutputColumn::GroupBy { .. } => vec![],
@@ -270,7 +283,7 @@ impl QueryEngine {
             }
         }
         if keys.is_empty() && plan.group_by.is_empty() {
-            keys.push(Vec::new());
+            keys.push(dbtoaster_gmr::Tuple::new());
         }
 
         let key_positions: HashMap<&str, usize> = plan
@@ -293,14 +306,21 @@ impl QueryEngine {
                     OutputColumn::Aggregate { view, .. } => {
                         values.push(view_snapshots[view.as_str()].get(&key));
                     }
-                    OutputColumn::Average { sum_view, count_view, .. } => {
+                    OutputColumn::Average {
+                        sum_view,
+                        count_view,
+                        ..
+                    } => {
                         let s = view_snapshots[sum_view.as_str()].get(&key);
                         let c = view_snapshots[count_view.as_str()].get(&key);
                         values.push(if c == 0.0 { 0.0 } else { s / c });
                     }
                 }
             }
-            rows.push(ResultRow { key, values });
+            rows.push(ResultRow {
+                key: key.to_vec(),
+                values,
+            });
         }
         Ok(ResultTable { columns, rows })
     }
@@ -352,10 +372,16 @@ mod tests {
         engine.init().unwrap();
         engine
             .process_all(&[
-                insert("Orders", vec![Value::long(1), Value::long(10), Value::double(2.0)]),
+                insert(
+                    "Orders",
+                    vec![Value::long(1), Value::long(10), Value::double(2.0)],
+                ),
                 insert("Lineitem", vec![Value::long(1), Value::double(100.0)]),
                 insert("Lineitem", vec![Value::long(1), Value::double(50.0)]),
-                insert("Orders", vec![Value::long(2), Value::long(11), Value::double(3.0)]),
+                insert(
+                    "Orders",
+                    vec![Value::long(2), Value::long(11), Value::double(3.0)],
+                ),
                 insert("Lineitem", vec![Value::long(2), Value::double(10.0)]),
             ])
             .unwrap();
@@ -427,7 +453,10 @@ mod tests {
     #[test]
     fn all_modes_agree_on_a_simple_join() {
         let events = vec![
-            insert("Orders", vec![Value::long(1), Value::long(5), Value::double(2.0)]),
+            insert(
+                "Orders",
+                vec![Value::long(1), Value::long(5), Value::double(2.0)],
+            ),
             insert("Lineitem", vec![Value::long(1), Value::double(7.0)]),
             UpdateEvent::delete("Lineitem", vec![Value::long(1), Value::double(7.0)]),
             insert("Lineitem", vec![Value::long(1), Value::double(9.0)]),
@@ -450,6 +479,9 @@ mod tests {
             engine.process_all(&events).unwrap();
             answers.push(engine.result("total").unwrap().scalar());
         }
-        assert!(answers.iter().all(|a| (*a - 18.0).abs() < 1e-9), "{answers:?}");
+        assert!(
+            answers.iter().all(|a| (*a - 18.0).abs() < 1e-9),
+            "{answers:?}"
+        );
     }
 }

@@ -58,9 +58,7 @@ pub use dbtoaster_workloads as workloads;
 
 /// Everything needed for typical use.
 pub mod prelude {
-    pub use crate::api::{
-        DbToasterError, QueryEngine, QueryEngineBuilder, ResultRow, ResultTable,
-    };
+    pub use crate::api::{DbToasterError, QueryEngine, QueryEngineBuilder, ResultRow, ResultTable};
     pub use dbtoaster_agca::{UpdateEvent, UpdateSign};
     pub use dbtoaster_compiler::{CompileMode, CompileOptions};
     pub use dbtoaster_gmr::{Gmr, Schema, Value};

@@ -9,17 +9,20 @@
 //! Multiplicities are `f64` at runtime; exactly-zero entries are removed eagerly so that
 //! an insertion followed by the corresponding deletion restores the original GMR.
 
+use crate::hash::{fast_map_with_capacity, FastMap, FastSet};
 use crate::schema::Schema;
 use crate::tuple::{self, Tuple};
 use crate::value::Value;
-use std::collections::HashMap;
 use std::fmt;
 
 /// A generalized multiset relation: a finite map from tuples to `f64` multiplicities.
+///
+/// Keys are [`Tuple`]s (inline up to arity `INLINE_CAP` (3)) in a [`FastMap`], so single-tuple
+/// updates and probes are one cheap hash away and never clone key vectors.
 #[derive(Clone, Debug, Default)]
 pub struct Gmr {
     schema: Schema,
-    data: HashMap<Tuple, f64>,
+    data: FastMap<Tuple, f64>,
 }
 
 impl Gmr {
@@ -27,7 +30,7 @@ impl Gmr {
     pub fn new(schema: Schema) -> Self {
         Gmr {
             schema,
-            data: HashMap::new(),
+            data: FastMap::default(),
         }
     }
 
@@ -35,7 +38,7 @@ impl Gmr {
     pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
         Gmr {
             schema,
-            data: HashMap::with_capacity(capacity),
+            data: fast_map_with_capacity(capacity),
         }
     }
 
@@ -47,7 +50,7 @@ impl Gmr {
     }
 
     /// A singleton GMR `{t -> mult}`.
-    pub fn singleton(schema: Schema, t: Tuple, mult: f64) -> Self {
+    pub fn singleton(schema: Schema, t: impl Into<Tuple>, mult: f64) -> Self {
         let mut g = Gmr::new(schema);
         g.add_tuple(t, mult);
         g
@@ -84,10 +87,11 @@ impl Gmr {
     }
 
     /// Add `mult` to the multiplicity of `t`, removing the entry if it becomes zero.
-    pub fn add_tuple(&mut self, t: Tuple, mult: f64) {
+    pub fn add_tuple(&mut self, t: impl Into<Tuple>, mult: f64) {
         if mult == 0.0 {
             return;
         }
+        let t = t.into();
         debug_assert_eq!(
             t.len(),
             self.schema.arity(),
@@ -176,15 +180,18 @@ impl Gmr {
         if shared.is_empty() {
             for (lt, lm) in self.iter() {
                 for (rt, rm) in other.iter() {
-                    let mut t = lt.clone();
-                    t.extend(other_new.iter().map(|&j| rt[j].clone()));
+                    let t: Tuple = lt
+                        .iter()
+                        .cloned()
+                        .chain(other_new.iter().map(|&j| rt[j].clone()))
+                        .collect();
                     out.add_tuple(t, lm * rm);
                 }
             }
             return out;
         }
 
-        let mut index: HashMap<Tuple, Vec<(&Tuple, f64)>> = HashMap::with_capacity(other.len());
+        let mut index: FastMap<Tuple, Vec<(&Tuple, f64)>> = fast_map_with_capacity(other.len());
         let other_shared: Vec<usize> = shared.iter().map(|&(_, j)| j).collect();
         for (rt, rm) in other.iter() {
             index
@@ -197,8 +204,11 @@ impl Gmr {
             let key = tuple::project(lt, &self_shared);
             if let Some(matches) = index.get(&key) {
                 for (rt, rm) in matches {
-                    let mut t = lt.clone();
-                    t.extend(other_new.iter().map(|&j| rt[j].clone()));
+                    let t: Tuple = lt
+                        .iter()
+                        .cloned()
+                        .chain(other_new.iter().map(|&j| rt[j].clone()))
+                        .collect();
                     out.add_tuple(t, lm * rm);
                 }
             }
@@ -247,19 +257,31 @@ impl Gmr {
     }
 
     /// Total number of heap bytes used by this GMR (approximate; used for the memory
-    /// traces of Figures 8–10).
+    /// traces of Figures 8–10). Inline tuples cost only their map slot; spilled
+    /// tuples add their shared value slab (counted once — slabs are not shared
+    /// between entries in practice).
     pub fn approx_bytes(&self) -> usize {
         let per_value = std::mem::size_of::<Value>();
         let per_entry = std::mem::size_of::<Tuple>() + std::mem::size_of::<f64>() + 16;
         self.data
-            .iter()
-            .map(|(t, _)| per_entry + t.len() * per_value)
+            .keys()
+            .map(|t| {
+                per_entry
+                    + if t.is_inline() {
+                        0
+                    } else {
+                        t.len() * per_value + 16
+                    }
+            })
             .sum()
     }
 
     /// Reorder the columns of this GMR to the given schema (must be the same column set).
     pub fn reorder(&self, target: &Schema) -> Gmr {
-        assert!(self.schema.same_columns(target), "schema mismatch in reorder");
+        assert!(
+            self.schema.same_columns(target),
+            "schema mismatch in reorder"
+        );
         if &self.schema == target {
             return self.clone();
         }
@@ -281,15 +303,17 @@ impl Gmr {
         if !self.schema.same_columns(&other.schema) {
             return self.is_empty() && other.is_empty();
         }
+        // Reorder once when the column orders differ; borrow otherwise.
+        let reordered;
         let other = if self.schema == other.schema {
-            other.clone()
+            other
         } else {
-            other.reorder(&self.schema)
+            reordered = other.reorder(&self.schema);
+            &reordered
         };
-        if self.len() != other.len() {
-            // Entries could still cancel out within eps; do the full check.
-        }
-        let mut keys: std::collections::HashSet<&Tuple> = self.data.keys().collect();
+        // A length mismatch is not conclusive: entries may still agree within
+        // eps of zero, so always do the full symmetric check.
+        let mut keys: FastSet<&Tuple> = self.data.keys().collect();
         keys.extend(other.data.keys());
         keys.iter()
             .all(|k| (self.get(k) - other.get(k)).abs() <= eps)
@@ -321,7 +345,8 @@ mod tests {
     fn rel(cols: &[&str], rows: &[(&[i64], f64)]) -> Gmr {
         let mut g = Gmr::new(Schema::new(cols.iter().copied()));
         for (vals, m) in rows {
-            g.add_tuple(vals.iter().map(|&v| Value::long(v)).collect(), *m);
+            let t: Tuple = vals.iter().map(|&v| Value::long(v)).collect();
+            g.add_tuple(t, *m);
         }
         g
     }
@@ -360,7 +385,10 @@ mod tests {
         let j = r.join(&s);
         assert_eq!(j.schema().columns(), &["a", "b", "c"]);
         assert_eq!(j.len(), 1);
-        assert_eq!(j.get(&[Value::long(1), Value::long(2), Value::long(7)]), 6.0);
+        assert_eq!(
+            j.get(&[Value::long(1), Value::long(2), Value::long(7)]),
+            6.0
+        );
     }
 
     #[test]
@@ -383,7 +411,10 @@ mod tests {
 
     #[test]
     fn agg_sum_projects_and_sums() {
-        let r = rel(&["a", "b"], &[(&[1, 2], 7.0), (&[4, 2], 1.0), (&[3, 5], 2.0)]);
+        let r = rel(
+            &["a", "b"],
+            &[(&[1, 2], 7.0), (&[4, 2], 1.0), (&[3, 5], 2.0)],
+        );
         let g = r.agg_sum(&["b".to_string()]);
         assert_eq!(g.get(&[Value::long(2)]), 8.0);
         assert_eq!(g.get(&[Value::long(5)]), 2.0);

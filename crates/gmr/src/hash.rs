@@ -1,0 +1,145 @@
+//! Fast hashing for the hot-path maps.
+//!
+//! Every per-event operation of the runtime ends in a hash-map probe: view-map
+//! updates, secondary-index lookups and GMR ring operations. The std
+//! `RandomState` (SipHash-1-3) is DoS-resistant but costs tens of cycles per
+//! key; the keys here are short tuples of in-process values, so the engine
+//! uses an FxHash-style multiply-xor hasher instead (the same design rustc
+//! uses for its interning tables). [`FastMap`] / [`FastSet`] are the
+//! workspace-wide aliases; all gmr/agca/runtime/compiler maps on the per-event
+//! path use them.
+//!
+//! The hasher is deterministic (no per-process seed), which also makes
+//! benchmark runs and test failures reproducible.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// An FxHash-style hasher: one rotate + xor + multiply per 8-byte word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// 2^64 / phi, the classic Fibonacci-hashing multiplier.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Finalizer (murmur-style): the word loop ends in a multiply, which
+        // concentrates entropy in the high bits, while hash tables index
+        // buckets with the low bits — and the dominant key material here is
+        // `f64` bit patterns (see `Value::numeric_bits`), whose own low bits
+        // are mostly zero for integral values. Two xor-shift + multiply
+        // rounds spread the entropy across all 64 bits.
+        let mut h = self.hash;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add_to_hash(v as u64);
+        self.add_to_hash((v >> 64) as u64);
+    }
+}
+
+/// The hasher-builder used by [`FastMap`] / [`FastSet`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` with the fast deterministic hasher. Construct with
+/// `FastMap::default()` or [`fast_map_with_capacity`].
+pub type FastMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` with the fast deterministic hasher.
+pub type FastSet<K> = HashSet<K, FxBuildHasher>;
+
+/// `FastMap` equivalent of `HashMap::with_capacity`.
+#[inline]
+pub fn fast_map_with_capacity<K, V>(capacity: usize) -> FastMap<K, V> {
+    FastMap::with_capacity_and_hasher(capacity, FxBuildHasher::default())
+}
+
+/// `FastSet` equivalent of `HashSet::with_capacity`.
+#[inline]
+pub fn fast_set_with_capacity<K>(capacity: usize) -> FastSet<K> {
+    FastSet::with_capacity_and_hasher(capacity, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_ne!(hash_of(&42u64), hash_of(&43u64));
+        assert_ne!(hash_of(&"abc"), hash_of(&"abd"));
+        // Not a constant function on multi-word input.
+        assert_ne!(hash_of(&[1u64, 2u64]), hash_of(&[2u64, 1u64]));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FastMap<String, i32> = FastMap::default();
+        m.insert("a".into(), 1);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FastSet<u64> = fast_set_with_capacity(4);
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+}

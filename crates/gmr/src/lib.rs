@@ -21,8 +21,10 @@
 //!
 //! * [`value`] — the dynamically typed [`Value`](value::Value) scalar (64-bit integers,
 //!   doubles and interned strings) with the coercion rules used throughout the system.
-//! * [`tuple`] — tuples as ordered vectors of values plus helpers for projection and
-//!   concatenation.
+//! * [`tuple`] — the shared [`Tuple`](tuple::Tuple) key type (inline up to arity `INLINE_CAP` (3),
+//!   cheap to clone) plus helpers for projection and concatenation.
+//! * [`hash`] — the fast deterministic hasher behind [`FastMap`](hash::FastMap), used
+//!   by every hot-path map in the system.
 //! * [`schema`] — ordered column-name lists and positional lookup.
 //! * [`gmr`] — the [`Gmr`](gmr::Gmr) collection type and its ring operations.
 //! * [`rational`] — an exact rational number type used by the algebraic property tests
@@ -49,12 +51,14 @@
 //! ```
 
 pub mod gmr;
+pub mod hash;
 pub mod rational;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
 pub use gmr::Gmr;
+pub use hash::{FastMap, FastSet, FxBuildHasher, FxHasher};
 pub use rational::Rational;
 pub use schema::Schema;
 pub use tuple::Tuple;
@@ -63,6 +67,7 @@ pub use value::Value;
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::gmr::Gmr;
+    pub use crate::hash::{FastMap, FastSet};
     pub use crate::rational::Rational;
     pub use crate::schema::Schema;
     pub use crate::tuple::Tuple;

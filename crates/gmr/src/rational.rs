@@ -101,6 +101,7 @@ impl Mul for Rational {
 
 impl Div for Rational {
     type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division as multiply-by-reciprocal
     fn div(self, rhs: Rational) -> Rational {
         self * rhs.recip()
     }

@@ -3,14 +3,20 @@
 //! In AGCA the columns of a GMR are query variables; a schema is therefore an ordered
 //! list of variable names. Schemas are small (a handful of columns), so lookups are
 //! linear scans — cheaper than a hash map at these sizes and free of allocation.
+//!
+//! The column list is stored behind an `Arc`, making `Schema::clone` a refcount bump:
+//! the evaluator clones schemas on every product step and every GMR construction, so
+//! this matters on the per-event path. Schemas are immutable after construction except
+//! for [`Schema::push`], which copies (it only runs at compile time).
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// An ordered list of column names.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub struct Schema {
-    columns: Vec<String>,
+    columns: Arc<[String]>,
 }
 
 impl Schema {
@@ -21,13 +27,17 @@ impl Schema {
         S: Into<String>,
     {
         Schema {
-            columns: columns.into_iter().map(Into::into).collect(),
+            columns: columns
+                .into_iter()
+                .map(Into::into)
+                .collect::<Vec<String>>()
+                .into(),
         }
     }
 
     /// The empty (nullary) schema of scalar GMRs.
     pub fn empty() -> Self {
-        Schema { columns: Vec::new() }
+        Schema::default()
     }
 
     /// Column names in order.
@@ -72,13 +82,18 @@ impl Schema {
     /// Schema of the natural join `self * other`: self's columns followed by other's
     /// columns that are not already present.
     pub fn join(&self, other: &Schema) -> Schema {
-        let mut columns = self.columns.clone();
-        for c in &other.columns {
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut columns = self.columns.to_vec();
+        for c in other.columns.iter() {
             if !columns.iter().any(|x| x == c) {
                 columns.push(c.clone());
             }
         }
-        Schema { columns }
+        Schema {
+            columns: columns.into(),
+        }
     }
 
     /// Do the two schemas contain the same column set (ignoring order)?
@@ -90,7 +105,9 @@ impl Schema {
     pub fn push(&mut self, name: impl Into<String>) {
         let name = name.into();
         assert!(!self.contains(&name), "duplicate column {name}");
-        self.columns.push(name);
+        let mut columns = self.columns.to_vec();
+        columns.push(name);
+        self.columns = columns.into();
     }
 }
 
@@ -117,10 +134,7 @@ mod tests {
         assert_eq!(s.index_of("b"), Some(1));
         assert_eq!(s.index_of("z"), None);
         assert!(s.contains("c"));
-        assert_eq!(
-            s.positions_of(&["c".into(), "a".into()]),
-            Some(vec![2, 0])
-        );
+        assert_eq!(s.positions_of(&["c".into(), "a".into()]), Some(vec![2, 0]));
         assert_eq!(s.positions_of(&["c".into(), "z".into()]), None);
     }
 

@@ -11,20 +11,20 @@ use proptest::prelude::*;
 /// A random GMR over the given columns with small integer keys and multiplicities.
 fn arb_gmr(columns: &'static [&'static str]) -> impl Strategy<Value = Gmr> {
     let arity = columns.len();
-    prop::collection::vec(
-        (
-            prop::collection::vec(0i64..6, arity),
-            -4i64..5,
-        ),
-        0..12,
+    prop::collection::vec((prop::collection::vec(0i64..6, arity), -4i64..5), 0..12).prop_map(
+        move |rows| {
+            let mut g = Gmr::new(Schema::new(columns.iter().copied()));
+            for (key, mult) in rows {
+                g.add_tuple(
+                    key.into_iter()
+                        .map(Value::long)
+                        .collect::<dbtoaster_gmr::Tuple>(),
+                    mult as f64,
+                );
+            }
+            g
+        },
     )
-    .prop_map(move |rows| {
-        let mut g = Gmr::new(Schema::new(columns.iter().copied()));
-        for (key, mult) in rows {
-            g.add_tuple(key.into_iter().map(Value::long).collect(), mult as f64);
-        }
-        g
-    })
 }
 
 fn assert_equiv(a: &Gmr, b: &Gmr) {

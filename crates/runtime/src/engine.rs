@@ -12,10 +12,10 @@
 //! 3. all re-evaluation (`:=`) statements, which read the *new* versions.
 
 use crate::store::Database;
-use dbtoaster_agca::eval::{eval, Bindings, EvalError};
+use dbtoaster_agca::eval::{eval_with, Bindings, EvalError};
 use dbtoaster_agca::{UpdateEvent, UpdateSign};
 use dbtoaster_compiler::{Catalog, ResultAccess, Statement, StmtOp, TriggerProgram};
-use dbtoaster_gmr::{Gmr, Value};
+use dbtoaster_gmr::{Gmr, Tuple, Value};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -31,7 +31,11 @@ pub enum RuntimeError {
     /// right-hand side.
     MissingKeyVariable { statement: String, variable: String },
     /// An event's tuple arity does not match the trigger's variables.
-    EventArityMismatch { relation: String, expected: usize, actual: usize },
+    EventArityMismatch {
+        relation: String,
+        expected: usize,
+        actual: usize,
+    },
     /// The named query is not part of the compiled program.
     UnknownQuery(String),
 }
@@ -41,10 +45,20 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::Eval(e) => write!(f, "evaluation error: {e}"),
             RuntimeError::UnknownView(v) => write!(f, "unknown view {v}"),
-            RuntimeError::MissingKeyVariable { statement, variable } => {
-                write!(f, "key variable {variable} not available in statement {statement}")
+            RuntimeError::MissingKeyVariable {
+                statement,
+                variable,
+            } => {
+                write!(
+                    f,
+                    "key variable {variable} not available in statement {statement}"
+                )
             }
-            RuntimeError::EventArityMismatch { relation, expected, actual } => write!(
+            RuntimeError::EventArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "event for {relation} has {actual} values, trigger expects {expected}"
             ),
@@ -124,7 +138,11 @@ impl Engine {
         for m in &program.maps {
             db.declare(m.name.clone(), m.out_vars.iter().cloned());
         }
-        for rel in program.stored_relations.iter().chain(program.static_tables.iter()) {
+        for rel in program
+            .stored_relations
+            .iter()
+            .chain(program.static_tables.iter())
+        {
             if db.contains(rel) {
                 continue;
             }
@@ -132,7 +150,7 @@ impl Engine {
                 .get(rel)
                 .map(|r| r.columns.clone())
                 .unwrap_or_default();
-            db.declare(rel.clone(), columns.into_iter());
+            db.declare(rel.clone(), columns);
         }
         Engine {
             program: Arc::new(program),
@@ -149,16 +167,18 @@ impl Engine {
     /// Load the contents of a static table (each row with multiplicity 1). Call
     /// [`Engine::init_static_views`] after all tables are loaded.
     pub fn load_table(&mut self, name: &str, rows: impl IntoIterator<Item = Vec<Value>>) {
+        let mut rows = rows.into_iter();
         if !self.db.contains(name) {
-            // Declare on the fly for tables that only appear in view definitions.
-            let arity = rows.into_iter().next().map(|r| {
-                let a = r.len();
-                self.db.declare(name.to_string(), (0..a).map(|i| format!("c{i}")));
-                self.db.view_mut(name).unwrap().add(r, 1.0);
-                a
-            });
-            let _ = arity;
-            return;
+            // Declare on the fly for tables that only appear in view definitions,
+            // taking the arity from the first row.
+            match rows.next() {
+                Some(first) => {
+                    self.db
+                        .declare(name.to_string(), (0..first.len()).map(|i| format!("c{i}")));
+                    self.db.view_mut(name).unwrap().add(first, 1.0);
+                }
+                None => return,
+            }
         }
         let view = self.db.view_mut(name).expect("declared above");
         for r in rows {
@@ -174,7 +194,7 @@ impl Engine {
             if !m.init_from_tables {
                 continue;
             }
-            let result = eval(&m.definition, &self.db, &Bindings::new())?;
+            let result = eval_with(&m.definition, &self.db, &mut Bindings::new())?;
             if let Some(view) = self.db.view_mut(&m.name) {
                 view.load_gmr(&result);
             }
@@ -205,14 +225,22 @@ impl Engine {
             }
 
             // Phase 1: incremental statements read the old state.
-            for stmt in trigger.statements.iter().filter(|s| s.op == StmtOp::Increment) {
-                self.exec_statement(stmt, &bindings)?;
+            for stmt in trigger
+                .statements
+                .iter()
+                .filter(|s| s.op == StmtOp::Increment)
+            {
+                self.exec_statement(stmt, &mut bindings)?;
             }
             // Phase 2: reflect the update in the stored base relation (if stored).
             self.apply_base_update(event);
             // Phase 3: re-evaluation statements read the new state.
-            for stmt in trigger.statements.iter().filter(|s| s.op == StmtOp::Replace) {
-                self.exec_statement(stmt, &bindings)?;
+            for stmt in trigger
+                .statements
+                .iter()
+                .filter(|s| s.op == StmtOp::Replace)
+            {
+                self.exec_statement(stmt, &mut bindings)?;
             }
         } else {
             // No trigger (e.g. an update to a relation no query depends on): still keep
@@ -238,13 +266,17 @@ impl Engine {
 
     fn apply_base_update(&mut self, event: &UpdateEvent) {
         if let Some(view) = self.db.view_mut(&event.relation) {
-            view.add(event.tuple.clone(), event.sign.multiplier());
+            view.add(event.tuple.as_slice(), event.sign.multiplier());
         }
     }
 
-    fn exec_statement(&mut self, stmt: &Statement, bindings: &Bindings) -> Result<(), RuntimeError> {
+    fn exec_statement(
+        &mut self,
+        stmt: &Statement,
+        bindings: &mut Bindings,
+    ) -> Result<(), RuntimeError> {
         self.stats.statements += 1;
-        let result = eval(&stmt.rhs, &self.db, bindings)?;
+        let result = eval_with(&stmt.rhs, &self.db, bindings)?;
         let target = self
             .db
             .view_mut(&stmt.target)
@@ -256,20 +288,32 @@ impl Engine {
             return Ok(());
         }
         let schema = result.schema().clone();
-        for (row, mult) in result.iter() {
-            let mut key = Vec::with_capacity(stmt.key_vars.len());
-            for kv in &stmt.key_vars {
+        // Resolve each key variable to its source once, outside the row loop:
+        // a trigger binding (range restriction) or a result-column position.
+        let key_sources: Vec<Result<Value, usize>> = stmt
+            .key_vars
+            .iter()
+            .map(|kv| {
                 if let Some(v) = bindings.get(kv) {
-                    key.push(v.clone());
+                    Ok(Ok(v.clone()))
                 } else if let Some(i) = schema.index_of(kv) {
-                    key.push(row[i].clone());
+                    Ok(Err(i))
                 } else {
-                    return Err(RuntimeError::MissingKeyVariable {
+                    Err(RuntimeError::MissingKeyVariable {
                         statement: stmt.to_string(),
                         variable: kv.clone(),
-                    });
+                    })
                 }
-            }
+            })
+            .collect::<Result<_, _>>()?;
+        for (row, mult) in result.iter() {
+            let key: Tuple = key_sources
+                .iter()
+                .map(|s| match s {
+                    Ok(v) => v.clone(),
+                    Err(i) => row[*i].clone(),
+                })
+                .collect();
             target.add(key, mult);
         }
         Ok(())
@@ -290,7 +334,7 @@ impl Engine {
                 .map(|v| v.to_gmr())
                 .ok_or_else(|| RuntimeError::UnknownView(name.clone())),
             ResultAccess::Computed { expr, .. } => {
-                eval(expr, &self.db, &Bindings::new()).map_err(RuntimeError::from)
+                eval_with(expr, &self.db, &mut Bindings::new()).map_err(RuntimeError::from)
             }
         }
     }
@@ -309,7 +353,6 @@ impl Engine {
     pub fn total_entries(&self) -> usize {
         self.db
             .names()
-            .iter()
             .filter_map(|n| self.db.view(n).map(|v| v.len()))
             .sum()
     }
@@ -367,7 +410,12 @@ mod tests {
     }
 
     fn run_example1(mode: CompileMode) -> f64 {
-        let program = compile(&[example1_query()], &catalog(), &CompileOptions::for_mode(mode)).unwrap();
+        let program = compile(
+            &[example1_query()],
+            &catalog(),
+            &CompileOptions::for_mode(mode),
+        )
+        .unwrap();
         let mut engine = Engine::new(program, &catalog());
         engine.init_static_views().unwrap();
         // ||R|| = 2, ||S|| = 3 as in the paper's example table, then the insert sequence

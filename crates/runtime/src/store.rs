@@ -6,26 +6,45 @@
 //! statements actually use. This mirrors Section 7.1 of the paper, where the generated
 //! C++ uses Boost Multi-Index containers with one secondary index per binding pattern.
 //!
-//! Secondary indexes live behind an [`RwLock`] so that read-only evaluation (through the
-//! [`RelationSource`] trait) can build an index on first use; afterwards every partial
-//! lookup is a hash probe, which is what gives compiled trigger statements their
-//! constant-time behaviour.
+//! ## Hot-path design
+//!
+//! * **Keys are [`Tuple`]s** — inline up to arity `INLINE_CAP` (3), cheap to clone (at most a few
+//!   `Value` copies or one `Arc` bump), hashed with the fast deterministic
+//!   [`FastMap`] hasher. A single-tuple view update is one hash probe with no key
+//!   allocation.
+//! * **Cursor reads** — [`ViewMap::for_each`] streams *borrowed* `(&[Value], f64)`
+//!   entries to a visitor; nothing on the read path clones a key. The collecting
+//!   [`ViewMap::lookup`] remains for tests and cold callers.
+//! * **Index maintenance pays only when indexes exist** — [`ViewMap::add`] takes the
+//!   fast path (a single map probe, zero clones) until the first partial-pattern
+//!   lookup creates a secondary index; afterwards inserts clone the (cheap) key only
+//!   when the entry set actually changes.
+//! * **Cost model** — [`ViewMap::approx_bytes`] charges each entry its map-slot
+//!   footprint; spilled (arity > 4) tuples add their shared value slab. `Value`
+//!   itself is 24 bytes inline; string values are interned `Arc<str>`s whose bodies
+//!   are shared, and dates are plain `yyyymmdd` longs, so the slab estimate does not
+//!   double-count string storage.
+//!
+//! Secondary indexes live behind an [`RwLock`] so that read-only evaluation (through
+//! the [`RelationSource`] trait) can build an index on first use; afterwards every
+//! partial lookup is a hash probe, which is what gives compiled trigger statements
+//! their constant-time behaviour.
 
 use dbtoaster_agca::eval::{EvalError, RelationSource};
-use dbtoaster_gmr::{Gmr, Schema, Value};
+use dbtoaster_gmr::hash::fast_map_with_capacity;
+use dbtoaster_gmr::{FastMap, Gmr, Schema, Tuple, Value};
 use parking_lot::RwLock;
-use std::collections::HashMap;
 
-type Index = HashMap<Vec<Value>, Vec<Vec<Value>>>;
+type Index = FastMap<Tuple, Vec<Tuple>>;
 
 /// A materialized view: tuples over a fixed-arity key mapped to `f64` multiplicities,
 /// with secondary hash indexes per binding pattern.
 #[derive(Debug)]
 pub struct ViewMap {
     schema: Schema,
-    data: HashMap<Vec<Value>, f64>,
+    data: FastMap<Tuple, f64>,
     /// Secondary indexes: bitmask of bound key positions → (projected key → full keys).
-    indexes: RwLock<HashMap<u64, Index>>,
+    indexes: RwLock<FastMap<u64, Index>>,
 }
 
 impl Clone for ViewMap {
@@ -43,8 +62,8 @@ impl ViewMap {
     pub fn new(schema: Schema) -> Self {
         ViewMap {
             schema,
-            data: HashMap::new(),
-            indexes: RwLock::new(HashMap::new()),
+            data: FastMap::default(),
+            indexes: RwLock::new(FastMap::default()),
         }
     }
 
@@ -69,24 +88,60 @@ impl ViewMap {
     }
 
     /// Iterate `(key, multiplicity)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, f64)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, f64)> {
         self.data.iter().map(|(k, &m)| (k, m))
     }
 
     /// Add `mult` to the entry for `key`, removing it if the result is zero.
-    pub fn add(&mut self, key: Vec<Value>, mult: f64) {
+    ///
+    /// With no secondary indexes this is a single map probe and never clones
+    /// the key; once indexes exist, the key is cloned only when the entry set
+    /// changes (insert of a new key or removal of a cancelled one).
+    pub fn add(&mut self, key: impl Into<Tuple>, mult: f64) {
         if mult == 0.0 {
             return;
         }
+        let key = key.into();
         debug_assert_eq!(key.len(), self.schema.arity(), "key arity mismatch");
-        let existed = self.data.contains_key(&key);
-        let entry = self.data.entry(key.clone()).or_insert(0.0);
-        *entry += mult;
-        let removed = *entry == 0.0;
-        if removed {
-            self.data.remove(&key);
+        use std::collections::hash_map::Entry;
+
+        let indexes = self.indexes.get_mut();
+        if indexes.is_empty() {
+            // Fast path: no index maintenance, no key clone.
+            match self.data.entry(key) {
+                Entry::Occupied(mut o) => {
+                    let v = o.get_mut();
+                    *v += mult;
+                    if *v == 0.0 {
+                        o.remove();
+                    }
+                }
+                Entry::Vacant(v) => {
+                    v.insert(mult);
+                }
+            }
+            return;
         }
-        let mut indexes = self.indexes.write();
+
+        let (inserted, removed) = match self.data.entry(key.clone()) {
+            Entry::Occupied(mut o) => {
+                let v = o.get_mut();
+                *v += mult;
+                if *v == 0.0 {
+                    o.remove();
+                    (false, true)
+                } else {
+                    (false, false)
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(mult);
+                (true, false)
+            }
+        };
+        if !inserted && !removed {
+            return; // entry set unchanged; indexes stay valid
+        }
         for (mask, index) in indexes.iter_mut() {
             let proj = project_mask(&key, *mask);
             if removed {
@@ -96,7 +151,7 @@ impl ViewMap {
                         index.remove(&proj);
                     }
                 }
-            } else if !existed {
+            } else {
                 index.entry(proj).or_default().push(key.clone());
             }
         }
@@ -105,33 +160,48 @@ impl ViewMap {
     /// Remove all entries (used by `:=` statements).
     pub fn clear(&mut self) {
         self.data.clear();
-        self.indexes.write().clear();
+        self.indexes.get_mut().clear();
     }
 
-    /// Entries matching a partial binding pattern. Builds a secondary index for the
-    /// pattern's mask on first use; subsequent lookups are hash probes.
-    pub fn lookup(&self, pattern: &[Option<Value>]) -> Vec<(Vec<Value>, f64)> {
+    /// Stream the entries matching a partial binding pattern into `visit`,
+    /// borrowing keys straight out of the store. Builds a secondary index for
+    /// the pattern's mask on first use; subsequent lookups are hash probes.
+    pub fn for_each(&self, pattern: &[Option<Value>], visit: &mut dyn FnMut(&[Value], f64)) {
         debug_assert_eq!(pattern.len(), self.schema.arity());
         let mask = pattern_mask(pattern);
         if mask == 0 {
-            return self.data.iter().map(|(k, &m)| (k.clone(), m)).collect();
+            for (k, &m) in self.data.iter() {
+                visit(k, m);
+            }
+            return;
         }
         let arity = self.schema.arity();
         if arity <= 63 && mask == (1u64 << arity) - 1 {
-            let key: Vec<Value> = pattern.iter().map(|p| p.clone().unwrap()).collect();
-            let m = self.get(&key);
-            return if m != 0.0 { vec![(key, m)] } else { vec![] };
+            // Fully bound: a single primary probe.
+            let key: Tuple = pattern.iter().map(|p| p.clone().unwrap()).collect();
+            if let Some(&m) = self.data.get(key.as_slice()) {
+                visit(&key, m);
+            }
+            return;
         }
         self.ensure_index(mask);
-        let probe: Vec<Value> = pattern.iter().flatten().cloned().collect();
+        let probe: Tuple = pattern.iter().flatten().cloned().collect();
         let indexes = self.indexes.read();
-        match indexes.get(&mask).and_then(|idx| idx.get(&probe)) {
-            Some(keys) => keys
-                .iter()
-                .filter_map(|k| self.data.get(k).map(|&m| (k.clone(), m)))
-                .collect(),
-            None => Vec::new(),
+        if let Some(keys) = indexes.get(&mask).and_then(|idx| idx.get(&probe)) {
+            for k in keys {
+                if let Some(&m) = self.data.get(k.as_slice()) {
+                    visit(k, m);
+                }
+            }
         }
+    }
+
+    /// Entries matching a partial binding pattern, collected into a vector.
+    /// Prefer [`ViewMap::for_each`] on hot paths.
+    pub fn lookup(&self, pattern: &[Option<Value>]) -> Vec<(Tuple, f64)> {
+        let mut out = Vec::new();
+        self.for_each(pattern, &mut |k, m| out.push((Tuple::from(k), m)));
+        out
     }
 
     /// Build (if needed) the secondary index for a binding-pattern mask.
@@ -139,9 +209,12 @@ impl ViewMap {
         if mask == 0 || self.indexes.read().contains_key(&mask) {
             return;
         }
-        let mut index: Index = HashMap::new();
+        let mut index: Index = fast_map_with_capacity(self.data.len());
         for k in self.data.keys() {
-            index.entry(project_mask(k, mask)).or_default().push(k.clone());
+            index
+                .entry(project_mask(k, mask))
+                .or_default()
+                .push(k.clone());
         }
         self.indexes.write().insert(mask, index);
     }
@@ -169,7 +242,7 @@ impl ViewMap {
             None
         };
         for (t, m) in gmr.iter() {
-            let key = match &positions {
+            let key: Tuple = match &positions {
                 Some(pos) => pos.iter().map(|&i| t[i].clone()).collect(),
                 None => t.clone(),
             };
@@ -178,28 +251,44 @@ impl ViewMap {
     }
 
     /// Approximate heap footprint in bytes (entries plus secondary indexes).
+    /// See the module docs for the cost model.
     pub fn approx_bytes(&self) -> usize {
         let per_value = std::mem::size_of::<Value>();
-        let entry = |arity: usize| 24 + arity * per_value + 8;
-        let base: usize = self.data.keys().map(|k| entry(k.len())).sum();
+        let entry = |t: &Tuple| {
+            std::mem::size_of::<Tuple>()
+                + 16
+                + if t.is_inline() {
+                    0
+                } else {
+                    t.len() * per_value + 16
+                }
+        };
+        let base: usize = self.data.keys().map(entry).sum();
         let idx: usize = self
             .indexes
             .read()
             .values()
-            .map(|i| i.iter().map(|(k, v)| entry(k.len()) + v.len() * 8).sum::<usize>())
+            .map(|i| {
+                i.iter()
+                    .map(|(k, v)| entry(k) + v.iter().map(entry).sum::<usize>() + 8)
+                    .sum::<usize>()
+            })
             .sum();
         base + idx
     }
 }
 
 fn pattern_mask(pattern: &[Option<Value>]) -> u64 {
-    pattern
-        .iter()
-        .enumerate()
-        .fold(0u64, |m, (i, p)| if p.is_some() && i < 63 { m | (1 << i) } else { m })
+    pattern.iter().enumerate().fold(0u64, |m, (i, p)| {
+        if p.is_some() && i < 63 {
+            m | (1 << i)
+        } else {
+            m
+        }
+    })
 }
 
-fn project_mask(key: &[Value], mask: u64) -> Vec<Value> {
+fn project_mask(key: &[Value], mask: u64) -> Tuple {
     key.iter()
         .enumerate()
         .filter(|(i, _)| *i < 63 && mask & (1 << i) != 0)
@@ -211,7 +300,7 @@ fn project_mask(key: &[Value], mask: u64) -> Vec<Value> {
 /// base relations and static tables.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
-    maps: HashMap<String, ViewMap>,
+    maps: FastMap<String, ViewMap>,
 }
 
 impl Database {
@@ -241,11 +330,11 @@ impl Database {
         self.maps.get_mut(name)
     }
 
-    /// Names of all views (sorted).
-    pub fn names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.maps.keys().cloned().collect();
-        v.sort();
-        v
+    /// Names of all views, sorted, borrowed from the store (no `String` clones).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        let mut v: Vec<&str> = self.maps.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v.into_iter()
     }
 
     /// Total approximate memory footprint of all views, in bytes.
@@ -259,16 +348,18 @@ impl RelationSource for Database {
         self.maps.get(name).map(|m| m.schema().arity())
     }
 
-    fn iter_matching(
+    fn for_each_matching(
         &self,
         name: &str,
         pattern: &[Option<Value>],
-    ) -> Result<Vec<(Vec<Value>, f64)>, EvalError> {
+        visit: &mut dyn FnMut(&[Value], f64),
+    ) -> Result<(), EvalError> {
         let m = self
             .maps
             .get(name)
             .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))?;
-        Ok(m.lookup(pattern))
+        m.for_each(pattern, visit);
+        Ok(())
     }
 }
 
@@ -276,7 +367,7 @@ impl RelationSource for Database {
 mod tests {
     use super::*;
 
-    fn key(vals: &[i64]) -> Vec<Value> {
+    fn key(vals: &[i64]) -> Tuple {
         vals.iter().map(|&v| Value::long(v)).collect()
     }
 
@@ -322,6 +413,34 @@ mod tests {
     }
 
     #[test]
+    fn multiplicity_change_without_entry_change_keeps_indexes() {
+        let mut v = ViewMap::new(Schema::new(["a", "b"]));
+        v.add(key(&[1, 10]), 1.0);
+        v.lookup(&[Some(Value::long(1)), None]); // build the index
+        v.add(key(&[1, 10]), 2.5); // multiplicity update only
+        assert_eq!(
+            v.lookup(&[Some(Value::long(1)), None]),
+            vec![(key(&[1, 10]), 3.5)]
+        );
+    }
+
+    #[test]
+    fn for_each_streams_borrowed_entries() {
+        let mut v = ViewMap::new(Schema::new(["a", "b"]));
+        v.add(key(&[1, 10]), 1.0);
+        v.add(key(&[1, 20]), 2.0);
+        let mut total = 0.0;
+        let mut seen = 0;
+        v.for_each(&[Some(Value::long(1)), None], &mut |k, m| {
+            assert_eq!(k.len(), 2);
+            total += m;
+            seen += 1;
+        });
+        assert_eq!(seen, 2);
+        assert_eq!(total, 3.0);
+    }
+
+    #[test]
     fn gmr_round_trip() {
         let mut v = ViewMap::new(Schema::new(["a"]));
         v.add(key(&[1]), 5.0);
@@ -349,11 +468,13 @@ mod tests {
         db.declare("R", vec!["a".to_string(), "b".to_string()]);
         db.view_mut("R").unwrap().add(key(&[1, 2]), 1.0);
         assert_eq!(db.relation_arity("R"), Some(2));
-        let rows = db.iter_matching("R", &[Some(Value::long(1)), None]).unwrap();
+        let rows = db
+            .iter_matching("R", &[Some(Value::long(1)), None])
+            .unwrap();
         assert_eq!(rows.len(), 1);
         assert!(db.iter_matching("Nope", &[]).is_err());
         assert!(db.approx_bytes() > 0);
-        assert_eq!(db.names(), vec!["R".to_string()]);
+        assert_eq!(db.names().collect::<Vec<_>>(), vec!["R"]);
     }
 
     #[test]

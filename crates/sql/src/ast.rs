@@ -184,7 +184,11 @@ impl SelectQuery {
                 SqlExpr::Neg(a) => walk_expr(a, out),
                 SqlExpr::Aggregate(_, Some(a)) => walk_expr(a, out),
                 SqlExpr::Subquery(q) => out.extend(q.all_tables()),
-                SqlExpr::Case { when, then, otherwise } => {
+                SqlExpr::Case {
+                    when,
+                    then,
+                    otherwise,
+                } => {
                     walk_cond(when, out);
                     walk_expr(then, out);
                     walk_expr(otherwise, out);
@@ -223,7 +227,9 @@ impl SelectQuery {
                 SqlExpr::Arith(_, a, b) => expr_depth(a).max(expr_depth(b)),
                 SqlExpr::Neg(a) | SqlExpr::Aggregate(_, Some(a)) => expr_depth(a),
                 SqlExpr::Subquery(q) => 1 + q.nesting_depth(),
-                SqlExpr::Case { then, otherwise, .. } => expr_depth(then).max(expr_depth(otherwise)),
+                SqlExpr::Case {
+                    then, otherwise, ..
+                } => expr_depth(then).max(expr_depth(otherwise)),
                 SqlExpr::ListMax(args) => args.iter().map(expr_depth).max().unwrap_or(0),
                 _ => 0,
             }
@@ -256,7 +262,10 @@ mod tests {
                 expr: SqlExpr::Aggregate(AggFunc::Sum, Some(Box::new(col("b", "v")))),
                 alias: None,
             }],
-            from: vec![TableRef { table: "Bids".into(), alias: "b".into() }],
+            from: vec![TableRef {
+                table: "Bids".into(),
+                alias: "b".into(),
+            }],
             where_clause: None,
             group_by: vec![],
         };
@@ -265,7 +274,10 @@ mod tests {
                 expr: SqlExpr::Aggregate(AggFunc::Count, None),
                 alias: None,
             }],
-            from: vec![TableRef { table: "Asks".into(), alias: "a".into() }],
+            from: vec![TableRef {
+                table: "Asks".into(),
+                alias: "a".into(),
+            }],
             where_clause: Some(Condition::Cmp(
                 SqlCmpOp::Gt,
                 col("a", "volume"),

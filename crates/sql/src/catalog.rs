@@ -15,19 +15,31 @@ pub struct TableDef {
 
 impl TableDef {
     /// A stream table.
-    pub fn stream<S: Into<String>>(name: impl Into<String>, columns: impl IntoIterator<Item = S>) -> Self {
+    pub fn stream<S: Into<String>>(
+        name: impl Into<String>,
+        columns: impl IntoIterator<Item = S>,
+    ) -> Self {
         TableDef {
             name: name.into(),
-            columns: columns.into_iter().map(|c| c.into().to_lowercase()).collect(),
+            columns: columns
+                .into_iter()
+                .map(|c| c.into().to_lowercase())
+                .collect(),
             is_stream: true,
         }
     }
 
     /// A static table.
-    pub fn table<S: Into<String>>(name: impl Into<String>, columns: impl IntoIterator<Item = S>) -> Self {
+    pub fn table<S: Into<String>>(
+        name: impl Into<String>,
+        columns: impl IntoIterator<Item = S>,
+    ) -> Self {
         TableDef {
             name: name.into(),
-            columns: columns.into_iter().map(|c| c.into().to_lowercase()).collect(),
+            columns: columns
+                .into_iter()
+                .map(|c| c.into().to_lowercase())
+                .collect(),
             is_stream: false,
         }
     }
@@ -35,7 +47,7 @@ impl TableDef {
     /// Does the table have the named column (case-insensitive)?
     pub fn has_column(&self, column: &str) -> bool {
         let c = column.to_lowercase();
-        self.columns.iter().any(|x| *x == c)
+        self.columns.contains(&c)
     }
 }
 
@@ -53,13 +65,16 @@ impl SqlCatalog {
 
     /// Add or replace a table definition.
     pub fn add(&mut self, def: TableDef) {
-        self.tables.retain(|t| !t.name.eq_ignore_ascii_case(&def.name));
+        self.tables
+            .retain(|t| !t.name.eq_ignore_ascii_case(&def.name));
         self.tables.push(def);
     }
 
     /// Look up a table by name (case-insensitive).
     pub fn get(&self, name: &str) -> Option<&TableDef> {
-        self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(name))
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
     }
 
     /// All table definitions.

@@ -247,7 +247,9 @@ mod tests {
         let toks = tokenize("-- comment\nWHERE name = 'BUILDING' AND x <> 3").unwrap();
         assert!(toks.contains(&Token::Str("BUILDING".into())));
         assert!(toks.contains(&Token::Ne));
-        assert!(!toks.iter().any(|t| matches!(t, Token::Ident(s) if s == "comment")));
+        assert!(!toks
+            .iter()
+            .any(|t| matches!(t, Token::Ident(s) if s == "comment")));
     }
 
     #[test]
@@ -255,7 +257,15 @@ mod tests {
         let toks = tokenize("< <= > >= = <> !=").unwrap();
         assert_eq!(
             toks,
-            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::Eq, Token::Ne, Token::Ne]
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne
+            ]
         );
     }
 

@@ -31,7 +31,9 @@ pub mod lexer;
 pub mod parser;
 pub mod translate;
 
-pub use ast::{AggFunc, ArithOp, ColumnRef, Condition, SelectItem, SelectQuery, SqlCmpOp, SqlExpr, TableRef};
+pub use ast::{
+    AggFunc, ArithOp, ColumnRef, Condition, SelectItem, SelectQuery, SqlCmpOp, SqlExpr, TableRef,
+};
 pub use catalog::{SqlCatalog, TableDef};
 pub use parser::{parse_query, ParseError};
 pub use translate::{translate, OutputColumn, TranslateError, TranslatedQuery, ViewSpec};
@@ -41,5 +43,7 @@ pub mod prelude {
     pub use crate::ast::{AggFunc, SelectQuery};
     pub use crate::catalog::{SqlCatalog, TableDef};
     pub use crate::parser::{parse_query, ParseError};
-    pub use crate::translate::{translate, OutputColumn, TranslateError, TranslatedQuery, ViewSpec};
+    pub use crate::translate::{
+        translate, OutputColumn, TranslateError, TranslatedQuery, ViewSpec,
+    };
 }

@@ -247,7 +247,8 @@ impl Parser {
         // A parenthesized condition, unless it is the start of a scalar expression such
         // as `(a.price - b.price) > 1000` — disambiguate by attempting the condition
         // parse and falling back to the expression parse.
-        if self.peek() == Some(&Token::LParen) && !matches!(self.peek_at(1), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("SELECT"))
+        if self.peek() == Some(&Token::LParen)
+            && !matches!(self.peek_at(1), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("SELECT"))
         {
             let save = self.pos;
             self.pos += 1;
@@ -423,7 +424,11 @@ impl Parser {
                     self.expect_punct(&Token::RParen)?;
                     return Ok(SqlExpr::ListMax(args));
                 }
-                for (kw, func) in [("SUM", AggFunc::Sum), ("COUNT", AggFunc::Count), ("AVG", AggFunc::Avg)] {
+                for (kw, func) in [
+                    ("SUM", AggFunc::Sum),
+                    ("COUNT", AggFunc::Count),
+                    ("AVG", AggFunc::Avg),
+                ] {
                     if name.eq_ignore_ascii_case(kw) {
                         self.pos += 1;
                         self.expect_punct(&Token::LParen)?;
@@ -493,7 +498,10 @@ mod tests {
         assert_eq!(q.group_by.len(), 1);
         assert_eq!(q.select.len(), 2);
         assert_eq!(q.select[1].alias.as_deref(), Some("total"));
-        assert!(matches!(q.where_clause, Some(Condition::Cmp(SqlCmpOp::Eq, _, _))));
+        assert!(matches!(
+            q.where_clause,
+            Some(Condition::Cmp(SqlCmpOp::Eq, _, _))
+        ));
     }
 
     #[test]
@@ -534,7 +542,10 @@ mod tests {
         )
         .unwrap();
         assert!(q.where_clause.is_some());
-        assert!(matches!(q.select[0].expr, SqlExpr::Aggregate(AggFunc::Sum, Some(_))));
+        assert!(matches!(
+            q.select[0].expr,
+            SqlExpr::Aggregate(AggFunc::Sum, Some(_))
+        ));
     }
 
     #[test]
@@ -581,8 +592,14 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.select.len(), 3);
-        assert!(matches!(q.select[1].expr, SqlExpr::Aggregate(AggFunc::Count, None)));
-        assert!(matches!(q.select[2].expr, SqlExpr::Aggregate(AggFunc::Avg, Some(_))));
+        assert!(matches!(
+            q.select[1].expr,
+            SqlExpr::Aggregate(AggFunc::Count, None)
+        ));
+        assert!(matches!(
+            q.select[2].expr,
+            SqlExpr::Aggregate(AggFunc::Avg, Some(_))
+        ));
         assert_eq!(q.from[0].alias, "Lineitem");
     }
 }

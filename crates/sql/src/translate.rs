@@ -122,13 +122,13 @@ pub fn translate(
 
     // Phase B: build the maintained views.
     let scope = tr.scope_of(query)?;
-    let factors = tr.body_factors(query, &[scope.clone()])?;
+    let factors = tr.body_factors(query, std::slice::from_ref(&scope))?;
 
     // Group-by variables and output columns.
     let mut group_by = Vec::new();
     let mut group_columns: HashMap<String, String> = HashMap::new();
     for g in &query.group_by {
-        let var = tr.resolve_column(g, &[scope.clone()])?;
+        let var = tr.resolve_column(g, std::slice::from_ref(&scope))?;
         if !group_by.contains(&var) {
             group_by.push(var.clone());
         }
@@ -141,7 +141,7 @@ pub fn translate(
     for item in &query.select {
         match &item.expr {
             SqlExpr::Column(c) => {
-                let var = tr.resolve_column(c, &[scope.clone()])?;
+                let var = tr.resolve_column(c, std::slice::from_ref(&scope))?;
                 if !group_by.contains(&var) {
                     return Err(TranslateError::Unsupported(format!(
                         "non-aggregate column {} not in GROUP BY",
@@ -149,7 +149,10 @@ pub fn translate(
                     )));
                 }
                 outputs.push(OutputColumn::GroupBy {
-                    column: item.alias.clone().unwrap_or_else(|| c.column.to_lowercase()),
+                    column: item
+                        .alias
+                        .clone()
+                        .unwrap_or_else(|| c.column.to_lowercase()),
                     var,
                 });
             }
@@ -162,7 +165,13 @@ pub fn translate(
                 let base = format!("{}_{}", name, agg_index);
                 match func {
                     AggFunc::Sum | AggFunc::Count => {
-                        let view_name = if query.select.iter().filter(|s| !matches!(s.expr, SqlExpr::Column(_))).count() == 1 {
+                        let view_name = if query
+                            .select
+                            .iter()
+                            .filter(|s| !matches!(s.expr, SqlExpr::Column(_)))
+                            .count()
+                            == 1
+                        {
                             name.to_string()
                         } else {
                             base
@@ -172,7 +181,7 @@ pub fn translate(
                             &group_by,
                             arg.as_deref(),
                             *func,
-                            &[scope.clone()],
+                            std::slice::from_ref(&scope),
                         )?;
                         views.push(ViewSpec {
                             name: view_name.clone(),
@@ -192,14 +201,14 @@ pub fn translate(
                             &group_by,
                             arg.as_deref(),
                             AggFunc::Sum,
-                            &[scope.clone()],
+                            std::slice::from_ref(&scope),
                         )?;
                         let cnt_expr = tr.aggregate_expr(
                             &factors,
                             &group_by,
                             None,
                             AggFunc::Count,
-                            &[scope.clone()],
+                            std::slice::from_ref(&scope),
                         )?;
                         views.push(ViewSpec {
                             name: sum_name.clone(),
@@ -294,7 +303,11 @@ impl<'a> Translator<'a> {
                     .catalog
                     .get(&t.table)
                     .ok_or_else(|| TranslateError::UnknownTable(t.table.clone()))?;
-                Ok((t.alias.to_lowercase(), def.name.clone(), def.columns.clone()))
+                Ok((
+                    t.alias.to_lowercase(),
+                    def.name.clone(),
+                    def.columns.clone(),
+                ))
             })
             .collect()
     }
@@ -354,6 +367,7 @@ impl<'a> Translator<'a> {
         Ok(())
     }
 
+    #[allow(clippy::only_used_in_recursion)]
     fn collect_cond(
         &mut self,
         c: &Condition,
@@ -407,7 +421,11 @@ impl<'a> Translator<'a> {
             }
             SqlExpr::Neg(a) | SqlExpr::Aggregate(_, Some(a)) => self.collect_expr(a, scopes)?,
             SqlExpr::Subquery(sub) => self.collect_subquery(sub, scopes)?,
-            SqlExpr::Case { when, then, otherwise } => {
+            SqlExpr::Case {
+                when,
+                then,
+                otherwise,
+            } => {
                 // CASE conditions are not conjunctive contexts.
                 self.collect_cond(when, &dummy_query(), scopes, false)?;
                 self.collect_expr(then, scopes)?;
@@ -423,7 +441,11 @@ impl<'a> Translator<'a> {
         Ok(())
     }
 
-    fn collect_subquery(&mut self, sub: &SelectQuery, scopes: &[Scope]) -> Result<(), TranslateError> {
+    fn collect_subquery(
+        &mut self,
+        sub: &SelectQuery,
+        scopes: &[Scope],
+    ) -> Result<(), TranslateError> {
         let mut child_scopes = scopes.to_vec();
         child_scopes.push(self.scope_of(sub)?);
         self.collect_unifications(sub, &child_scopes)
@@ -432,7 +454,11 @@ impl<'a> Translator<'a> {
     // ------------------------------------------------ phase B: expression building
 
     /// The relation atoms and predicate factors of a (sub)query body.
-    fn body_factors(&mut self, q: &SelectQuery, scopes: &[Scope]) -> Result<Vec<Expr>, TranslateError> {
+    fn body_factors(
+        &mut self,
+        q: &SelectQuery,
+        scopes: &[Scope],
+    ) -> Result<Vec<Expr>, TranslateError> {
         let scope = scopes.last().cloned().unwrap_or_default();
         let mut factors = Vec::new();
         for (alias, table, columns) in &scope {
@@ -568,17 +594,18 @@ impl<'a> Translator<'a> {
                     .collect::<Result<_, _>>()?;
                 Ok(Expr::apply(ScalarFn::ListMax, translated))
             }
-            SqlExpr::Case { when, then, otherwise } => {
+            SqlExpr::Case {
+                when,
+                then,
+                otherwise,
+            } => {
                 let iw = self.indicator(when, scopes)?;
                 let te = self.scalar(then, scopes, prefix)?;
                 let oe = self.scalar(otherwise, scopes, prefix)?;
                 // CASE WHEN c THEN a ELSE b = c*a + (1-c)*b.
                 Ok(Expr::sum_of([
                     Expr::product_of([iw.clone(), te]),
-                    Expr::product_of([
-                        Expr::sum_of([Expr::one(), Expr::neg(iw)]),
-                        oe,
-                    ]),
+                    Expr::product_of([Expr::sum_of([Expr::one(), Expr::neg(iw)]), oe]),
                 ]))
             }
             SqlExpr::Subquery(sub) => {
@@ -594,7 +621,11 @@ impl<'a> Translator<'a> {
     }
 
     /// Translate a scalar subquery (single select item containing aggregates).
-    fn scalar_subquery(&mut self, sub: &SelectQuery, scopes: &[Scope]) -> Result<Expr, TranslateError> {
+    fn scalar_subquery(
+        &mut self,
+        sub: &SelectQuery,
+        scopes: &[Scope],
+    ) -> Result<Expr, TranslateError> {
         if !sub.group_by.is_empty() {
             return Err(TranslateError::Unsupported(
                 "GROUP BY in a scalar subquery".into(),
@@ -627,7 +658,10 @@ impl<'a> Translator<'a> {
                 let mut factors = body.to_vec();
                 factors.extend(prefix);
                 factors.push(value);
-                Ok(Expr::agg_sum(Vec::<String>::new(), Expr::product_of(factors)))
+                Ok(Expr::agg_sum(
+                    Vec::<String>::new(),
+                    Expr::product_of(factors),
+                ))
             }
             SqlExpr::Aggregate(AggFunc::Count, _) | SqlExpr::Aggregate(AggFunc::Sum, None) => Ok(
                 Expr::agg_sum(Vec::<String>::new(), Expr::product_of(body.to_vec())),
@@ -656,7 +690,11 @@ impl<'a> Translator<'a> {
                 })
             }
             SqlExpr::Neg(a) => Ok(Expr::neg(self.subquery_select_expr(a, body, scopes)?)),
-            SqlExpr::Int(_) | SqlExpr::Float(_) | SqlExpr::Date(_) | SqlExpr::Str(_) | SqlExpr::Column(_) => {
+            SqlExpr::Int(_)
+            | SqlExpr::Float(_)
+            | SqlExpr::Date(_)
+            | SqlExpr::Str(_)
+            | SqlExpr::Column(_) => {
                 let mut prefix = Vec::new();
                 let v = self.scalar(e, scopes, &mut prefix)?;
                 if prefix.is_empty() {
@@ -674,7 +712,11 @@ impl<'a> Translator<'a> {
     }
 
     /// Translate an EXISTS subquery into its tuple count.
-    fn subquery_count(&mut self, sub: &SelectQuery, scopes: &[Scope]) -> Result<Expr, TranslateError> {
+    fn subquery_count(
+        &mut self,
+        sub: &SelectQuery,
+        scopes: &[Scope],
+    ) -> Result<Expr, TranslateError> {
         let mut child_scopes = scopes.to_vec();
         child_scopes.push(self.scope_of(sub)?);
         let body = self.body_factors(sub, &child_scopes)?;
@@ -767,7 +809,10 @@ mod tests {
         let s = expr.to_string();
         assert!(s.contains("Orders("));
         assert!(s.contains("Lineitem("));
-        assert!(!s.contains("="), "equijoin should be variable unification: {s}");
+        assert!(
+            !s.contains("="),
+            "equijoin should be variable unification: {s}"
+        );
         assert_eq!(expr.degree(), 2);
         assert_eq!(t.group_by.len(), 0);
     }

@@ -48,9 +48,12 @@ mod tests {
     fn counting_and_truncation() {
         let mut d = Dataset::default();
         assert!(d.is_empty());
-        d.events.push(UpdateEvent::insert("R", vec![Value::long(1)]));
-        d.events.push(UpdateEvent::insert("S", vec![Value::long(2)]));
-        d.events.push(UpdateEvent::delete("R", vec![Value::long(1)]));
+        d.events
+            .push(UpdateEvent::insert("R", vec![Value::long(1)]));
+        d.events
+            .push(UpdateEvent::insert("S", vec![Value::long(2)]));
+        d.events
+            .push(UpdateEvent::delete("R", vec![Value::long(1)]));
         assert_eq!(d.len(), 3);
         let counts = d.events_per_relation();
         assert_eq!(counts["R"], 2);

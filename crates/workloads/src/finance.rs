@@ -72,7 +72,11 @@ pub fn generate(config: &FinanceConfig) -> Dataset {
 
         next_id += 1;
         let spread = rng.random_range(0..200) as f64;
-        let price = if is_bid { mid_price - spread } else { mid_price + spread };
+        let price = if is_bid {
+            mid_price - spread
+        } else {
+            mid_price + spread
+        };
         let tuple = vec![
             Value::long(t),
             Value::long(next_id),
@@ -95,7 +99,10 @@ mod tests {
 
     #[test]
     fn generates_requested_number_of_events() {
-        let d = generate(&FinanceConfig { events: 1_000, ..Default::default() });
+        let d = generate(&FinanceConfig {
+            events: 1_000,
+            ..Default::default()
+        });
         assert_eq!(d.len(), 1_000);
         let counts = d.events_per_relation();
         assert!(counts.contains_key("Bids") && counts.contains_key("Asks"));
@@ -103,7 +110,11 @@ mod tests {
 
     #[test]
     fn deletions_only_remove_previously_inserted_orders() {
-        let d = generate(&FinanceConfig { events: 5_000, seed: 9, ..Default::default() });
+        let d = generate(&FinanceConfig {
+            events: 5_000,
+            seed: 9,
+            ..Default::default()
+        });
         let mut live: std::collections::HashSet<(String, i64)> = Default::default();
         for e in &d.events {
             let id = e.tuple[1].as_i64().unwrap();
@@ -112,7 +123,10 @@ mod tests {
                     live.insert((e.relation.clone(), id));
                 }
                 UpdateSign::Delete => {
-                    assert!(live.remove(&(e.relation.clone(), id)), "deleted unknown order");
+                    assert!(
+                        live.remove(&(e.relation.clone(), id)),
+                        "deleted unknown order"
+                    );
                 }
             }
         }
@@ -120,16 +134,32 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate(&FinanceConfig { events: 500, seed: 1, ..Default::default() });
-        let b = generate(&FinanceConfig { events: 500, seed: 1, ..Default::default() });
-        let c = generate(&FinanceConfig { events: 500, seed: 2, ..Default::default() });
+        let a = generate(&FinanceConfig {
+            events: 500,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = generate(&FinanceConfig {
+            events: 500,
+            seed: 1,
+            ..Default::default()
+        });
+        let c = generate(&FinanceConfig {
+            events: 500,
+            seed: 2,
+            ..Default::default()
+        });
         assert_eq!(a.events, b.events);
         assert_ne!(a.events, c.events);
     }
 
     #[test]
     fn prices_stay_positive() {
-        let d = generate(&FinanceConfig { events: 2_000, seed: 4, ..Default::default() });
+        let d = generate(&FinanceConfig {
+            events: 2_000,
+            seed: 4,
+            ..Default::default()
+        });
         for e in &d.events {
             assert!(e.tuple[3].as_f64().unwrap() > 0.0);
             assert!(e.tuple[4].as_f64().unwrap() > 0.0);

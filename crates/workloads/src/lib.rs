@@ -41,7 +41,11 @@ pub fn dataset_for(family: Family, size_hint: usize, seed: u64) -> Dataset {
         }),
         Family::Scientific => {
             let steps = (size_hint / 100).max(1);
-            let mut d = mddb::generate(&MddbConfig { atoms: 100, steps, seed });
+            let mut d = mddb::generate(&MddbConfig {
+                atoms: 100,
+                steps,
+                seed,
+            });
             d.truncate(size_hint);
             d
         }

@@ -93,7 +93,11 @@ mod tests {
 
     #[test]
     fn generates_one_row_per_atom_per_step() {
-        let cfg = MddbConfig { atoms: 10, steps: 5, seed: 1 };
+        let cfg = MddbConfig {
+            atoms: 10,
+            steps: 5,
+            seed: 1,
+        };
         let d = generate(&cfg);
         assert_eq!(d.len(), 50);
         assert_eq!(d.tables["AtomMeta"].len(), 10);
@@ -101,17 +105,31 @@ mod tests {
 
     #[test]
     fn insert_only_stream() {
-        let d = generate(&MddbConfig { atoms: 5, steps: 3, seed: 2 });
-        assert!(d.events.iter().all(|e| e.sign == dbtoaster_agca::UpdateSign::Insert));
+        let d = generate(&MddbConfig {
+            atoms: 5,
+            steps: 3,
+            seed: 2,
+        });
+        assert!(d
+            .events
+            .iter()
+            .all(|e| e.sign == dbtoaster_agca::UpdateSign::Insert));
         assert!(d.events.iter().all(|e| e.relation == "AtomPositions"));
     }
 
     #[test]
     fn residues_cover_the_selected_classes() {
-        let d = generate(&MddbConfig { atoms: 200, steps: 1, seed: 3 });
+        let d = generate(&MddbConfig {
+            atoms: 200,
+            steps: 1,
+            seed: 3,
+        });
         let meta = &d.tables["AtomMeta"];
         let lys = meta.iter().filter(|m| m[1] == Value::str("LYS")).count();
         let tip = meta.iter().filter(|m| m[1] == Value::str("TIP3")).count();
-        assert!(lys > 0 && tip > 0, "both selected residue classes must appear");
+        assert!(
+            lys > 0 && tip > 0,
+            "both selected residue classes must appear"
+        );
     }
 }

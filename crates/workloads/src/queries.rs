@@ -296,7 +296,10 @@ pub fn query(name: &str) -> Option<WorkloadQuery> {
 
 /// Queries of one family.
 pub fn queries_of(family: Family) -> Vec<WorkloadQuery> {
-    all_queries().into_iter().filter(|q| q.family == family).collect()
+    all_queries()
+        .into_iter()
+        .filter(|q| q.family == family)
+        .collect()
 }
 
 #[cfg(test)]
@@ -320,13 +323,19 @@ mod tests {
     fn every_query_parses_and_translates() {
         let catalog = full_catalog();
         for q in all_queries() {
-            let parsed = parse_query(q.sql).unwrap_or_else(|e| panic!("{}: parse error {e}", q.name));
+            let parsed =
+                parse_query(q.sql).unwrap_or_else(|e| panic!("{}: parse error {e}", q.name));
             let translated = translate(q.name, &parsed, &catalog)
                 .unwrap_or_else(|e| panic!("{}: translation error {e}", q.name));
             assert!(!translated.views.is_empty(), "{} produced no views", q.name);
             // The recorded nesting depth matches the parsed structure.
             assert_eq!(parsed.nesting_depth(), q.nesting, "{} nesting", q.name);
-            assert_eq!(!parsed.group_by.is_empty(), q.group_by, "{} group-by", q.name);
+            assert_eq!(
+                !parsed.group_by.is_empty(),
+                q.group_by,
+                "{} group-by",
+                q.name
+            );
         }
     }
 }

@@ -16,7 +16,13 @@ use dbtoaster_sql::{SqlCatalog, TableDef};
 pub fn tpch_columns(table: &str) -> Option<Vec<&'static str>> {
     Some(match table {
         "Customer" => vec!["custkey", "nationkey", "mktsegment", "acctbal"],
-        "Orders" => vec!["orderkey", "custkey", "orderdate", "orderpriority", "totalprice"],
+        "Orders" => vec![
+            "orderkey",
+            "custkey",
+            "orderdate",
+            "orderpriority",
+            "totalprice",
+        ],
         "Lineitem" => vec![
             "orderkey",
             "partkey",
@@ -27,7 +33,14 @@ pub fn tpch_columns(table: &str) -> Option<Vec<&'static str>> {
             "shipdate",
             "returnflag",
         ],
-        "Part" => vec!["partkey", "brand", "type", "size", "container", "retailprice"],
+        "Part" => vec![
+            "partkey",
+            "brand",
+            "type",
+            "size",
+            "container",
+            "retailprice",
+        ],
         "Supplier" => vec!["suppkey", "nationkey", "acctbal"],
         "Partsupp" => vec!["partkey", "suppkey", "availqty", "supplycost"],
         "Nation" => vec!["nationkey", "regionkey", "name"],
@@ -40,7 +53,9 @@ pub fn tpch_columns(table: &str) -> Option<Vec<&'static str>> {
 /// an update stream.
 pub fn tpch_catalog() -> SqlCatalog {
     let mut c = SqlCatalog::new();
-    for t in ["Customer", "Orders", "Lineitem", "Part", "Supplier", "Partsupp"] {
+    for t in [
+        "Customer", "Orders", "Lineitem", "Part", "Supplier", "Partsupp",
+    ] {
         c.add(TableDef::stream(t, tpch_columns(t).unwrap()));
     }
     for t in ["Nation", "Region"] {
@@ -74,8 +89,14 @@ pub fn mddb_columns(table: &str) -> Option<Vec<&'static str>> {
 /// The MDDB catalog: an `AtomPositions` insert stream and a static `AtomMeta` table.
 pub fn mddb_catalog() -> SqlCatalog {
     let mut c = SqlCatalog::new();
-    c.add(TableDef::stream("AtomPositions", mddb_columns("AtomPositions").unwrap()));
-    c.add(TableDef::table("AtomMeta", mddb_columns("AtomMeta").unwrap()));
+    c.add(TableDef::stream(
+        "AtomPositions",
+        mddb_columns("AtomPositions").unwrap(),
+    ));
+    c.add(TableDef::table(
+        "AtomMeta",
+        mddb_columns("AtomMeta").unwrap(),
+    ));
     c
 }
 

@@ -74,25 +74,57 @@ impl TpchConfig {
     }
 }
 
-const SEGMENTS: &[&str] = &["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"];
+const SEGMENTS: &[&str] = &[
+    "BUILDING",
+    "AUTOMOBILE",
+    "MACHINERY",
+    "HOUSEHOLD",
+    "FURNITURE",
+];
 const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const RETURN_FLAGS: &[&str] = &["A", "N", "R"];
 const BRANDS: &[&str] = &["Brand#12", "Brand#23", "Brand#34", "Brand#45", "Brand#55"];
-const TYPES: &[&str] = &["ECONOMY ANODIZED STEEL", "SMALL BRASS", "MEDIUM POLISHED COPPER", "PROMO BURNISHED NICKEL", "STANDARD PLATED TIN"];
+const TYPES: &[&str] = &[
+    "ECONOMY ANODIZED STEEL",
+    "SMALL BRASS",
+    "MEDIUM POLISHED COPPER",
+    "PROMO BURNISHED NICKEL",
+    "STANDARD PLATED TIN",
+];
 const CONTAINERS: &[&str] = &["SM CASE", "MED BOX", "LG PACK", "JUMBO JAR"];
 const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const NATIONS: &[(&str, i64)] = &[
-    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
-    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
-    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
-    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
-    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
 ];
 
 fn random_date(rng: &mut StdRng) -> i64 {
-    let year = rng.random_range(1992..=1998);
-    let month = rng.random_range(1..=12);
-    let day = rng.random_range(1..=28);
+    let year: i64 = rng.random_range(1992..=1998);
+    let month: i64 = rng.random_range(1..=12);
+    let day: i64 = rng.random_range(1..=28);
     year * 10_000 + month * 100 + day
 }
 
@@ -117,7 +149,11 @@ pub fn generate(config: &TpchConfig) -> Dataset {
             .iter()
             .enumerate()
             .map(|(i, (name, region))| {
-                vec![Value::long(i as i64), Value::long(*region), Value::str(*name)]
+                vec![
+                    Value::long(i as i64),
+                    Value::long(*region),
+                    Value::str(*name),
+                ]
             })
             .collect(),
     );
@@ -208,7 +244,10 @@ pub fn generate(config: &TpchConfig) -> Dataset {
         let ck = rng.random_range(1..=n_customers as i64);
         if !customer_inserted[ck as usize] {
             customer_inserted[ck as usize] = true;
-            events.push(UpdateEvent::insert("Customer", customers[ck as usize - 1].clone()));
+            events.push(UpdateEvent::insert(
+                "Customer",
+                customers[ck as usize - 1].clone(),
+            ));
         }
         let order = vec![
             Value::long(ok),
@@ -230,7 +269,10 @@ pub fn generate(config: &TpchConfig) -> Dataset {
             }
             if !supplier_inserted[sk as usize] {
                 supplier_inserted[sk as usize] = true;
-                events.push(UpdateEvent::insert("Supplier", suppliers[sk as usize - 1].clone()));
+                events.push(UpdateEvent::insert(
+                    "Supplier",
+                    suppliers[sk as usize - 1].clone(),
+                ));
             }
             let item = vec![
                 Value::long(ok),
@@ -277,7 +319,11 @@ mod tests {
 
     #[test]
     fn generator_is_deterministic() {
-        let cfg = TpchConfig { scale: 0.001, seed: 7, ..Default::default() };
+        let cfg = TpchConfig {
+            scale: 0.001,
+            seed: 7,
+            ..Default::default()
+        };
         let a = generate(&cfg);
         let b = generate(&cfg);
         assert_eq!(a.events.len(), b.events.len());
@@ -287,7 +333,11 @@ mod tests {
 
     #[test]
     fn foreign_keys_are_preserved() {
-        let cfg = TpchConfig { scale: 0.002, seed: 1, ..Default::default() };
+        let cfg = TpchConfig {
+            scale: 0.002,
+            seed: 1,
+            ..Default::default()
+        };
         let d = generate(&cfg);
         let mut customers = HashSet::new();
         let mut orders = HashSet::new();
@@ -308,13 +358,25 @@ mod tests {
                     suppliers.insert(e.tuple[0].as_i64().unwrap());
                 }
                 "Orders" => {
-                    assert!(customers.contains(&e.tuple[1].as_i64().unwrap()), "order before customer");
+                    assert!(
+                        customers.contains(&e.tuple[1].as_i64().unwrap()),
+                        "order before customer"
+                    );
                     orders.insert(e.tuple[0].as_i64().unwrap());
                 }
                 "Lineitem" => {
-                    assert!(orders.contains(&e.tuple[0].as_i64().unwrap()), "lineitem before order");
-                    assert!(parts.contains(&e.tuple[1].as_i64().unwrap()), "lineitem before part");
-                    assert!(suppliers.contains(&e.tuple[2].as_i64().unwrap()), "lineitem before supplier");
+                    assert!(
+                        orders.contains(&e.tuple[0].as_i64().unwrap()),
+                        "lineitem before order"
+                    );
+                    assert!(
+                        parts.contains(&e.tuple[1].as_i64().unwrap()),
+                        "lineitem before part"
+                    );
+                    assert!(
+                        suppliers.contains(&e.tuple[2].as_i64().unwrap()),
+                        "lineitem before supplier"
+                    );
                 }
                 "Partsupp" => {
                     assert!(parts.contains(&e.tuple[0].as_i64().unwrap()));
@@ -345,14 +407,21 @@ mod tests {
                 max_live = max_live.max(live_orders);
             }
         }
-        assert!(max_live <= 102, "working set should stay near the target, got {max_live}");
+        assert!(
+            max_live <= 102,
+            "working set should stay near the target, got {max_live}"
+        );
         // Deletions actually occur.
         assert!(d.events.iter().any(|e| e.sign == UpdateSign::Delete));
     }
 
     #[test]
     fn static_tables_present() {
-        let d = generate(&TpchConfig { scale: 0.001, seed: 5, ..Default::default() });
+        let d = generate(&TpchConfig {
+            scale: 0.001,
+            seed: 5,
+            ..Default::default()
+        });
         assert_eq!(d.tables["Region"].len(), 5);
         assert_eq!(d.tables["Nation"].len(), 25);
         assert!(!d.is_empty());

@@ -30,13 +30,31 @@ fn main() -> Result<(), DbToasterError> {
 
     // 3. Feed single-tuple updates; the view is fresh after every one of them.
     let events = [
-        UpdateEvent::insert("Orders", vec![Value::long(1), Value::long(7), Value::double(2.0)]),
-        UpdateEvent::insert("Lineitem", vec![Value::long(1), Value::long(100), Value::double(40.0)]),
-        UpdateEvent::insert("Lineitem", vec![Value::long(1), Value::long(101), Value::double(10.0)]),
-        UpdateEvent::insert("Orders", vec![Value::long(2), Value::long(8), Value::double(0.5)]),
-        UpdateEvent::insert("Lineitem", vec![Value::long(2), Value::long(102), Value::double(200.0)]),
+        UpdateEvent::insert(
+            "Orders",
+            vec![Value::long(1), Value::long(7), Value::double(2.0)],
+        ),
+        UpdateEvent::insert(
+            "Lineitem",
+            vec![Value::long(1), Value::long(100), Value::double(40.0)],
+        ),
+        UpdateEvent::insert(
+            "Lineitem",
+            vec![Value::long(1), Value::long(101), Value::double(10.0)],
+        ),
+        UpdateEvent::insert(
+            "Orders",
+            vec![Value::long(2), Value::long(8), Value::double(0.5)],
+        ),
+        UpdateEvent::insert(
+            "Lineitem",
+            vec![Value::long(2), Value::long(102), Value::double(200.0)],
+        ),
         // A line item is cancelled: deletion is just a negative-multiplicity update.
-        UpdateEvent::delete("Lineitem", vec![Value::long(1), Value::long(101), Value::double(10.0)]),
+        UpdateEvent::delete(
+            "Lineitem",
+            vec![Value::long(1), Value::long(101), Value::double(10.0)],
+        ),
     ];
     for (i, event) in events.iter().enumerate() {
         engine.process(event)?;

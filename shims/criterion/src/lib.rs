@@ -1,0 +1,296 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark harness
+//! exposing the API surface the `dbtoaster-bench` targets use. Each benchmark
+//! is warmed up briefly, then timed for the configured measurement window, and
+//! a `name ... time/iter` line is printed. No statistics beyond the mean are
+//! computed — the goal is a runnable `cargo bench` without network access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation (recorded, reported as elements/sec when present).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Batch sizing hint for `iter_batched` (ignored: every batch has size 1).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher<'a> {
+    warm_up: Duration,
+    measurement: Duration,
+    result: &'a mut Option<BenchResult>,
+}
+
+/// Mean time per iteration and iteration count of one benchmark run.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchResult {
+    pub ns_per_iter: f64,
+    pub iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Time a routine: run it repeatedly for the measurement window.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+        }
+        // Measurement.
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        *self.result = Some(BenchResult {
+            ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+            iters,
+        });
+    }
+
+    /// Time a routine with a per-iteration setup whose cost is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup())); // warm-up: one batch
+        let mut iters = 0u64;
+        let mut busy = Duration::ZERO;
+        let started = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            busy += t0.elapsed();
+            iters += 1;
+            if busy >= self.measurement || started.elapsed() >= 4 * self.measurement {
+                break;
+            }
+        }
+        *self.result = Some(BenchResult {
+            ns_per_iter: busy.as_nanos() as f64 / iters as f64,
+            iters,
+        });
+    }
+}
+
+fn report(name: &str, result: Option<BenchResult>, throughput: Option<Throughput>) {
+    match result {
+        Some(r) => {
+            let per_iter = format_ns(r.ns_per_iter);
+            match throughput {
+                Some(Throughput::Elements(n)) => {
+                    let rate = n as f64 / (r.ns_per_iter / 1e9);
+                    println!("{name:<50} {per_iter:>14}/iter {rate:>14.0} elem/s");
+                }
+                _ => println!("{name:<50} {per_iter:>14}/iter"),
+            }
+        }
+        None => println!("{name:<50} (no measurement)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The top-level benchmark context.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let name = id.into_id();
+        let mut result = None;
+        f(&mut Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: &mut result,
+        });
+        report(&name, result, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        println!("-- group {name} --");
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.prefix, id.into_id());
+        let mut result = None;
+        f(&mut Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: &mut result,
+        });
+        report(&name, result, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.prefix, id.id);
+        let mut result = None;
+        f(
+            &mut Bencher {
+                warm_up: self.warm_up,
+                measurement: self.measurement,
+                result: &mut result,
+            },
+            input,
+        );
+        report(&name, result, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour of
+/// `std::hint::black_box`, which callers here already use).
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

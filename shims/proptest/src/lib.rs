@@ -1,0 +1,328 @@
+//! Offline stand-in for `proptest`: deterministic random-input testing with
+//! the subset of the API the property tests use — integer-range strategies,
+//! tuple strategies, `prop::collection::vec`, `prop_map`, `any::<bool>()`, a
+//! simple `[a-z]{m,n}` string strategy, the `proptest!` macro and the
+//! `prop_assert*` macros. No shrinking is performed: failures report the
+//! case number, and reruns are deterministic per test name.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic RNG used to generate test cases.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seed deterministically from the test name, so failures reproduce.
+    pub fn from_name(name: &str) -> Self {
+        let mut seed = 0xDB70_A57E_u64;
+        for b in name.bytes() {
+            seed = seed.wrapping_mul(31).wrapping_add(b as u64);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn random_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.inner.next_u64()
+    }
+
+    pub fn random_usize(&mut self, lo: usize, hi_inclusive: usize) -> usize {
+        self.inner.random_range(lo..=hi_inclusive)
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.random_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let offset = (rng.random_u64() as u128) % span;
+                (*self.start() as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+// i128 ranges (used by the rational-number tests) need a wider intermediate.
+impl Strategy for std::ops::Range<i128> {
+    type Value = i128;
+    fn generate(&self, rng: &mut TestRng) -> i128 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = (self.end - self.start) as u128;
+        let offset = (rng.random_u64() as u128) % span;
+        self.start + offset as i128
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident: $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// Simple pattern strategy: `&'static str` patterns of the form
+/// `[<lo>-<hi>]{m,n}` generate strings of `m..=n` chars drawn from the char
+/// range; any other pattern generates itself literally.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        if let Some(v) = generate_from_pattern(self, rng) {
+            v
+        } else {
+            (*self).to_string()
+        }
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> Option<String> {
+    // Parse `[a-z]{1,3}`-style patterns.
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut chars = class.chars();
+    let (lo, dash, hi) = (chars.next()?, chars.next()?, chars.next()?);
+    if dash != '-' || chars.next().is_some() {
+        return None;
+    }
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match counts.split_once(',') {
+        Some((m, n)) => (m.parse().ok()?, n.parse().ok()?),
+        None => {
+            let n: usize = counts.parse().ok()?;
+            (n, n)
+        }
+    };
+    let len = rng.random_usize(min, max);
+    let span = (hi as u32).checked_sub(lo as u32)? + 1;
+    Some(
+        (0..len)
+            .map(|_| char::from_u32(lo as u32 + rng.random_u64() as u32 % span).unwrap())
+            .collect(),
+    )
+}
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.random_u64() as u8
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.random_u64() as i64
+    }
+}
+
+/// Strategy wrapper for [`Arbitrary`] types.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// The `prop::` module namespace.
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// Size bound: an exact count or a half-open range.
+        pub trait IntoSizeRange {
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl IntoSizeRange for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl IntoSizeRange for std::ops::Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                assert!(self.start < self.end, "empty size range");
+                rng.random_usize(self.start, self.end - 1)
+            }
+        }
+
+        /// Strategy producing `Vec`s of values from an element strategy.
+        pub struct VecStrategy<S, R> {
+            element: S,
+            size: R,
+        }
+
+        impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+            VecStrategy { element, size }
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{any, prop, Arbitrary, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                $( let $arg = $crate::Strategy::generate(&$strat, &mut rng); )*
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || $body));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest {}: failed at case {}/{}",
+                        stringify!($name), case + 1, config.cases
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}

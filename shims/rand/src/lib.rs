@@ -1,0 +1,167 @@
+//! Offline stand-in for `rand`, covering the subset the workload generators
+//! use: `StdRng::seed_from_u64`, `RngExt::{random_range, random_bool}` over
+//! integer ranges. Determinism per seed is all the callers rely on; the
+//! underlying generator is xoshiro256++ seeded through splitmix64.
+
+/// Core trait: a source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding support (`StdRng::seed_from_u64`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling support for [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Half-open or inclusive bounds as `(low, high_inclusive)`.
+    fn bounds(&self) -> (T, T);
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                assert!(self.start < self.end, "empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                assert!(self.start() <= self.end(), "empty range");
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i64, i32, u64, u32, usize, i128);
+
+/// The ergonomic sampling methods (`rand` 0.9 naming).
+pub trait RngExt: RngCore {
+    /// A uniform sample from an integer range (half-open or inclusive).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: RangeSampler,
+        R: SampleRange<T>,
+    {
+        let (lo, hi) = range.bounds();
+        T::sample(self.next_u64(), lo, hi)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+/// Helper trait mapping a raw 64-bit word into `[lo, hi]`.
+pub trait RangeSampler: Copy {
+    fn sample(word: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_range_sampler {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl RangeSampler for $t {
+            fn sample(word: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u128 + 1;
+                let offset = (word as u128) % span;
+                ((lo as $wide).wrapping_add(offset as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sampler!(i64 => i128, i32 => i64, u64 => u128, u32 => u64, usize => u128, i128 => i128);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic PRNG (xoshiro256++), API-compatible stand-in for
+    /// `rand::rngs::StdRng` for the purposes of this workspace.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let sa: Vec<i64> = (0..32).map(|_| a.random_range(0..1000)).collect();
+        let sb: Vec<i64> = (0..32).map(|_| b.random_range(0..1000)).collect();
+        let sc: Vec<i64> = (0..32).map(|_| c.random_range(0..1000)).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: i64 = rng.random_range(-50..=50);
+            assert!((-50..=50).contains(&v));
+            let w: usize = rng.random_range(0..3);
+            assert!(w < 3);
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "{hits}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Offline stand-in for `serde`: re-exports the (no-op) derive macros and
+//! declares empty marker traits so `use serde::{Serialize, Deserialize}`
+//! resolves. Nothing in-tree serializes through serde at runtime.
+
+pub use serde_derive::{Deserialize, Serialize};

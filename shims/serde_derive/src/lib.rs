@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde_derive`: the derives are accepted and expand to
+//! nothing. The codebase only uses `#[derive(Serialize, Deserialize)]` as an
+//! annotation; no serializer is ever instantiated in-tree.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

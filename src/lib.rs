@@ -1,0 +1,6 @@
+//! Workspace root package: hosts the repository-level integration tests under
+//! `tests/` and the runnable examples under `examples/`. The actual library
+//! code lives in the `crates/` workspace members; see `crates/core` for the
+//! public facade.
+
+pub use dbtoaster::*;

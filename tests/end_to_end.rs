@@ -189,9 +189,9 @@ fn query_engine_reports_compilation_features() {
     // The compile report drives Figure 2; spot-check a few entries.
     let catalog = workloads::full_catalog();
     let cases = [
-        ("q3", false),   // flat equijoin: no nested rewrite needed
-        ("q17a", true),  // equality-correlated nested aggregate
-        ("vwap", true),  // inequality-correlated nested aggregate
+        ("q3", false),  // flat equijoin: no nested rewrite needed
+        ("q17a", true), // equality-correlated nested aggregate
+        ("vwap", true), // inequality-correlated nested aggregate
     ];
     for (name, nested) in cases {
         let q = workloads::query(name).unwrap();

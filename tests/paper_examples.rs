@@ -103,8 +103,14 @@ fn example1_first_order_views_track_counts() {
         .filter(|m| !m.is_query_result)
         .filter_map(|m| engine.view(&m.name).map(|g| g.scalar_value()))
         .collect();
-    assert!(aux_values.contains(&4.0), "count(R) view missing: {aux_values:?}");
-    assert!(aux_values.contains(&2.0), "count(S) view missing: {aux_values:?}");
+    assert!(
+        aux_values.contains(&4.0),
+        "count(R) view missing: {aux_values:?}"
+    );
+    assert!(
+        aux_values.contains(&2.0),
+        "count(S) view missing: {aux_values:?}"
+    );
     assert_eq!(engine.result("Q").unwrap().scalar_value(), 8.0);
 }
 
@@ -224,7 +230,10 @@ fn psp_compiles_to_reevaluation_over_small_views() {
     assert!(program.report.used_reevaluation, "{program}");
     // The result map is refreshed by := statements in the Bids/Asks triggers.
     let bids = program.trigger("Bids", UpdateSign::Insert).unwrap();
-    assert!(bids.statements.iter().any(|s| s.op == StmtOp::Replace && s.target == "psp"));
+    assert!(bids
+        .statements
+        .iter()
+        .any(|s| s.op == StmtOp::Replace && s.target == "psp"));
     // The auxiliary views are keyed by at most one column (no cross products).
     for m in &program.maps {
         if m.is_query_result {

@@ -216,6 +216,159 @@ fn mddb1_equivalence() {
     check_query("mddb1", 200, STANDARD_MODES);
 }
 
+// ------------------------------------------- randomized cursor/bindings property test
+
+mod random_streams {
+    use dbtoaster::agca::{eval, Bindings, Expr, MemSource, UpdateEvent, UpdateSign};
+    use dbtoaster::compiler::{compile, CompileMode, CompileOptions, QuerySpec, RelationMeta};
+    use dbtoaster::gmr::{Gmr, Schema, Value};
+    use dbtoaster::runtime::Engine;
+
+    /// Tiny deterministic LCG so the property test needs no external crates.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self, bound: i64) -> i64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((self.0 >> 33) % bound as u64) as i64
+        }
+    }
+
+    fn catalog() -> dbtoaster::compiler::Catalog {
+        [
+            RelationMeta::stream("R", ["A", "B"]),
+            RelationMeta::stream("S", ["B", "C"]),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// Query shapes covering joins, group-by and comparisons — all linear, so
+    /// every strategy (including classical IVM and the naive viewlet
+    /// transform) must maintain them exactly.
+    fn shapes() -> Vec<QuerySpec> {
+        vec![
+            QuerySpec {
+                name: "join_sum".into(),
+                out_vars: vec![],
+                expr: Expr::agg_sum(
+                    Vec::<String>::new(),
+                    Expr::product_of([
+                        Expr::rel("R", ["a", "b"]),
+                        Expr::rel("S", ["b", "c"]),
+                        Expr::var("c"),
+                    ]),
+                ),
+            },
+            QuerySpec {
+                name: "group_by".into(),
+                out_vars: vec!["b".into()],
+                expr: Expr::agg_sum(
+                    ["b"],
+                    Expr::product_of([Expr::rel("R", ["a", "b"]), Expr::var("a")]),
+                ),
+            },
+            QuerySpec {
+                name: "selection".into(),
+                out_vars: vec![],
+                expr: Expr::agg_sum(
+                    Vec::<String>::new(),
+                    Expr::product_of([
+                        Expr::rel("R", ["a", "b"]),
+                        Expr::cmp(dbtoaster::agca::CmpOp::Lt, Expr::var("a"), Expr::var("b")),
+                    ]),
+                ),
+            },
+        ]
+    }
+
+    /// Random insert/delete stream over R and S with a small key domain, so
+    /// collisions, cancellations and re-insertions all occur.
+    fn stream(seed: u64, events: usize) -> Vec<UpdateEvent> {
+        let mut rng = Lcg(seed.wrapping_mul(2654435769).wrapping_add(1));
+        let mut live: Vec<(&'static str, i64, i64)> = Vec::new();
+        let mut out = Vec::with_capacity(events);
+        for _ in 0..events {
+            let delete = !live.is_empty() && rng.next(4) == 0;
+            if delete {
+                let idx = rng.next(live.len() as i64) as usize;
+                let (rel, x, y) = live.swap_remove(idx);
+                out.push(UpdateEvent::delete(
+                    rel,
+                    vec![Value::long(x), Value::long(y)],
+                ));
+            } else {
+                let rel = if rng.next(2) == 0 { "R" } else { "S" };
+                let x = rng.next(6);
+                let y = rng.next(5);
+                live.push((rel, x, y));
+                out.push(UpdateEvent::insert(
+                    rel,
+                    vec![Value::long(x), Value::long(y)],
+                ));
+            }
+        }
+        out
+    }
+
+    /// Reference semantics: mirror the stream into a [`MemSource`] and
+    /// re-evaluate the query expression from scratch with the evaluator.
+    fn reference(events: &[UpdateEvent], q: &QuerySpec) -> Gmr {
+        let mut src = MemSource::new();
+        src.set_relation("R", Gmr::new(Schema::new(["c0", "c1"])));
+        src.set_relation("S", Gmr::new(Schema::new(["c0", "c1"])));
+        for e in events {
+            let mult = match e.sign {
+                UpdateSign::Insert => 1.0,
+                UpdateSign::Delete => -1.0,
+            };
+            src.apply_update(&e.relation, e.tuple.clone(), mult);
+        }
+        eval(&q.expr, &src, &Bindings::new()).unwrap()
+    }
+
+    /// Property: for random streams, the view contents produced through the
+    /// cursor-based `for_each_matching` read path and the scoped `Bindings`
+    /// evaluator are bit-identical (eps = 0.0 — all data is integral) to
+    /// direct re-evaluation, under every compilation strategy.
+    #[test]
+    fn random_streams_agree_with_reference_semantics_in_all_modes() {
+        for seed in 0..10u64 {
+            let events = stream(seed, 240);
+            for q in shapes() {
+                let expected = reference(&events, &q);
+                for mode in [
+                    CompileMode::HigherOrder,
+                    CompileMode::FirstOrder,
+                    CompileMode::NaiveViewlet,
+                    CompileMode::Reevaluate,
+                ] {
+                    let program = compile(
+                        std::slice::from_ref(&q),
+                        &catalog(),
+                        &CompileOptions::for_mode(mode),
+                    )
+                    .unwrap_or_else(|e| panic!("{} [{mode}]: {e}", q.name));
+                    let mut engine = Engine::new(program, &catalog());
+                    engine
+                        .process_all(&events)
+                        .unwrap_or_else(|e| panic!("{} [{mode}] seed {seed}: {e}", q.name));
+                    let got = engine.result(&q.name).unwrap();
+                    assert!(
+                        got.equivalent(&expected, 0.0),
+                        "{} [{mode}] seed {seed}: engine view differs from reference\n\
+                         engine:\n{got}\nreference:\n{expected}",
+                        q.name
+                    );
+                }
+            }
+        }
+    }
+}
+
 // ----------------------------------------------------- deletions / negative results
 
 #[test]
@@ -241,7 +394,9 @@ fn deletions_restore_previous_results() {
         Value::double(9_000.0),
         Value::double(10.0),
     ];
-    engine.process(&UpdateEvent::insert("Bids", bid.clone())).unwrap();
+    engine
+        .process(&UpdateEvent::insert("Bids", bid.clone()))
+        .unwrap();
     engine.process(&UpdateEvent::delete("Bids", bid)).unwrap();
     let after = engine.result("axf").unwrap();
     assert_equivalent("axf", CompileMode::HigherOrder, &after, &before);
