@@ -17,8 +17,8 @@
 //! * **Cursor protocol** — [`RelationSource::for_each_matching`] streams borrowed
 //!   `(&[Value], f64)` entries straight out of the backing store into a visitor
 //!   closure; no result vector is materialized and no tuple is cloned on the read
-//!   path. [`RelationSource::iter_matching`] survives as a collecting shim for
-//!   callers that genuinely need an owned snapshot.
+//!   path. (The old collecting `iter_matching` shim is gone; callers that need an
+//!   owned snapshot collect inside their visitor.)
 //! * **Scoped bindings** — [`Bindings`] is a shadow stack, not a hash map. The
 //!   product loop pushes one scope per factor (bind → recurse → unbind via
 //!   [`Bindings`] truncation) and overwrites the scope's value slots per tuple, so
@@ -199,18 +199,6 @@ pub trait RelationSource {
         pattern: &[Option<Value>],
         visit: &mut dyn FnMut(&[Value], f64),
     ) -> Result<(), EvalError>;
-
-    /// Collecting shim over [`RelationSource::for_each_matching`] for callers
-    /// that need an owned snapshot of the matches. Avoid on hot paths.
-    fn iter_matching(
-        &self,
-        name: &str,
-        pattern: &[Option<Value>],
-    ) -> Result<Vec<(Tuple, f64)>, EvalError> {
-        let mut out = Vec::new();
-        self.for_each_matching(name, pattern, &mut |t, m| out.push((Tuple::from(t), m)))?;
-        Ok(out)
-    }
 }
 
 /// Does `tuple` satisfy the partial binding pattern?

@@ -136,7 +136,7 @@ pub struct RelRef {
 
 /// An AGCA expression. Every expression denotes a GMR (a finite map from tuples over its
 /// output variables to multiplicities), evaluated relative to a context of bound
-/// variables (see [`crate::eval`]).
+/// variables (see [`mod@crate::eval`]).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Expr {
     /// A constant multiplicity `c` (the GMR `{<> -> c}` for numeric constants). String

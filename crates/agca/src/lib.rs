@@ -6,8 +6,8 @@
 //! * [`expr`] — the AGCA abstract syntax (constants, variables, relation atoms, lifts,
 //!   comparisons, `+`, `*`, `Sum_A`), Section 3.2;
 //! * [`scope`] — binding-pattern analysis (input/output variables), Section 3.3;
-//! * [`eval`] — the reference evaluation semantics over GMRs, Section 3.2;
-//! * [`delta`] — the delta transform for single-tuple updates, Section 3.4;
+//! * [`mod@eval`] — the reference evaluation semantics over GMRs, Section 3.2;
+//! * [`mod@delta`] — the delta transform for single-tuple updates, Section 3.4;
 //! * [`opt`] — the expression rewrites of Section 5.3: partial evaluation, polynomial
 //!   expansion, unification, range-restriction extraction, decorrelation and
 //!   canonicalization.

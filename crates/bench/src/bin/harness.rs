@@ -6,8 +6,8 @@
 //! cargo run --release -p dbtoaster-bench --bin harness -- fig8
 //! ```
 //!
-//! Subcommands: `fig2`, `fig6` (also covers Figure 7), `fig8`, `fig9`, `fig10`,
-//! `fig11`, `traces` (Figures 13–18), `all`.
+//! Subcommands: `micro`, `serve`, `fig2`, `fig6` (also covers Figure 7), `fig8`,
+//! `fig9`, `fig10`, `fig11`, `traces` (Figures 13–18), `all`.
 
 use dbtoaster::prelude::*;
 use dbtoaster::workloads::{self, Family};
@@ -83,6 +83,17 @@ fn micro(config: &ExperimentConfig, label: &str, json: Option<&str>) {
     }
 }
 
+fn serve(config: &ExperimentConfig, label: &str, json: Option<&str>) {
+    println!("=== serve: concurrent view serving (writer throughput, reads, fan-out) ===");
+    let results = serve_benchmarks(config);
+    println!("{}", format_micro(&results));
+    if let Some(path) = json {
+        let payload = micro_json(label, config, &results);
+        std::fs::write(path, &payload).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
 fn fig2() {
     println!("=== Figure 2: workload features and rewrite rules applied ===");
     println!("{}", format_figure2(&figure2_rows()));
@@ -137,6 +148,7 @@ fn main() {
 
     match args.command.as_str() {
         "micro" => micro(&config, &args.label, args.json.as_deref()),
+        "serve" => serve(&config, &args.label, args.json.as_deref()),
         "fig2" => fig2(),
         "fig6" | "fig7" => fig6(&config),
         "fig8" => traces_for(&["q1", "q3", "q11a", "q12"], "Figure 8", &config),
@@ -161,7 +173,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other}; expected micro|fig2|fig6|fig8|fig9|fig10|fig11|traces|all"
+                "unknown command {other}; expected micro|serve|fig2|fig6|fig8|fig9|fig10|fig11|traces|all"
             );
             std::process::exit(2);
         }

@@ -6,7 +6,7 @@
 //! 1. the query itself is registered as a materialized view;
 //! 2. for every view awaiting maintenance and every `(relation, ±)` pair, the delta is
 //!    taken, simplified and turned into an update statement whose subexpressions are
-//!    materialized by the [`Materializer`](crate::materialize::Materializer);
+//!    materialized by the [`crate::materialize::Materializer`];
 //! 3. the newly created views are themselves queued for maintenance, until no view with
 //!    a non-zero delta remains.
 //!

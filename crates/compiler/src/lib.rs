@@ -11,7 +11,7 @@
 //! * [`materialize`] — materialization decisions: the heuristic rewrite rules of
 //!   Figure 1 (query decomposition, input-variable extraction, nested-aggregate
 //!   decorrelation) and duplicate view elimination.
-//! * [`compile`] — the viewlet transform / Higher-Order IVM recursion (Algorithms 1–3)
+//! * [`mod@compile`] — the viewlet transform / Higher-Order IVM recursion (Algorithms 1–3)
 //!   producing the trigger program.
 //!
 //! ```

@@ -13,11 +13,14 @@ use dbtoaster_compiler::{
 };
 use dbtoaster_gmr::{Gmr, Value};
 use dbtoaster_runtime::{Engine, EngineStats, RuntimeError, TraceSample};
+use dbtoaster_server::{ServeError, ServedQuery, ServerConfig, ViewServer};
 use dbtoaster_sql::{
-    parse_query, translate, OutputColumn, ParseError, SqlCatalog, TranslateError, TranslatedQuery,
+    parse_query, translate, ParseError, SqlCatalog, TranslateError, TranslatedQuery,
 };
 use std::collections::HashMap;
 use std::fmt;
+
+pub use dbtoaster_server::{ResultRow, ResultTable};
 
 /// Errors surfaced by the high-level API.
 #[derive(Clone, Debug, PartialEq)]
@@ -32,6 +35,8 @@ pub enum DbToasterError {
     Runtime(RuntimeError),
     /// The named query does not exist.
     UnknownQuery(String),
+    /// Serving-layer error.
+    Serve(ServeError),
 }
 
 impl fmt::Display for DbToasterError {
@@ -42,6 +47,7 @@ impl fmt::Display for DbToasterError {
             DbToasterError::Compile(e) => write!(f, "compilation failed: {e}"),
             DbToasterError::Runtime(e) => write!(f, "runtime error: {e}"),
             DbToasterError::UnknownQuery(q) => write!(f, "unknown query {q}"),
+            DbToasterError::Serve(e) => write!(f, "serving error: {e}"),
         }
     }
 }
@@ -57,6 +63,12 @@ impl From<CompileError> for DbToasterError {
 impl From<RuntimeError> for DbToasterError {
     fn from(e: RuntimeError) -> Self {
         DbToasterError::Runtime(e)
+    }
+}
+
+impl From<ServeError> for DbToasterError {
+    fn from(e: ServeError) -> Self {
+        DbToasterError::Serve(e)
     }
 }
 
@@ -113,6 +125,13 @@ impl QueryEngineBuilder {
         self
     }
 
+    /// Build the engine and start serving it concurrently: one writer thread
+    /// ingesting updates, any number of lock-free snapshot readers and
+    /// output-delta subscribers. Shorthand for `build()?.serve()`.
+    pub fn serve(self) -> Result<ViewServer, DbToasterError> {
+        self.build()?.serve()
+    }
+
     /// Parse, translate and compile the queries, returning a ready-to-run engine.
     pub fn build(self) -> Result<QueryEngine, DbToasterError> {
         let mut specs: Vec<QuerySpec> = Vec::new();
@@ -138,46 +157,6 @@ impl QueryEngineBuilder {
             plans: plans.into_iter().map(|p| (p.name.clone(), p)).collect(),
             mode: self.options.mode,
         })
-    }
-}
-
-/// One row of a query result: the group-by key followed by the aggregate values.
-#[derive(Clone, Debug, PartialEq)]
-pub struct ResultRow {
-    /// Group-by key values (empty for scalar queries).
-    pub key: Vec<Value>,
-    /// Aggregate values, in select-list order.
-    pub values: Vec<f64>,
-}
-
-/// A materialized snapshot of a query result.
-#[derive(Clone, Debug, PartialEq)]
-pub struct ResultTable {
-    /// Column names: group-by columns followed by aggregate columns.
-    pub columns: Vec<String>,
-    /// Result rows (unordered).
-    pub rows: Vec<ResultRow>,
-}
-
-impl ResultTable {
-    /// Number of rows.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// Is the result empty?
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// The single scalar value of a grand-total query (first aggregate of the only row),
-    /// or 0.0 when the result is empty.
-    pub fn scalar(&self) -> f64 {
-        self.rows
-            .first()
-            .and_then(|r| r.values.first())
-            .copied()
-            .unwrap_or(0.0)
     }
 }
 
@@ -244,85 +223,33 @@ impl QueryEngine {
             .plans
             .get(query)
             .ok_or_else(|| DbToasterError::UnknownQuery(query.to_string()))?;
+        dbtoaster_server::assemble_result(&plan.outputs, &plan.group_by, &mut |name| {
+            self.engine.view(name)
+        })
+        .map_err(DbToasterError::UnknownQuery)
+    }
 
-        let mut columns: Vec<String> = Vec::new();
-        for out in &plan.outputs {
-            match out {
-                OutputColumn::GroupBy { column, .. } => columns.push(column.clone()),
-                OutputColumn::Aggregate { column, .. } => columns.push(column.clone()),
-                OutputColumn::Average { column, .. } => columns.push(column.clone()),
-            }
-        }
+    /// Start serving this engine concurrently with default sizing: one writer
+    /// thread owning the engine, lock-free snapshot readers
+    /// ([`ViewServer::reader`]) and output-delta subscribers
+    /// ([`ViewServer::subscribe`]). Consumes the engine; get it back with
+    /// [`ViewServer::shutdown`].
+    pub fn serve(self) -> Result<ViewServer, DbToasterError> {
+        self.serve_with(ServerConfig::default())
+    }
 
-        // Collect every key that appears in any aggregate view.
-        let mut keys: Vec<dbtoaster_gmr::Tuple> = Vec::new();
-        let mut view_snapshots: HashMap<&str, Gmr> = HashMap::new();
-        for out in &plan.outputs {
-            let names: Vec<&str> = match out {
-                OutputColumn::Aggregate { view, .. } => vec![view.as_str()],
-                OutputColumn::Average {
-                    sum_view,
-                    count_view,
-                    ..
-                } => {
-                    vec![sum_view.as_str(), count_view.as_str()]
-                }
-                OutputColumn::GroupBy { .. } => vec![],
-            };
-            for name in names {
-                let snapshot = self
-                    .engine
-                    .view(name)
-                    .ok_or_else(|| DbToasterError::UnknownQuery(name.to_string()))?;
-                for (t, _) in snapshot.iter() {
-                    if !keys.contains(t) {
-                        keys.push(t.clone());
-                    }
-                }
-                view_snapshots.insert(name, snapshot);
-            }
-        }
-        if keys.is_empty() && plan.group_by.is_empty() {
-            keys.push(dbtoaster_gmr::Tuple::new());
-        }
-
-        let key_positions: HashMap<&str, usize> = plan
-            .group_by
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (v.as_str(), i))
+    /// Start serving with explicit queue / micro-batch sizing.
+    pub fn serve_with(self, config: ServerConfig) -> Result<ViewServer, DbToasterError> {
+        let served = self
+            .plans
+            .values()
+            .map(|p| ServedQuery {
+                name: p.name.clone(),
+                group_by: p.group_by.clone(),
+                outputs: p.outputs.clone(),
+            })
             .collect();
-
-        let mut rows = Vec::with_capacity(keys.len());
-        for key in keys {
-            let mut values = Vec::new();
-            for out in &plan.outputs {
-                match out {
-                    OutputColumn::GroupBy { var, .. } => {
-                        // Rendered as part of the key below; record nothing here, but a
-                        // placeholder keeps select-list order readable.
-                        let _ = key_positions.get(var.as_str());
-                    }
-                    OutputColumn::Aggregate { view, .. } => {
-                        values.push(view_snapshots[view.as_str()].get(&key));
-                    }
-                    OutputColumn::Average {
-                        sum_view,
-                        count_view,
-                        ..
-                    } => {
-                        let s = view_snapshots[sum_view.as_str()].get(&key);
-                        let c = view_snapshots[count_view.as_str()].get(&key);
-                        values.push(if c == 0.0 { 0.0 } else { s / c });
-                    }
-                }
-            }
-            rows.push(ResultRow {
-                key: key.to_vec(),
-                values,
-            });
-        }
-        Ok(ResultTable { columns, rows })
+        Ok(ViewServer::spawn(self.engine, served, config))
     }
 
     /// Runtime statistics (events processed, refresh rate).

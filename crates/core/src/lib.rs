@@ -15,6 +15,7 @@
 //! | `dbtoaster-sql` | SQL parser and SQL→AGCA translation |
 //! | `dbtoaster-compiler` | viewlet transform & Higher-Order IVM compiler |
 //! | `dbtoaster-runtime` | view store with secondary indexes and the trigger executor |
+//! | `dbtoaster-server` | concurrent view serving: snapshots, readers, output-delta subscriptions |
 //! | `dbtoaster-workloads` | TPC-H-like / order-book / MDDB generators and the query set |
 //!
 //! ## Quickstart
@@ -53,6 +54,7 @@ pub use dbtoaster_agca as agca;
 pub use dbtoaster_compiler as compiler;
 pub use dbtoaster_gmr as gmr;
 pub use dbtoaster_runtime as runtime;
+pub use dbtoaster_server as server;
 pub use dbtoaster_sql as sql;
 pub use dbtoaster_workloads as workloads;
 
@@ -62,5 +64,9 @@ pub mod prelude {
     pub use dbtoaster_agca::{UpdateEvent, UpdateSign};
     pub use dbtoaster_compiler::{CompileMode, CompileOptions};
     pub use dbtoaster_gmr::{Gmr, Schema, Value};
+    pub use dbtoaster_server::{
+        DeltaBatch, IngestHandle, OutputDelta, ReaderHandle, ServeError, ServerConfig, Snapshot,
+        Subscription, ViewServer,
+    };
     pub use dbtoaster_sql::{SqlCatalog, TableDef};
 }

@@ -8,21 +8,69 @@
 //!
 //! Multiplicities are `f64` at runtime; exactly-zero entries are removed eagerly so that
 //! an insertion followed by the corresponding deletion restores the original GMR.
+//!
+//! ## Snapshot sharing
+//!
+//! A GMR's tuple map has two representations: **owned** (a plain [`FastMap`],
+//! the working form — mutation has zero synchronization overhead) and
+//! **shared** (an `Arc`'d map produced by [`Gmr::from_shared`], the form the
+//! runtime's view store hands out as point-in-time snapshots). Cloning a
+//! shared GMR is a reference-count bump; mutating one first copies it out to
+//! an owned map (copy-on-write). This keeps the single-threaded evaluation
+//! hot path free of atomics while making the serving layer's epoch-published
+//! snapshots O(1) to clone and immutable by construction.
 
 use crate::hash::{fast_map_with_capacity, FastMap, FastSet};
 use crate::schema::Schema;
 use crate::tuple::{self, Tuple};
 use crate::value::Value;
 use std::fmt;
+use std::sync::Arc;
+
+/// Owned-or-shared tuple map (see the module docs on snapshot sharing).
+#[derive(Clone, Debug)]
+enum MapRepr {
+    Owned(FastMap<Tuple, f64>),
+    Shared(Arc<FastMap<Tuple, f64>>),
+}
+
+impl Default for MapRepr {
+    fn default() -> Self {
+        MapRepr::Owned(FastMap::default())
+    }
+}
+
+impl MapRepr {
+    #[inline]
+    fn map(&self) -> &FastMap<Tuple, f64> {
+        match self {
+            MapRepr::Owned(m) => m,
+            MapRepr::Shared(a) => a,
+        }
+    }
+
+    /// Mutable access, copying a shared map out to an owned one first.
+    #[inline]
+    fn make_owned(&mut self) -> &mut FastMap<Tuple, f64> {
+        if let MapRepr::Shared(a) = self {
+            *self = MapRepr::Owned((**a).clone());
+        }
+        match self {
+            MapRepr::Owned(m) => m,
+            MapRepr::Shared(_) => unreachable!("converted to owned above"),
+        }
+    }
+}
 
 /// A generalized multiset relation: a finite map from tuples to `f64` multiplicities.
 ///
 /// Keys are [`Tuple`]s (inline up to arity `INLINE_CAP` (3)) in a [`FastMap`], so single-tuple
-/// updates and probes are one cheap hash away and never clone key vectors.
+/// updates and probes are one cheap hash away and never clone key vectors. Snapshot
+/// GMRs ([`Gmr::from_shared`]) share their map and are O(1) to clone.
 #[derive(Clone, Debug, Default)]
 pub struct Gmr {
     schema: Schema,
-    data: FastMap<Tuple, f64>,
+    data: MapRepr,
 }
 
 impl Gmr {
@@ -30,7 +78,7 @@ impl Gmr {
     pub fn new(schema: Schema) -> Self {
         Gmr {
             schema,
-            data: FastMap::default(),
+            data: MapRepr::default(),
         }
     }
 
@@ -38,7 +86,25 @@ impl Gmr {
     pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
         Gmr {
             schema,
-            data: fast_map_with_capacity(capacity),
+            data: MapRepr::Owned(fast_map_with_capacity(capacity)),
+        }
+    }
+
+    /// A GMR over an existing shared tuple map (O(1); no copy). This is how the
+    /// runtime's view store exposes point-in-time snapshots.
+    pub fn from_shared(schema: Schema, data: Arc<FastMap<Tuple, f64>>) -> Self {
+        Gmr {
+            schema,
+            data: MapRepr::Shared(data),
+        }
+    }
+
+    /// The shared tuple map backing a snapshot GMR, or `None` for an owned
+    /// (working) GMR.
+    pub fn shared_data(&self) -> Option<&Arc<FastMap<Tuple, f64>>> {
+        match &self.data {
+            MapRepr::Shared(a) => Some(a),
+            MapRepr::Owned(_) => None,
         }
     }
 
@@ -63,17 +129,17 @@ impl Gmr {
 
     /// Number of tuples with non-zero multiplicity.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.data.map().len()
     }
 
     /// Is the GMR empty (the zero of the ring)?
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.data.map().is_empty()
     }
 
     /// Multiplicity of a tuple (0.0 if absent).
     pub fn get(&self, t: &[Value]) -> f64 {
-        self.data.get(t).copied().unwrap_or(0.0)
+        self.data.map().get(t).copied().unwrap_or(0.0)
     }
 
     /// The multiplicity of the empty tuple — the "value" of a scalar GMR.
@@ -83,7 +149,7 @@ impl Gmr {
 
     /// Iterate over `(tuple, multiplicity)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&Tuple, f64)> {
-        self.data.iter().map(|(t, &m)| (t, m))
+        self.data.map().iter().map(|(t, &m)| (t, m))
     }
 
     /// Add `mult` to the multiplicity of `t`, removing the entry if it becomes zero.
@@ -99,7 +165,7 @@ impl Gmr {
             t.len(),
             self.schema
         );
-        let entry = self.data.entry(t);
+        let entry = self.data.make_owned().entry(t);
         match entry {
             std::collections::hash_map::Entry::Occupied(mut o) => {
                 let v = o.get_mut();
@@ -150,9 +216,10 @@ impl Gmr {
     /// Multiply every multiplicity by a constant.
     pub fn scale(&mut self, factor: f64) {
         if factor == 0.0 {
-            self.data.clear();
+            // Never copy a shared map out just to clear it.
+            self.data = MapRepr::default();
         } else if factor != 1.0 {
-            for m in self.data.values_mut() {
+            for m in self.data.make_owned().values_mut() {
                 *m *= factor;
             }
         }
@@ -253,7 +320,7 @@ impl Gmr {
     /// Remove entries whose absolute multiplicity is below `eps`
     /// (used to clean up floating-point residue in long-running streams).
     pub fn prune(&mut self, eps: f64) {
-        self.data.retain(|_, m| m.abs() > eps);
+        self.data.make_owned().retain(|_, m| m.abs() > eps);
     }
 
     /// Total number of heap bytes used by this GMR (approximate; used for the memory
@@ -264,6 +331,7 @@ impl Gmr {
         let per_value = std::mem::size_of::<Value>();
         let per_entry = std::mem::size_of::<Tuple>() + std::mem::size_of::<f64>() + 16;
         self.data
+            .map()
             .keys()
             .map(|t| {
                 per_entry
@@ -313,8 +381,8 @@ impl Gmr {
         };
         // A length mismatch is not conclusive: entries may still agree within
         // eps of zero, so always do the full symmetric check.
-        let mut keys: FastSet<&Tuple> = self.data.keys().collect();
-        keys.extend(other.data.keys());
+        let mut keys: FastSet<&Tuple> = self.data.map().keys().collect();
+        keys.extend(other.data.map().keys());
         keys.iter()
             .all(|k| (self.get(k) - other.get(k)).abs() <= eps)
     }
@@ -440,6 +508,27 @@ mod tests {
         let r = rel(&["a", "b"], &[(&[1, 2], 1.0)]);
         let s = rel(&["b", "a"], &[(&[2, 1], 1.0)]);
         assert!(r.equivalent(&s, 0.0));
+    }
+
+    #[test]
+    fn shared_snapshots_are_immutable_under_cow_mutation() {
+        let owned = rel(&["a"], &[(&[1], 1.0), (&[2], 2.0)]);
+        assert!(owned.shared_data().is_none(), "working GMRs are owned");
+        let arc = Arc::new(owned.iter().map(|(t, m)| (t.clone(), m)).collect());
+        let mut g = Gmr::from_shared(owned.schema().clone(), arc);
+        let snapshot = g.clone(); // O(1): shares the Arc'd map
+        assert!(Arc::ptr_eq(
+            g.shared_data().unwrap(),
+            snapshot.shared_data().unwrap()
+        ));
+        g.add_tuple(vec![Value::long(3)], 5.0);
+        g.add_tuple(vec![Value::long(1)], -1.0);
+        // The snapshot still sees the old state; the mutated GMR copied out.
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(snapshot.get(&[Value::long(1)]), 1.0);
+        assert_eq!(g.get(&[Value::long(1)]), 0.0);
+        assert_eq!(g.get(&[Value::long(3)]), 5.0);
+        assert!(g.shared_data().is_none(), "mutation copies out to owned");
     }
 
     #[test]

@@ -19,14 +19,14 @@
 //!
 //! ## Contents
 //!
-//! * [`value`] — the dynamically typed [`Value`](value::Value) scalar (64-bit integers,
+//! * [`value`] — the dynamically typed [`Value`] scalar (64-bit integers,
 //!   doubles and interned strings) with the coercion rules used throughout the system.
-//! * [`tuple`] — the shared [`Tuple`](tuple::Tuple) key type (inline up to arity `INLINE_CAP` (3),
+//! * [`mod@tuple`] — the shared [`Tuple`] key type (inline up to arity `INLINE_CAP` (3),
 //!   cheap to clone) plus helpers for projection and concatenation.
-//! * [`hash`] — the fast deterministic hasher behind [`FastMap`](hash::FastMap), used
+//! * [`hash`] — the fast deterministic hasher behind [`FastMap`], used
 //!   by every hot-path map in the system.
 //! * [`schema`] — ordered column-name lists and positional lookup.
-//! * [`gmr`] — the [`Gmr`](gmr::Gmr) collection type and its ring operations.
+//! * [`mod@gmr`] — the [`Gmr`] collection type and its ring operations.
 //! * [`rational`] — an exact rational number type used by the algebraic property tests
 //!   (runtime multiplicities are `f64` for performance; see DESIGN.md).
 //!

@@ -15,10 +15,77 @@ use crate::store::Database;
 use dbtoaster_agca::eval::{eval_with, Bindings, EvalError};
 use dbtoaster_agca::{UpdateEvent, UpdateSign};
 use dbtoaster_compiler::{Catalog, ResultAccess, Statement, StmtOp, TriggerProgram};
-use dbtoaster_gmr::{Gmr, Tuple, Value};
+use dbtoaster_gmr::{FastMap, Gmr, Tuple, Value};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The keys of one view that were touched since the last [`Engine::take_changes`].
+///
+/// `cleared` is set when a `:=` statement wiped the view, in which case `keys`
+/// only covers writes *after* the clear and a consumer should diff the view
+/// against its previous snapshot wholesale.
+#[derive(Clone, Debug, Default)]
+pub struct ViewChange {
+    /// The view was cleared by a re-evaluation statement.
+    pub cleared: bool,
+    /// Distinct keys written since the last drain (post-clear writes only when
+    /// `cleared` is set). The unit value map is used as a cheap hash set.
+    pub keys: FastMap<Tuple, ()>,
+}
+
+/// Changed-key log across all views, drained by [`Engine::take_changes`].
+///
+/// This is the hook the serving layer uses to turn statement-level writes into
+/// per-query output deltas: after a batch, each changed key's old multiplicity
+/// (previous snapshot) and new multiplicity (current snapshot) are compared.
+#[derive(Clone, Debug, Default)]
+pub struct ChangeSet {
+    /// Per-view change records, keyed by view name.
+    pub views: FastMap<String, ViewChange>,
+}
+
+impl ChangeSet {
+    fn record_key(&mut self, view: &str, key: Tuple) {
+        if let Some(c) = self.views.get_mut(view) {
+            c.keys.insert(key, ());
+        } else {
+            let mut c = ViewChange::default();
+            c.keys.insert(key, ());
+            self.views.insert(view.to_string(), c);
+        }
+    }
+
+    fn record_clear(&mut self, view: &str) {
+        let c = self.views.entry(view.to_string()).or_default();
+        c.cleared = true;
+        c.keys.clear();
+    }
+
+    /// Are there no recorded changes?
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Fold a newer change set into this one (`self` happened first). A newer
+    /// clear supersedes older keys; otherwise key sets union.
+    pub fn merge(&mut self, newer: ChangeSet) {
+        for (view, change) in newer.views {
+            match self.views.get_mut(&view) {
+                None => {
+                    self.views.insert(view, change);
+                }
+                Some(existing) => {
+                    if change.cleared {
+                        *existing = change;
+                    } else {
+                        existing.keys.extend(change.keys);
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// Errors raised while processing events.
 #[derive(Clone, Debug, PartialEq)]
@@ -76,6 +143,11 @@ impl From<EvalError> for RuntimeError {
 }
 
 /// Runtime statistics: event counts, processing time and memory footprint.
+///
+/// The batch-level counters (`batches`, `snapshots_published`,
+/// `subscriber_deltas`) stay zero on a plain single-threaded engine; the
+/// serving layer fills them in and surfaces the merged view through
+/// `ViewServer::stats()`.
 #[derive(Clone, Debug)]
 pub struct EngineStats {
     /// Events processed so far.
@@ -86,6 +158,12 @@ pub struct EngineStats {
     pub busy: Duration,
     /// Wall-clock time of engine creation.
     pub started: Instant,
+    /// Micro-batches drained by a serving writer loop.
+    pub batches: u64,
+    /// Snapshots published for concurrent readers.
+    pub snapshots_published: u64,
+    /// Output-delta records fanned out to subscribers (sum over subscribers).
+    pub subscriber_deltas: u64,
 }
 
 impl EngineStats {
@@ -95,6 +173,18 @@ impl EngineStats {
             statements: 0,
             busy: Duration::ZERO,
             started: Instant::now(),
+            batches: 0,
+            snapshots_published: 0,
+            subscriber_deltas: 0,
+        }
+    }
+
+    /// Average events per drained micro-batch (0.0 when not serving).
+    pub fn events_per_batch(&self) -> f64 {
+        if self.batches > 0 {
+            self.events as f64 / self.batches as f64
+        } else {
+            0.0
         }
     }
 
@@ -128,6 +218,8 @@ pub struct Engine {
     program: Arc<TriggerProgram>,
     db: Database,
     stats: EngineStats,
+    /// Changed-key log, present only while change tracking is enabled.
+    changes: Option<ChangeSet>,
 }
 
 impl Engine {
@@ -156,12 +248,50 @@ impl Engine {
             program: Arc::new(program),
             db,
             stats: EngineStats::new(),
+            changes: None,
         }
+    }
+
+    /// Enable or disable the changed-key log consumed by [`Engine::take_changes`].
+    /// Off by default; costs one cheap key clone per view write when on.
+    pub fn set_change_tracking(&mut self, enabled: bool) {
+        if enabled {
+            self.changes.get_or_insert_with(ChangeSet::default);
+        } else {
+            self.changes = None;
+        }
+    }
+
+    /// Drain the changed-key log accumulated since the last call (empty when
+    /// change tracking is disabled).
+    pub fn take_changes(&mut self) -> ChangeSet {
+        match self.changes.as_mut() {
+            Some(c) => std::mem::take(c),
+            None => ChangeSet::default(),
+        }
+    }
+
+    /// A consistent point-in-time snapshot of every view and stored relation:
+    /// name → GMR sharing the view's copy-on-write map. O(number of views).
+    pub fn snapshot(&self) -> FastMap<String, Gmr> {
+        self.db.snapshot()
+    }
+
+    /// Mutable access to the statistics (the serving layer records batch-level
+    /// counters here).
+    pub fn stats_mut(&mut self) -> &mut EngineStats {
+        &mut self.stats
     }
 
     /// The compiled program this engine executes.
     pub fn program(&self) -> &TriggerProgram {
         &self.program
+    }
+
+    /// A shared handle to the compiled program (for callers that outlive the
+    /// engine borrow, e.g. the serving layer's subscription resolver).
+    pub fn program_shared(&self) -> Arc<TriggerProgram> {
+        self.program.clone()
     }
 
     /// Load the contents of a static table (each row with multiplicity 1). Call
@@ -267,6 +397,9 @@ impl Engine {
     fn apply_base_update(&mut self, event: &UpdateEvent) {
         if let Some(view) = self.db.view_mut(&event.relation) {
             view.add(event.tuple.as_slice(), event.sign.multiplier());
+            if let Some(log) = self.changes.as_mut() {
+                log.record_key(&event.relation, Tuple::from(event.tuple.as_slice()));
+            }
         }
     }
 
@@ -283,6 +416,9 @@ impl Engine {
             .ok_or_else(|| RuntimeError::UnknownView(stmt.target.clone()))?;
         if stmt.op == StmtOp::Replace {
             target.clear();
+            if let Some(log) = self.changes.as_mut() {
+                log.record_clear(&stmt.target);
+            }
         }
         if result.is_empty() {
             return Ok(());
@@ -314,6 +450,9 @@ impl Engine {
                     Err(i) => row[*i].clone(),
                 })
                 .collect();
+            if let Some(log) = self.changes.as_mut() {
+                log.record_key(&stmt.target, key.clone());
+            }
             target.add(key, mult);
         }
         Ok(())

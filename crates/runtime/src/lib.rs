@@ -3,10 +3,10 @@
 //! A single-core, main-memory runtime that executes the trigger programs produced by
 //! `dbtoaster-compiler` (Section 7 of the paper):
 //!
-//! * [`store`] — the [`ViewMap`](store::ViewMap) keyed multiplicity map with secondary
-//!   indexes per binding pattern, and the [`Database`](store::Database) namespace of
+//! * [`store`] — the [`ViewMap`] keyed multiplicity map with secondary
+//!   indexes per binding pattern, and the [`Database`] namespace of
 //!   views, stored base relations and static tables;
-//! * [`engine`] — the [`Engine`](engine::Engine) that binds trigger variables, executes
+//! * [`engine`] — the [`Engine`] that binds trigger variables, executes
 //!   update statements in read-old / write / read-new order and exposes query results,
 //!   refresh-rate statistics and memory estimates.
 //!
@@ -40,11 +40,13 @@
 pub mod engine;
 pub mod store;
 
-pub use engine::{Engine, EngineStats, RuntimeError, TraceSample};
+pub use engine::{ChangeSet, Engine, EngineStats, RuntimeError, TraceSample, ViewChange};
 pub use store::{Database, ViewMap};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
-    pub use crate::engine::{Engine, EngineStats, RuntimeError, TraceSample};
+    pub use crate::engine::{
+        ChangeSet, Engine, EngineStats, RuntimeError, TraceSample, ViewChange,
+    };
     pub use crate::store::{Database, ViewMap};
 }

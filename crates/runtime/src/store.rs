@@ -34,15 +34,31 @@ use dbtoaster_agca::eval::{EvalError, RelationSource};
 use dbtoaster_gmr::hash::fast_map_with_capacity;
 use dbtoaster_gmr::{FastMap, Gmr, Schema, Tuple, Value};
 use parking_lot::RwLock;
+use std::sync::Arc;
 
 type Index = FastMap<Tuple, Vec<Tuple>>;
+/// A cached snapshot: the shared map and the view version it reflects.
+type SnapshotCache = Option<(u64, Arc<FastMap<Tuple, f64>>)>;
 
 /// A materialized view: tuples over a fixed-arity key mapped to `f64` multiplicities,
 /// with secondary hash indexes per binding pattern.
+///
+/// [`ViewMap::to_gmr`] hands out an immutable *shared* snapshot of the map
+/// ([`Gmr::from_shared`]) through a version-stamped cache: repeated snapshots
+/// of an unmutated view are O(1) Arc clones, and the O(n) copy is paid at most
+/// once per snapshot-after-mutation — at snapshot time, never on the write
+/// path. Writes stay plain hash-map operations with zero synchronization
+/// overhead (a version bump is one integer increment); this is what lets the
+/// serving layer publish consistent snapshots per micro-batch without slowing
+/// the single-threaded trigger hot path.
 #[derive(Debug)]
 pub struct ViewMap {
     schema: Schema,
     data: FastMap<Tuple, f64>,
+    /// Bumped on every mutation; stamps the snapshot cache.
+    version: u64,
+    /// Last snapshot handed out, valid while its version matches.
+    snapshot_cache: RwLock<SnapshotCache>,
     /// Secondary indexes: bitmask of bound key positions → (projected key → full keys).
     indexes: RwLock<FastMap<u64, Index>>,
 }
@@ -52,6 +68,8 @@ impl Clone for ViewMap {
         ViewMap {
             schema: self.schema.clone(),
             data: self.data.clone(),
+            version: self.version,
+            snapshot_cache: RwLock::new(self.snapshot_cache.read().clone()),
             indexes: RwLock::new(self.indexes.read().clone()),
         }
     }
@@ -63,6 +81,8 @@ impl ViewMap {
         ViewMap {
             schema,
             data: FastMap::default(),
+            version: 0,
+            snapshot_cache: RwLock::new(None),
             indexes: RwLock::new(FastMap::default()),
         }
     }
@@ -104,6 +124,7 @@ impl ViewMap {
         let key = key.into();
         debug_assert_eq!(key.len(), self.schema.arity(), "key arity mismatch");
         use std::collections::hash_map::Entry;
+        self.version = self.version.wrapping_add(1);
 
         let indexes = self.indexes.get_mut();
         if indexes.is_empty() {
@@ -159,6 +180,7 @@ impl ViewMap {
 
     /// Remove all entries (used by `:=` statements).
     pub fn clear(&mut self) {
+        self.version = self.version.wrapping_add(1);
         self.data.clear();
         self.indexes.get_mut().clear();
     }
@@ -219,19 +241,41 @@ impl ViewMap {
         self.indexes.write().insert(mask, index);
     }
 
-    /// Snapshot the view contents as a GMR over its key schema.
+    /// Snapshot the view contents as an immutable shared GMR. O(1) while the
+    /// view is unmutated since the last snapshot (the cached Arc is reused);
+    /// otherwise one O(n) copy, paid here rather than on the write path.
     pub fn to_gmr(&self) -> Gmr {
-        let mut g = Gmr::with_capacity(self.schema.clone(), self.len());
-        for (k, m) in self.iter() {
-            g.add_tuple(k.clone(), m);
+        {
+            let cache = self.snapshot_cache.read();
+            if let Some((version, arc)) = cache.as_ref() {
+                if *version == self.version {
+                    return Gmr::from_shared(self.schema.clone(), arc.clone());
+                }
+            }
         }
-        g
+        let arc = Arc::new(self.data.clone());
+        *self.snapshot_cache.write() = Some((self.version, arc.clone()));
+        Gmr::from_shared(self.schema.clone(), arc)
     }
 
     /// Replace the contents of the view from a GMR (columns matched by name when the
     /// schemas share the same column set, positionally otherwise).
     pub fn load_gmr(&mut self, gmr: &Gmr) {
         self.clear();
+        if gmr.schema() == &self.schema {
+            // Identical schemas: copy the map wholesale; a shared source also
+            // primes the snapshot cache (the contents are identical).
+            match gmr.shared_data() {
+                Some(arc) => {
+                    self.data = (**arc).clone();
+                    *self.snapshot_cache.get_mut() = Some((self.version, arc.clone()));
+                }
+                None => {
+                    self.data = gmr.iter().map(|(t, m)| (t.clone(), m)).collect();
+                }
+            }
+            return;
+        }
         let positions: Option<Vec<usize>> = if gmr.schema().same_columns(&self.schema) {
             self.schema
                 .columns()
@@ -340,6 +384,15 @@ impl Database {
     /// Total approximate memory footprint of all views, in bytes.
     pub fn approx_bytes(&self) -> usize {
         self.maps.values().map(|m| m.approx_bytes()).sum()
+    }
+
+    /// A consistent point-in-time snapshot of every view: name → GMR sharing the
+    /// view's copy-on-write map. O(number of views), independent of their sizes.
+    pub fn snapshot(&self) -> FastMap<String, Gmr> {
+        self.maps
+            .iter()
+            .map(|(n, v)| (n.clone(), v.to_gmr()))
+            .collect()
     }
 }
 
@@ -468,13 +521,30 @@ mod tests {
         db.declare("R", vec!["a".to_string(), "b".to_string()]);
         db.view_mut("R").unwrap().add(key(&[1, 2]), 1.0);
         assert_eq!(db.relation_arity("R"), Some(2));
-        let rows = db
-            .iter_matching("R", &[Some(Value::long(1)), None])
+        let mut rows = 0;
+        db.for_each_matching("R", &[Some(Value::long(1)), None], &mut |_, _| rows += 1)
             .unwrap();
-        assert_eq!(rows.len(), 1);
-        assert!(db.iter_matching("Nope", &[]).is_err());
+        assert_eq!(rows, 1);
+        assert!(db.for_each_matching("Nope", &[], &mut |_, _| {}).is_err());
         assert!(db.approx_bytes() > 0);
         assert_eq!(db.names().collect::<Vec<_>>(), vec!["R"]);
+    }
+
+    #[test]
+    fn to_gmr_snapshot_is_isolated_from_later_writes() {
+        let mut v = ViewMap::new(Schema::new(["a", "b"]));
+        v.add(key(&[1, 10]), 1.0);
+        let snap = v.to_gmr();
+        v.add(key(&[1, 10]), 2.0);
+        v.add(key(&[2, 20]), 4.0);
+        assert_eq!(snap.get(&key(&[1, 10])), 1.0);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(v.get(&key(&[1, 10])), 3.0);
+        // A snapshot also survives a clear (`:=` statements).
+        let snap2 = v.to_gmr();
+        v.clear();
+        assert_eq!(snap2.len(), 2);
+        assert!(v.is_empty());
     }
 
     #[test]

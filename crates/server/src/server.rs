@@ -1,0 +1,920 @@
+//! The view server: single-writer ingest, epoch-published snapshots, and
+//! output-delta subscriptions.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  IngestHandle ──┐                       ┌──> ReaderHandle::snapshot()  (wait-free)
+//!  IngestHandle ──┤  bounded MPSC queue   │
+//!  IngestHandle ──┴──> [writer thread] ───┤──> ReaderHandle::query(name)
+//!                      drains micro-      │
+//!                      batches, applies   └──> Subscription::recv()
+//!                      deltas, publishes       (per-batch output deltas)
+//!                      snapshots
+//! ```
+//!
+//! One writer thread owns the [`Engine`] and is the only mutator. Producers push
+//! [`UpdateEvent`]s through a bounded channel ([`IngestHandle::send`] applies
+//! backpressure when the queue is full). The writer drains up to
+//! [`ServerConfig::max_batch`] queued events at a time, fires the compiled
+//! triggers for each, and then **publishes**: it takes an O(#views) snapshot
+//! (each view's copy-on-write map is shared, not copied), computes per-query
+//! output deltas from the engine's changed-key log, swaps the snapshot into an
+//! [`EpochCell`], and fans the deltas out to subscribers.
+//!
+//! ## Consistency guarantee
+//!
+//! A [`Snapshot`] is immutable and **batch-atomic**: it reflects all statements
+//! of every event up to and including the last event of some micro-batch, and
+//! nothing of any later event. Readers can therefore evaluate cross-view
+//! invariants (e.g. `SUM(value_view) == events_applied`) on any snapshot and
+//! they hold exactly; a torn view is impossible by construction because the
+//! writer only publishes between batches. Snapshot acquisition is wait-free and
+//! never blocks the writer (see [`crate::swap`] for the reclamation protocol).
+//!
+//! Subscriptions see the same batch boundaries: each [`DeltaBatch`] carries the
+//! epoch of the snapshot it produced, and replaying batches `1..=e` on top of
+//! the subscription's baseline snapshot reconstructs the epoch-`e` view state
+//! bit-exactly (new multiplicities are copied verbatim from the view, not
+//! re-derived).
+
+use crate::results::{assemble_result, ResultRow, ResultTable};
+use crate::swap::EpochCell;
+use dbtoaster_agca::eval::{eval_with, matches_pattern, Bindings, EvalError, RelationSource};
+use dbtoaster_agca::UpdateEvent;
+use dbtoaster_compiler::{ResultAccess, TriggerProgram};
+use dbtoaster_gmr::{FastMap, Gmr, Tuple, Value};
+use dbtoaster_runtime::{ChangeSet, Engine, EngineStats, RuntimeError};
+use dbtoaster_sql::OutputColumn;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError as MpscTrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Sizing knobs for a [`ViewServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Capacity (in messages) of the bounded ingest queue;
+    /// [`IngestHandle::send`] blocks (backpressure) when it is full.
+    pub queue_capacity: usize,
+    /// Maximum events drained into one micro-batch, and the event count that
+    /// forces a publish regardless of [`ServerConfig::publish_interval`].
+    pub max_batch: usize,
+    /// Coalescing window: under sustained load the writer publishes a fresh
+    /// snapshot at least this often rather than after every drained batch,
+    /// amortizing the per-publish copy-on-write cost. Zero publishes after
+    /// every batch. Barriers ([`ViewServer::flush`]) always force a publish,
+    /// so staleness is bounded by this interval.
+    pub publish_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 8192,
+            max_batch: 512,
+            publish_interval: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Errors surfaced by the serving layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The named query is not served.
+    UnknownQuery(String),
+    /// A view referenced by a query plan is missing from the snapshot.
+    UnknownView(String),
+    /// The query exists but its output is spread over several maintained views
+    /// (multiple aggregates, or `AVG` as SUM/COUNT); subscribe to one of the
+    /// listed views instead.
+    MultiViewOutput {
+        /// The query that was asked for.
+        query: String,
+        /// The individually subscribable backing views.
+        views: Vec<String>,
+    },
+    /// The server's writer thread has shut down.
+    Closed,
+    /// A runtime error recorded by the writer thread.
+    Runtime(RuntimeError),
+    /// Evaluating a computed result against a snapshot failed.
+    Eval(EvalError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownQuery(q) => write!(f, "unknown query {q}"),
+            ServeError::UnknownView(v) => write!(f, "unknown view {v}"),
+            ServeError::MultiViewOutput { query, views } => write!(
+                f,
+                "query {query} is backed by several views; subscribe to one of: {}",
+                views.join(", ")
+            ),
+            ServeError::Closed => write!(f, "view server is shut down"),
+            ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
+            ServeError::Eval(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// An immutable, batch-atomic snapshot of every maintained view.
+#[derive(Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    events_applied: u64,
+    degraded: bool,
+    views: FastMap<String, Gmr>,
+}
+
+impl Snapshot {
+    /// The publish epoch (0 = initial state, +1 per published batch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total events applied by the writer when this snapshot was taken.
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    /// `true` once the writer has hit a runtime error: a failing event may be
+    /// *partially* applied (there is no statement rollback), so cross-view
+    /// invariants are no longer guaranteed from that point on. The first error
+    /// is available through `ViewServer::last_error`.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// A maintained view (or stored relation) by name.
+    pub fn view(&self, name: &str) -> Option<&Gmr> {
+        self.views.get(name)
+    }
+
+    /// Names of all views in the snapshot (unordered).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.views.keys().map(String::as_str)
+    }
+}
+
+impl RelationSource for Snapshot {
+    fn relation_arity(&self, name: &str) -> Option<usize> {
+        self.views.get(name).map(|g| g.schema().arity())
+    }
+
+    fn for_each_matching(
+        &self,
+        name: &str,
+        pattern: &[Option<Value>],
+        visit: &mut dyn FnMut(&[Value], f64),
+    ) -> Result<(), EvalError> {
+        let g = self
+            .views
+            .get(name)
+            .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))?;
+        if !pattern.is_empty() && pattern.iter().all(Option::is_some) {
+            // Fully bound: a single map probe instead of a scan.
+            let key: Tuple = pattern.iter().map(|p| p.clone().unwrap()).collect();
+            let m = g.get(&key);
+            if m != 0.0 {
+                visit(&key, m);
+            }
+            return Ok(());
+        }
+        for (t, m) in g.iter() {
+            if matches_pattern(t, pattern) {
+                visit(t, m);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One output change of a subscribed query: a key moved from `old_mult` to
+/// `new_mult` (either side may be 0.0 for appearing/disappearing keys).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutputDelta {
+    /// The result key (group-by values; empty for scalar queries).
+    pub key: Tuple,
+    /// Multiplicity before the batch.
+    pub old_mult: f64,
+    /// Multiplicity after the batch (copied verbatim from the new snapshot).
+    pub new_mult: f64,
+}
+
+/// The output deltas one micro-batch produced for one subscription.
+#[derive(Clone, Debug)]
+pub struct DeltaBatch {
+    /// Epoch of the snapshot these deltas lead up to.
+    pub epoch: u64,
+    /// Changed keys with their old and new multiplicities.
+    pub deltas: Vec<OutputDelta>,
+}
+
+/// The serving-side description of one query: how to assemble its result table
+/// and (via the compiled program) how to read its output for subscriptions.
+#[derive(Clone, Debug)]
+pub struct ServedQuery {
+    /// Query name.
+    pub name: String,
+    /// Group-by variables (key columns of the maintained views).
+    pub group_by: Vec<String>,
+    /// Output columns in select-list order (empty when the query was registered
+    /// without a SQL plan; results then fall back to the raw result access).
+    pub outputs: Vec<OutputColumn>,
+}
+
+enum Msg {
+    Event(UpdateEvent),
+    Events(Vec<UpdateEvent>),
+    Barrier(mpsc::Sender<u64>),
+    Subscribe(SubscribeReq),
+    Stop,
+}
+
+struct SubscribeReq {
+    access: ResultAccess,
+    tx: mpsc::Sender<DeltaBatch>,
+    ack: mpsc::Sender<Arc<Snapshot>>,
+}
+
+struct Subscriber {
+    access: ResultAccess,
+    tx: mpsc::Sender<DeltaBatch>,
+}
+
+/// Batch-level counters mirrored out of the writer thread.
+#[derive(Debug)]
+struct StatsCell {
+    events: AtomicU64,
+    statements: AtomicU64,
+    busy_nanos: AtomicU64,
+    batches: AtomicU64,
+    snapshots_published: AtomicU64,
+    subscriber_deltas: AtomicU64,
+    started: Instant,
+}
+
+struct Shared {
+    cell: EpochCell<Snapshot>,
+    stats: StatsCell,
+    queries: FastMap<String, ServedQuery>,
+    program: Arc<TriggerProgram>,
+    error: Mutex<Option<RuntimeError>>,
+}
+
+/// A concurrent serving wrapper around a compiled engine: one writer thread,
+/// any number of lock-free readers and delta subscribers. See the module docs
+/// for the architecture and consistency guarantee.
+pub struct ViewServer {
+    shared: Arc<Shared>,
+    tx: SyncSender<Msg>,
+    writer: Option<JoinHandle<Engine>>,
+}
+
+impl ViewServer {
+    /// Start serving: moves `engine` into a dedicated writer thread and
+    /// publishes its current state as the epoch-0 snapshot.
+    pub fn spawn(mut engine: Engine, queries: Vec<ServedQuery>, config: ServerConfig) -> Self {
+        // Change tracking is enabled lazily, once the first subscriber joins;
+        // snapshot-only serving pays nothing for the changed-key log.
+        engine.set_change_tracking(false);
+        engine.take_changes(); // drop changes from any pre-serve processing
+        let initial = Arc::new(Snapshot {
+            epoch: 0,
+            events_applied: engine.stats().events,
+            degraded: false,
+            views: engine.snapshot(),
+        });
+        let shared = Arc::new(Shared {
+            cell: EpochCell::new(initial.clone()),
+            stats: StatsCell {
+                events: AtomicU64::new(engine.stats().events),
+                statements: AtomicU64::new(engine.stats().statements),
+                busy_nanos: AtomicU64::new(engine.stats().busy.as_nanos() as u64),
+                batches: AtomicU64::new(0),
+                snapshots_published: AtomicU64::new(0),
+                subscriber_deltas: AtomicU64::new(0),
+                started: Instant::now(),
+            },
+            queries: queries.into_iter().map(|q| (q.name.clone(), q)).collect(),
+            program: engine.program_shared(),
+            error: Mutex::new(None),
+        });
+        let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
+        let writer = {
+            let shared = shared.clone();
+            thread::Builder::new()
+                .name("dbtoaster-writer".into())
+                .spawn(move || writer_loop(engine, rx, shared, initial, config))
+                .expect("failed to spawn writer thread")
+        };
+        ViewServer {
+            shared,
+            tx,
+            writer: Some(writer),
+        }
+    }
+
+    /// A cloneable producer handle onto the bounded ingest queue.
+    pub fn handle(&self) -> IngestHandle {
+        IngestHandle {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// A new reader handle with its own registered pin slot. One handle serves
+    /// one thread; create (or clone) one per reader thread.
+    pub fn reader(&self) -> ReaderHandle {
+        ReaderHandle {
+            pin: self.shared.cell.register_pin(),
+            shared: self.shared.clone(),
+            _single_thread: PhantomData,
+        }
+    }
+
+    /// Subscribe to a query's output deltas. The registration travels through
+    /// the ingest queue, so the returned subscription's baseline snapshot and
+    /// its first delta batch line up exactly: replaying every received batch on
+    /// the baseline reconstructs the current result.
+    ///
+    /// Map-backed queries (the common case) compute deltas from the engine's
+    /// changed-key log — O(changed keys) per publish. Queries with
+    /// `ResultAccess::Computed` are re-evaluated against the old and new
+    /// snapshots on every publish, and snapshot evaluation has no secondary
+    /// indexes; keep such subscriptions off large views or widen
+    /// [`ServerConfig::publish_interval`].
+    pub fn subscribe(&self, query: &str) -> Result<Subscription, ServeError> {
+        let access = self.resolve_access(query)?;
+        let (tx, rx) = mpsc::channel();
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Subscribe(SubscribeReq {
+                access,
+                tx,
+                ack: ack_tx,
+            }))
+            .map_err(|_| ServeError::Closed)?;
+        let baseline = ack_rx.recv().map_err(|_| ServeError::Closed)?;
+        Ok(Subscription {
+            query: query.to_string(),
+            baseline,
+            rx,
+        })
+    }
+
+    /// How a query's output is read, for delta computation.
+    fn resolve_access(&self, query: &str) -> Result<ResultAccess, ServeError> {
+        // 1. A query served with a SQL plan: a single aggregate output reads its
+        //    backing view directly. Multi-aggregate (or AVG) queries spread
+        //    their output over several views — each is subscribable on its own,
+        //    so point the caller at them instead of a misleading "unknown".
+        if let Some(sq) = self.shared.queries.get(query) {
+            let aggs: Vec<&OutputColumn> = sq
+                .outputs
+                .iter()
+                .filter(|o| !matches!(o, OutputColumn::GroupBy { .. }))
+                .collect();
+            if let [OutputColumn::Aggregate { view, .. }] = aggs.as_slice() {
+                return Ok(ResultAccess::Map(view.clone()));
+            }
+            if !aggs.is_empty() {
+                let mut views = Vec::new();
+                for out in aggs {
+                    match out {
+                        OutputColumn::Aggregate { view, .. } => views.push(view.clone()),
+                        OutputColumn::Average {
+                            sum_view,
+                            count_view,
+                            ..
+                        } => {
+                            views.push(sum_view.clone());
+                            views.push(count_view.clone());
+                        }
+                        OutputColumn::GroupBy { .. } => {}
+                    }
+                }
+                return Err(ServeError::MultiViewOutput {
+                    query: query.to_string(),
+                    views,
+                });
+            }
+        }
+        // 2. A compiled program result (covers engine-level spawns).
+        if let Some(r) = self.shared.program.results.iter().find(|r| r.name == query) {
+            return Ok(r.access.clone());
+        }
+        // 3. A raw maintained view or stored relation.
+        if self.shared.cell.load_unpinned().view(query).is_some() {
+            return Ok(ResultAccess::Map(query.to_string()));
+        }
+        Err(ServeError::UnknownQuery(query.to_string()))
+    }
+
+    /// Block until every event enqueued before this call is applied and
+    /// published; returns the epoch of the covering snapshot.
+    pub fn flush(&self) -> Result<u64, ServeError> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Barrier(ack_tx))
+            .map_err(|_| ServeError::Closed)?;
+        ack_rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Merged engine + serving statistics (events, batches, publishes, fan-out).
+    pub fn stats(&self) -> EngineStats {
+        let s = &self.shared.stats;
+        EngineStats {
+            events: s.events.load(Relaxed),
+            statements: s.statements.load(Relaxed),
+            busy: Duration::from_nanos(s.busy_nanos.load(Relaxed)),
+            started: s.started,
+            batches: s.batches.load(Relaxed),
+            snapshots_published: s.snapshots_published.load(Relaxed),
+            subscriber_deltas: s.subscriber_deltas.load(Relaxed),
+        }
+    }
+
+    /// The first runtime error the writer hit, if any. The writer keeps
+    /// serving, but a failing event may have been *partially* applied (there
+    /// is no statement rollback), so snapshots published after the error carry
+    /// [`Snapshot::degraded`] and cross-view invariants are no longer
+    /// guaranteed.
+    pub fn last_error(&self) -> Option<RuntimeError> {
+        self.shared
+            .error
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.shared.cell.epoch()
+    }
+
+    /// Stop the writer (after it drains messages queued ahead of the stop
+    /// request) and take the engine back for single-threaded use.
+    pub fn shutdown(mut self) -> Result<Engine, ServeError> {
+        let _ = self.tx.send(Msg::Stop);
+        let writer = self.writer.take().expect("writer present until shutdown");
+        writer.join().map_err(|_| ServeError::Closed)
+    }
+}
+
+impl Drop for ViewServer {
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.take() {
+            let _ = self.tx.send(Msg::Stop);
+            let _ = writer.join();
+        }
+    }
+}
+
+/// A cloneable producer handle for the bounded ingest queue.
+#[derive(Clone)]
+pub struct IngestHandle {
+    tx: SyncSender<Msg>,
+}
+
+impl IngestHandle {
+    /// Enqueue one update, blocking while the queue is full (backpressure).
+    pub fn send(&self, event: UpdateEvent) -> Result<(), ServeError> {
+        self.tx
+            .send(Msg::Event(event))
+            .map_err(|_| ServeError::Closed)
+    }
+
+    /// Enqueue one update without blocking; hands the event back when the queue
+    /// is full or the server is down.
+    pub fn try_send(&self, event: UpdateEvent) -> Result<(), TrySendError> {
+        self.tx.try_send(Msg::Event(event)).map_err(|e| match e {
+            MpscTrySendError::Full(Msg::Event(ev)) => TrySendError::Full(ev),
+            MpscTrySendError::Disconnected(Msg::Event(ev)) => TrySendError::Closed(ev),
+            _ => unreachable!("try_send only wraps events"),
+        })
+    }
+
+    /// Enqueue a stream of updates in chunks, amortizing the per-message queue
+    /// cost (one queue slot carries up to 128 events). Blocks on a full queue.
+    pub fn send_batch(
+        &self,
+        events: impl IntoIterator<Item = UpdateEvent>,
+    ) -> Result<(), ServeError> {
+        const CHUNK: usize = 128;
+        let mut buf: Vec<UpdateEvent> = Vec::with_capacity(CHUNK);
+        for ev in events {
+            buf.push(ev);
+            if buf.len() == CHUNK {
+                let full = std::mem::replace(&mut buf, Vec::with_capacity(CHUNK));
+                self.tx
+                    .send(Msg::Events(full))
+                    .map_err(|_| ServeError::Closed)?;
+            }
+        }
+        if !buf.is_empty() {
+            self.tx
+                .send(Msg::Events(buf))
+                .map_err(|_| ServeError::Closed)?;
+        }
+        Ok(())
+    }
+}
+
+/// A rejected [`IngestHandle::try_send`], carrying the event back to the caller.
+#[derive(Clone, Debug)]
+pub enum TrySendError {
+    /// The ingest queue is full.
+    Full(UpdateEvent),
+    /// The server is shut down.
+    Closed(UpdateEvent),
+}
+
+/// A lock-free snapshot reader. `Send` but intentionally `!Sync`: each handle
+/// owns a pin slot that one thread at a time may use — clone the handle (or
+/// call [`ViewServer::reader`]) for every reader thread.
+pub struct ReaderHandle {
+    shared: Arc<Shared>,
+    pin: Arc<AtomicU64>,
+    _single_thread: PhantomData<std::cell::Cell<()>>,
+}
+
+impl Clone for ReaderHandle {
+    fn clone(&self) -> Self {
+        ReaderHandle {
+            pin: self.shared.cell.register_pin(),
+            shared: self.shared.clone(),
+            _single_thread: PhantomData,
+        }
+    }
+}
+
+impl ReaderHandle {
+    /// Acquire the current snapshot. Wait-free; never blocks the writer.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.shared.cell.load(&self.pin)
+    }
+
+    /// The epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.shared.cell.epoch()
+    }
+
+    /// A maintained view from the current snapshot (O(1): the GMR shares the
+    /// snapshot's map).
+    pub fn view(&self, name: &str) -> Option<Gmr> {
+        self.snapshot().view(name).cloned()
+    }
+
+    /// Assemble the full result table of a served query from the current
+    /// snapshot. Consistent: every referenced view comes from one snapshot.
+    pub fn query(&self, name: &str) -> Result<ResultTable, ServeError> {
+        let snap = self.snapshot();
+        if let Some(sq) = self.shared.queries.get(name) {
+            if !sq.outputs.is_empty() {
+                return assemble_result(&sq.outputs, &sq.group_by, &mut |v| snap.view(v).cloned())
+                    .map_err(ServeError::UnknownView);
+            }
+        }
+        if let Some(r) = self.shared.program.results.iter().find(|r| r.name == name) {
+            let gmr = match &r.access {
+                ResultAccess::Map(v) => snap
+                    .view(v)
+                    .cloned()
+                    .ok_or_else(|| ServeError::UnknownView(v.clone()))?,
+                ResultAccess::Computed { expr, .. } => {
+                    eval_with(expr, &*snap, &mut Bindings::new()).map_err(ServeError::Eval)?
+                }
+            };
+            return Ok(table_from_gmr(name, &gmr));
+        }
+        match snap.view(name) {
+            Some(g) => Ok(table_from_gmr(name, g)),
+            None => Err(ServeError::UnknownQuery(name.to_string())),
+        }
+    }
+}
+
+/// Render a raw GMR as a result table: key columns followed by one
+/// multiplicity column named after the query.
+fn table_from_gmr(name: &str, gmr: &Gmr) -> ResultTable {
+    let mut columns: Vec<String> = gmr.schema().columns().to_vec();
+    columns.push(name.to_string());
+    let rows = gmr
+        .iter()
+        .map(|(t, m)| ResultRow {
+            key: t.to_vec(),
+            values: vec![m],
+        })
+        .collect();
+    ResultTable { columns, rows }
+}
+
+/// A stream of per-batch output deltas for one query, starting from a baseline
+/// snapshot. Replaying every received batch onto the baseline reconstructs the
+/// live result exactly.
+pub struct Subscription {
+    query: String,
+    baseline: Arc<Snapshot>,
+    rx: Receiver<DeltaBatch>,
+}
+
+impl Subscription {
+    /// The subscribed query name.
+    pub fn query(&self) -> &str {
+        &self.query
+    }
+
+    /// The snapshot this subscription's delta stream starts from.
+    pub fn baseline(&self) -> &Arc<Snapshot> {
+        &self.baseline
+    }
+
+    /// Wait for the next delta batch — one arrives per published snapshot,
+    /// with empty `deltas` when this query's output did not change in that
+    /// batch. `None` once the server is shut down and all pending batches
+    /// were consumed.
+    pub fn recv(&self) -> Option<DeltaBatch> {
+        self.rx.recv().ok()
+    }
+
+    /// Take the next delta batch if one is ready.
+    pub fn try_recv(&self) -> Option<DeltaBatch> {
+        self.rx.try_recv().ok()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer thread
+// ---------------------------------------------------------------------------
+
+fn writer_loop(
+    mut engine: Engine,
+    rx: Receiver<Msg>,
+    shared: Arc<Shared>,
+    mut last: Arc<Snapshot>,
+    config: ServerConfig,
+) -> Engine {
+    use std::sync::mpsc::RecvTimeoutError;
+
+    let max_batch = config.max_batch.max(1);
+    let mut subscribers: Vec<Subscriber> = Vec::new();
+    // Continue from the engine's pre-serve processing time so the mirrored
+    // busy counter never goes backwards.
+    let mut serve_busy = engine.stats().busy;
+    let mut epoch = 0u64;
+    let mut batch: Vec<UpdateEvent> = Vec::with_capacity(max_batch);
+    // Events applied but not yet published, with their merged changed-key log.
+    // Publishing is *coalesced*: under sustained load the writer publishes once
+    // per `publish_interval` (or every `max_batch` events, whichever comes
+    // first) instead of after every drained batch, amortizing the per-publish
+    // copy-on-write cost while keeping snapshot staleness bounded.
+    let mut pending = ChangeSet::default();
+    let mut pending_events = 0u64;
+    let mut last_publish = Instant::now();
+    let mut stop = false;
+    let mut disconnected = false;
+    let mut tracking = false;
+    let mut degraded = false;
+
+    while !stop && !disconnected {
+        // Wait for work; with unpublished events, wait at most until the
+        // publish deadline so idle periods cannot leave stale snapshots.
+        let first = if pending_events == 0 {
+            match rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => {
+                    disconnected = true; // every producer handle is gone
+                    None
+                }
+            }
+        } else {
+            let wait = config
+                .publish_interval
+                .saturating_sub(last_publish.elapsed());
+            match rx.recv_timeout(wait) {
+                Ok(m) => Some(m),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    None
+                }
+            }
+        };
+
+        batch.clear();
+        let mut barriers: Vec<mpsc::Sender<u64>> = Vec::new();
+        let mut joining: Vec<SubscribeReq> = Vec::new();
+        let mut staged = first;
+        while let Some(msg) = staged.take() {
+            match msg {
+                Msg::Event(ev) => batch.push(ev),
+                Msg::Events(evs) => batch.extend(evs),
+                Msg::Barrier(tx) => barriers.push(tx),
+                Msg::Subscribe(req) => joining.push(req),
+                Msg::Stop => {
+                    stop = true;
+                    break;
+                }
+            }
+            if batch.len() >= max_batch {
+                break;
+            }
+            staged = rx.try_recv().ok();
+        }
+
+        let t0 = Instant::now();
+        for ev in &batch {
+            if let Err(e) = engine.process(ev) {
+                degraded = true;
+                let mut slot = shared.error.lock().unwrap_or_else(|p| p.into_inner());
+                slot.get_or_insert(e);
+            }
+        }
+        pending.merge(engine.take_changes());
+        pending_events += batch.len() as u64;
+        if !batch.is_empty() {
+            engine.stats_mut().batches += 1;
+            shared.stats.batches.fetch_add(1, Relaxed);
+        }
+
+        // Joining subscribers force a publish so their baseline snapshot covers
+        // every event processed before change tracking turns on for them.
+        let due = pending_events > 0
+            && (stop
+                || disconnected
+                || !barriers.is_empty()
+                || !joining.is_empty()
+                || pending_events >= max_batch as u64
+                || last_publish.elapsed() >= config.publish_interval);
+        if due {
+            epoch += 1;
+            let snap = Arc::new(Snapshot {
+                epoch,
+                events_applied: engine.stats().events,
+                degraded,
+                views: engine.snapshot(),
+            });
+            let changes = std::mem::take(&mut pending);
+            pending_events = 0;
+            let fanned = fan_out(&mut subscribers, &changes, &last, &snap, epoch, &shared);
+            shared.cell.publish(snap.clone());
+            last = snap;
+            last_publish = Instant::now();
+
+            let stats = engine.stats_mut();
+            stats.snapshots_published += 1;
+            stats.subscriber_deltas += fanned;
+            shared.stats.snapshots_published.fetch_add(1, Relaxed);
+            shared.stats.subscriber_deltas.fetch_add(fanned, Relaxed);
+        }
+        serve_busy += t0.elapsed();
+
+        // Mirror the stats before acking barriers so a caller returning from
+        // `flush()` observes counters that cover its events.
+        let s = engine.stats();
+        shared.stats.events.store(s.events, Relaxed);
+        shared.stats.statements.store(s.statements, Relaxed);
+        shared
+            .stats
+            .busy_nanos
+            .store(serve_busy.as_nanos() as u64, Relaxed);
+
+        for req in joining.drain(..) {
+            // The baseline is the last published snapshot: the subscriber's
+            // first delta batch is computed against exactly that state.
+            let _ = req.ack.send(last.clone());
+            subscribers.push(Subscriber {
+                access: req.access,
+                tx: req.tx,
+            });
+        }
+        for tx in barriers.drain(..) {
+            // `due` above guarantees all events ahead of this barrier are
+            // published, so `epoch` covers them.
+            let _ = tx.send(epoch);
+        }
+
+        // The changed-key log only costs while someone consumes it. Subscriber
+        // arrivals and departures both coincide with a publish, so `pending`
+        // is empty at every toggle and no window of changes is lost.
+        let want_tracking = !subscribers.is_empty();
+        if want_tracking != tracking {
+            engine.set_change_tracking(want_tracking);
+            tracking = want_tracking;
+        }
+    }
+    engine
+}
+
+/// Compute and deliver each subscriber's delta batch, dropping subscribers
+/// whose receiver is gone; returns the number of delta records delivered.
+/// Every subscriber receives a message per publish (empty when its query's
+/// output did not change), which doubles as the liveness probe that lets the
+/// writer prune dropped subscribers and turn change tracking back off.
+fn fan_out(
+    subscribers: &mut Vec<Subscriber>,
+    changes: &ChangeSet,
+    old: &Snapshot,
+    new: &Snapshot,
+    epoch: u64,
+    shared: &Shared,
+) -> u64 {
+    let mut fanned = 0u64;
+    subscribers.retain(|sub| {
+        let deltas = match output_deltas(&sub.access, changes, old, new) {
+            Ok(deltas) => deltas,
+            Err(e) => {
+                // A failed evaluation must not masquerade as "no changes":
+                // record it and drop nothing — the subscriber keeps its stream
+                // and the error surfaces through `last_error`.
+                let mut slot = shared.error.lock().unwrap_or_else(|p| p.into_inner());
+                slot.get_or_insert(RuntimeError::Eval(e));
+                Vec::new()
+            }
+        };
+        let count = deltas.len() as u64;
+        if sub.tx.send(DeltaBatch { epoch, deltas }).is_ok() {
+            fanned += count;
+            true
+        } else {
+            false
+        }
+    });
+    fanned
+}
+
+/// The output deltas of one query between two consecutive snapshots.
+fn output_deltas(
+    access: &ResultAccess,
+    changes: &ChangeSet,
+    old: &Snapshot,
+    new: &Snapshot,
+) -> Result<Vec<OutputDelta>, EvalError> {
+    match access {
+        ResultAccess::Map(view) => {
+            let Some(ch) = changes.views.get(view) else {
+                return Ok(Vec::new());
+            };
+            let old_view = old.view(view);
+            let new_view = new.view(view);
+            if ch.cleared {
+                return Ok(full_diff(old_view, new_view));
+            }
+            let mut out = Vec::new();
+            for key in ch.keys.keys() {
+                let o = old_view.map_or(0.0, |g| g.get(key));
+                let n = new_view.map_or(0.0, |g| g.get(key));
+                if o != n {
+                    out.push(OutputDelta {
+                        key: key.clone(),
+                        old_mult: o,
+                        new_mult: n,
+                    });
+                }
+            }
+            Ok(out)
+        }
+        ResultAccess::Computed { expr, .. } => {
+            let old_res = eval_with(expr, old, &mut Bindings::new())?;
+            let new_res = eval_with(expr, new, &mut Bindings::new())?;
+            Ok(full_diff(Some(&old_res), Some(&new_res)))
+        }
+    }
+}
+
+/// Diff two result states key-by-key.
+fn full_diff(old: Option<&Gmr>, new: Option<&Gmr>) -> Vec<OutputDelta> {
+    let mut out = Vec::new();
+    if let Some(o) = old {
+        for (key, om) in o.iter() {
+            let nm = new.map_or(0.0, |g| g.get(key));
+            if om != nm {
+                out.push(OutputDelta {
+                    key: key.clone(),
+                    old_mult: om,
+                    new_mult: nm,
+                });
+            }
+        }
+    }
+    if let Some(n) = new {
+        for (key, nm) in n.iter() {
+            let missing = old.is_none_or(|g| g.get(key) == 0.0);
+            if missing && nm != 0.0 {
+                out.push(OutputDelta {
+                    key: key.clone(),
+                    old_mult: 0.0,
+                    new_mult: nm,
+                });
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,224 @@
+//! Epoch-pinned Arc publication: the lock-free snapshot cell of the serving layer.
+//!
+//! [`EpochCell`] holds the current snapshot as an `Arc<T>` published through a raw
+//! [`AtomicPtr`]. A **single writer** installs new snapshots with
+//! [`EpochCell::publish`]; any number of readers acquire the current snapshot
+//! through their registered pin slots (`EpochCell::load`). The read path is
+//! wait-free — one pin store, one pointer
+//! load, one refcount increment — and, crucially, **never blocks the writer**: the
+//! writer's publish is an atomic swap plus a scan over reader pin slots, neither of
+//! which waits on readers.
+//!
+//! ## Why not `RwLock<Arc<T>>`?
+//!
+//! A reader holding the read lock while it clones the `Arc` stalls the writer's
+//! `write()`; under heavy read traffic the writer loses its freshness guarantee.
+//! Conversely a plain `AtomicPtr` swap is unsound: between a reader loading the
+//! pointer and bumping the refcount, the writer could drop the last reference and
+//! free the snapshot.
+//!
+//! ## The pin protocol
+//!
+//! Reclamation is deferred with per-reader **pin slots** (a miniature epoch-based
+//! scheme):
+//!
+//! 1. The writer keeps a monotonically increasing epoch counter; `publish` swaps
+//!    the pointer and *then* increments the epoch, so "epoch ≥ e" implies the
+//!    swap that created epoch `e` is visible.
+//! 2. A reader first stores the epoch it observed into its registered pin slot,
+//!    then loads the pointer and increments the snapshot's refcount, then resets
+//!    the slot to `IDLE`. All accesses are `SeqCst`.
+//! 3. The writer retires the previous pointer as `(retire_epoch, ptr)` and frees
+//!    retired entries only once every active pin is at least `retire_epoch`.
+//!
+//! Soundness sketch: a reader can only be holding a retired pointer `P` (retired
+//! at epoch `e`) if its pointer load preceded the swap in the `SeqCst` total
+//! order; its pin store precedes that load, so any pin scan the writer performs
+//! after the swap observes a pin `< e` and keeps `P` alive. When the scan instead
+//! observes `IDLE` stored *after* the reader's refcount increment, the `SeqCst`
+//! store/load pair makes the increment happen-before the writer's decrement, so
+//! the count cannot hit zero under the reader. A stalled reader merely delays
+//! reclamation (the retire list grows); it never delays the writer.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// Pin-slot value meaning "not currently reading".
+pub(crate) const IDLE: u64 = u64::MAX;
+
+/// A single-writer, multi-reader publication cell for `Arc<T>` snapshots.
+#[derive(Debug)]
+pub struct EpochCell<T> {
+    /// Number of publishes so far; the initial value counts as epoch 0.
+    epoch: AtomicU64,
+    /// `Arc::into_raw` of the currently published snapshot (never null).
+    current: AtomicPtr<T>,
+    /// Registered reader pin slots. Locked only at reader registration and
+    /// during the writer's reclamation scan — never on the read path.
+    pins: Mutex<Vec<Arc<AtomicU64>>>,
+    /// Retired snapshots awaiting reclamation: `(retire_epoch, pointer)`.
+    /// Only the writer pushes/drains; the mutex exists for `Sync`.
+    retired: Mutex<Vec<(u64, *const T)>>,
+}
+
+// Raw pointers in `current`/`retired` all originate from `Arc<T>`; the cell
+// hands out only `Arc<T>` clones, so the usual Arc bounds apply.
+unsafe impl<T: Send + Sync> Send for EpochCell<T> {}
+unsafe impl<T: Send + Sync> Sync for EpochCell<T> {}
+
+impl<T> EpochCell<T> {
+    /// A cell publishing `initial` as epoch 0.
+    pub fn new(initial: Arc<T>) -> Self {
+        EpochCell {
+            epoch: AtomicU64::new(0),
+            current: AtomicPtr::new(Arc::into_raw(initial) as *mut T),
+            pins: Mutex::new(Vec::new()),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(SeqCst)
+    }
+
+    /// Register a pin slot for a new reader. The slot must be used by one
+    /// thread at a time (enforced by `ReaderHandle` being `!Sync`).
+    pub(crate) fn register_pin(&self) -> Arc<AtomicU64> {
+        let slot = Arc::new(AtomicU64::new(IDLE));
+        let mut pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
+        // Prune slots of dropped readers here as well as in `publish`, so a
+        // registration-heavy, publish-free workload cannot grow the registry.
+        pins.retain(|p| Arc::strong_count(p) > 1);
+        pins.push(slot.clone());
+        slot
+    }
+
+    /// Publish a new snapshot. **Single writer only.** Wait-free with respect to
+    /// readers: swaps the pointer, bumps the epoch, then reclaims whatever
+    /// retired snapshots no active pin can still reference.
+    pub fn publish(&self, next: Arc<T>) {
+        let raw = Arc::into_raw(next) as *mut T;
+        let old = self.current.swap(raw, SeqCst);
+        let retire_epoch = self.epoch.fetch_add(1, SeqCst) + 1;
+        let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+        retired.push((retire_epoch, old as *const T));
+        let min_pin = {
+            let mut pins = self.pins.lock().unwrap_or_else(|e| e.into_inner());
+            // Prune slots whose reader handle is gone (we hold the only Arc).
+            pins.retain(|p| Arc::strong_count(p) > 1);
+            pins.iter()
+                .map(|p| p.load(SeqCst))
+                .filter(|&e| e != IDLE)
+                .min()
+                .unwrap_or(IDLE)
+        };
+        retired.retain(|&(e, ptr)| {
+            if e <= min_pin {
+                // No active reader pinned an epoch before `e`: the pointer is
+                // unreachable and this is the last owner of its refcount.
+                unsafe { drop(Arc::from_raw(ptr)) };
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Acquire the current snapshot through a registered pin slot. Wait-free.
+    pub(crate) fn load(&self, pin: &AtomicU64) -> Arc<T> {
+        let e = self.epoch.load(SeqCst);
+        pin.store(e, SeqCst);
+        let p = self.current.load(SeqCst);
+        // Safe: `p` came from `Arc::into_raw` and our pin (stored before the
+        // load, both SeqCst) keeps the writer from reclaiming it — see the
+        // module docs for the full argument.
+        let arc = unsafe {
+            Arc::increment_strong_count(p);
+            Arc::from_raw(p)
+        };
+        pin.store(IDLE, SeqCst);
+        arc
+    }
+
+    /// Acquire the current snapshot without a registered pin, by briefly
+    /// registering one. Slower than a pinned load; for occasional
+    /// (non-reader-handle) callers like `stats` endpoints.
+    pub fn load_unpinned(&self) -> Arc<T> {
+        let slot = self.register_pin();
+        let arc = self.load(&slot);
+        drop(slot); // the writer's next scan prunes the slot
+        arc
+    }
+}
+
+impl<T> Drop for EpochCell<T> {
+    fn drop(&mut self) {
+        let cur = *self.current.get_mut();
+        unsafe { drop(Arc::from_raw(cur as *const T)) };
+        let retired = self.retired.get_mut().unwrap_or_else(|e| e.into_inner());
+        for (_, ptr) in retired.drain(..) {
+            unsafe { drop(Arc::from_raw(ptr)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    #[test]
+    fn publish_and_load_round_trip() {
+        let cell = EpochCell::new(Arc::new(1u64));
+        let pin = cell.register_pin();
+        assert_eq!(*cell.load(&pin), 1);
+        assert_eq!(cell.epoch(), 0);
+        cell.publish(Arc::new(2));
+        assert_eq!(*cell.load(&pin), 2);
+        assert_eq!(cell.epoch(), 1);
+        assert_eq!(*cell.load_unpinned(), 2);
+    }
+
+    #[test]
+    fn held_snapshot_survives_many_publishes() {
+        let cell = EpochCell::new(Arc::new(vec![0u64; 8]));
+        let pin = cell.register_pin();
+        let held = cell.load(&pin);
+        for i in 1..100u64 {
+            cell.publish(Arc::new(vec![i; 8]));
+        }
+        assert_eq!(held[0], 0);
+        assert_eq!(cell.load(&pin)[0], 99);
+    }
+
+    #[test]
+    fn concurrent_readers_see_only_published_values() {
+        let cell = Arc::new(EpochCell::new(Arc::new(0u64)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = cell.clone();
+                let stop = stop.clone();
+                let pin = cell.register_pin();
+                thread::spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(SeqCst) {
+                        let v = *cell.load(&pin);
+                        assert!(v >= last, "snapshot went backwards: {v} < {last}");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        for i in 1..=10_000u64 {
+            cell.publish(Arc::new(i));
+        }
+        stop.store(true, SeqCst);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(*cell.load_unpinned(), 10_000);
+    }
+}

@@ -1,0 +1,262 @@
+//! Concurrency stress tests for the serving layer.
+//!
+//! * `concurrent_readers_never_observe_torn_snapshots` — four reader threads
+//!   continuously assert a conservation invariant (a SUM view, a COUNT view and
+//!   the snapshot's own event counter must all agree) while the writer applies
+//!   50k updates. A torn snapshot — one view ahead of another, or a view ahead
+//!   of the epoch metadata — fails the assertion immediately.
+//! * `subscription_replay_reconstructs_final_view` — replays the output-delta
+//!   stream of a group-by query (inserts *and* deletes) on top of the
+//!   subscription's baseline and requires bit-exact agreement with the final
+//!   view, including the old-multiplicity of every delta record.
+
+use dbtoaster_agca::{Expr, UpdateEvent};
+use dbtoaster_compiler::{compile, Catalog, CompileOptions, QuerySpec, RelationMeta, ResultAccess};
+use dbtoaster_gmr::{FastMap, Tuple, Value};
+use dbtoaster_runtime::Engine;
+use dbtoaster_server::{ServerConfig, ViewServer};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Arc;
+use std::thread;
+
+fn catalog() -> Catalog {
+    [RelationMeta::stream("R", ["A", "V"])]
+        .into_iter()
+        .collect()
+}
+
+/// Compile `TOTAL = Sum[](R(a,v) * v)` and `CNT = Sum[](R(a,v))` into one program.
+fn conservation_engine() -> (Engine, String, String) {
+    let total = QuerySpec {
+        name: "TOTAL".into(),
+        out_vars: vec![],
+        expr: Expr::agg_sum(
+            Vec::<String>::new(),
+            Expr::product_of([Expr::rel("R", ["a", "v"]), Expr::var("v")]),
+        ),
+    };
+    let cnt = QuerySpec {
+        name: "CNT".into(),
+        out_vars: vec![],
+        expr: Expr::agg_sum(Vec::<String>::new(), Expr::rel("R", ["a", "v"])),
+    };
+    let program = compile(&[total, cnt], &catalog(), &CompileOptions::default()).unwrap();
+    let map_of = |name: &str| -> String {
+        match &program
+            .results
+            .iter()
+            .find(|r| r.name == name)
+            .expect("result present")
+            .access
+        {
+            ResultAccess::Map(m) => m.clone(),
+            ResultAccess::Computed { .. } => panic!("expected map-backed result for {name}"),
+        }
+    };
+    let (total_map, cnt_map) = (map_of("TOTAL"), map_of("CNT"));
+    (Engine::new(program, &catalog()), total_map, cnt_map)
+}
+
+#[test]
+fn concurrent_readers_never_observe_torn_snapshots() {
+    const EVENTS: i64 = 50_000;
+    let (engine, total_map, cnt_map) = conservation_engine();
+    let server = ViewServer::spawn(
+        engine,
+        vec![],
+        ServerConfig {
+            queue_capacity: 4096,
+            max_batch: 64,
+            ..ServerConfig::default()
+        },
+    );
+
+    let done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let reader = server.reader();
+            let done = done.clone();
+            let (total_map, cnt_map) = (total_map.clone(), cnt_map.clone());
+            thread::spawn(move || {
+                let mut snapshots_checked = 0u64;
+                let mut last_epoch = 0u64;
+                loop {
+                    let finished = done.load(SeqCst);
+                    let snap = reader.snapshot();
+                    let total = snap.view(&total_map).map_or(0.0, |g| g.scalar_value());
+                    let cnt = snap.view(&cnt_map).map_or(0.0, |g| g.scalar_value());
+                    // Conservation: every event inserts exactly (key, 1), so the
+                    // SUM view, the COUNT view and the snapshot's own event
+                    // counter must agree on every published epoch.
+                    assert_eq!(
+                        total,
+                        cnt,
+                        "torn snapshot at epoch {}: SUM {} != COUNT {}",
+                        snap.epoch(),
+                        total,
+                        cnt
+                    );
+                    assert_eq!(
+                        total,
+                        snap.events_applied() as f64,
+                        "snapshot at epoch {} out of step with its event counter",
+                        snap.epoch()
+                    );
+                    assert!(
+                        snap.epoch() >= last_epoch,
+                        "snapshot epoch went backwards: {} < {last_epoch}",
+                        snap.epoch()
+                    );
+                    last_epoch = snap.epoch();
+                    snapshots_checked += 1;
+                    if finished {
+                        break;
+                    }
+                }
+                snapshots_checked
+            })
+        })
+        .collect();
+
+    let ingest = server.handle();
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..EVENTS {
+        // Random keys (with repeats) so multiplicities pile up; weight always 1.
+        let key = rng.random_range(0..(EVENTS / 4).max(1));
+        ingest
+            .send(UpdateEvent::insert(
+                "R",
+                vec![Value::long(key), Value::long(1)],
+            ))
+            .unwrap();
+    }
+    let epoch = server.flush().unwrap();
+    assert!(epoch > 0);
+    done.store(true, SeqCst);
+
+    let mut total_checked = 0;
+    for r in readers {
+        total_checked += r.join().expect("reader thread panicked");
+    }
+    assert!(total_checked >= 4, "readers made no progress");
+
+    let stats = server.stats();
+    assert_eq!(stats.events, EVENTS as u64);
+    assert!(stats.batches > 0);
+    assert!(stats.snapshots_published > 0);
+    assert!(
+        stats.snapshots_published <= stats.batches,
+        "publishes are coalesced across batches"
+    );
+    assert!(stats.events_per_batch() > 0.0);
+    assert!(server.last_error().is_none());
+
+    // The final snapshot holds the exact stream total.
+    let reader = server.reader();
+    let snap = reader.snapshot();
+    assert_eq!(snap.view(&total_map).unwrap().scalar_value(), EVENTS as f64);
+    let engine = server.shutdown().expect("clean shutdown");
+    assert_eq!(engine.stats().events, EVENTS as u64);
+}
+
+#[test]
+fn subscription_replay_reconstructs_final_view() {
+    const EVENTS: usize = 20_000;
+    let per_key = QuerySpec {
+        name: "PER_KEY".into(),
+        out_vars: vec!["a".into()],
+        expr: Expr::agg_sum(
+            ["a".to_string()],
+            Expr::product_of([Expr::rel("R", ["a", "v"]), Expr::var("v")]),
+        ),
+    };
+    let program = compile(&[per_key], &catalog(), &CompileOptions::default()).unwrap();
+    let view_name = match &program.results[0].access {
+        ResultAccess::Map(m) => m.clone(),
+        ResultAccess::Computed { .. } => panic!("expected map-backed result"),
+    };
+    let engine = Engine::new(program, &catalog());
+    let server = ViewServer::spawn(
+        engine,
+        vec![],
+        ServerConfig {
+            queue_capacity: 1024,
+            max_batch: 37, // deliberately odd so batch boundaries wander
+            ..ServerConfig::default()
+        },
+    );
+
+    let sub = server.subscribe("PER_KEY").unwrap();
+    assert!(sub.baseline().view(&view_name).unwrap().is_empty());
+
+    // Random inserts and deletes; deletes replay earlier inserts so entries
+    // cancel to zero now and then (exercising key removal in the deltas).
+    let ingest = server.handle();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut live: Vec<(i64, i64)> = Vec::new();
+    for _ in 0..EVENTS {
+        let delete = !live.is_empty() && rng.random_bool(0.35);
+        if delete {
+            let idx = rng.random_range(0..live.len());
+            let (a, v) = live.swap_remove(idx);
+            ingest
+                .send(UpdateEvent::delete(
+                    "R",
+                    vec![Value::long(a), Value::long(v)],
+                ))
+                .unwrap();
+        } else {
+            let a = rng.random_range(0..64i64);
+            let v = rng.random_range(1..100i64);
+            live.push((a, v));
+            ingest
+                .send(UpdateEvent::insert(
+                    "R",
+                    vec![Value::long(a), Value::long(v)],
+                ))
+                .unwrap();
+        }
+    }
+    server.flush().unwrap();
+    let engine = server.shutdown().expect("clean shutdown");
+    let final_view = engine.view(&view_name).expect("view exists");
+
+    // Replay: apply each received batch on top of the baseline. `old_mult`
+    // must match the replayed state exactly, batch epochs must be increasing,
+    // and the end state must equal the final view bit-for-bit.
+    let mut state: FastMap<Tuple, f64> = FastMap::default();
+    let mut last_epoch = 0u64;
+    let mut batches = 0u64;
+    while let Some(batch) = sub.try_recv() {
+        assert!(
+            batch.epoch > last_epoch,
+            "batch epochs must be strictly increasing"
+        );
+        last_epoch = batch.epoch;
+        batches += 1;
+        for d in &batch.deltas {
+            let current = state.get(&d.key).copied().unwrap_or(0.0);
+            assert_eq!(
+                current, d.old_mult,
+                "delta for {:?} disagrees with replayed state",
+                d.key
+            );
+            if d.new_mult == 0.0 {
+                state.remove(&d.key);
+            } else {
+                state.insert(d.key.clone(), d.new_mult);
+            }
+        }
+    }
+    assert!(batches > 1, "expected multiple delta batches");
+    assert_eq!(state.len(), final_view.len(), "key sets differ");
+    for (key, mult) in final_view.iter() {
+        assert_eq!(
+            state.get(key).copied(),
+            Some(mult),
+            "replayed multiplicity differs for {key:?}"
+        );
+    }
+}

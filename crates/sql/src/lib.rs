@@ -6,7 +6,7 @@
 //!
 //! * [`lexer`] / [`parser`] / [`ast`] — a small recursive-descent SQL parser;
 //! * [`catalog`] — table definitions ([`SqlCatalog`]);
-//! * [`translate`] — SQL → AGCA translation producing one maintained view per aggregate
+//! * [`mod@translate`] — SQL → AGCA translation producing one maintained view per aggregate
 //!   plus a description of how the result columns are read back.
 //!
 //! ```
