@@ -6,8 +6,8 @@
 //! cargo run --release -p dbtoaster-bench --bin harness -- fig8
 //! ```
 //!
-//! Subcommands: `micro`, `serve`, `fig2`, `fig6` (also covers Figure 7), `fig8`,
-//! `fig9`, `fig10`, `fig11`, `traces` (Figures 13–18), `all`.
+//! Subcommands: `micro`, `serve`, `recover`, `fig2`, `fig6` (also covers Figure 7),
+//! `fig8`, `fig9`, `fig10`, `fig11`, `traces` (Figures 13–18), `all`.
 
 use dbtoaster::prelude::*;
 use dbtoaster::workloads::{self, Family};
@@ -94,6 +94,17 @@ fn serve(config: &ExperimentConfig, label: &str, json: Option<&str>) {
     }
 }
 
+fn recover(config: &ExperimentConfig, label: &str, json: Option<&str>) {
+    println!("=== recover: durable serving (WAL throughput, checkpoint + replay rates) ===");
+    let results = recover_benchmarks(config);
+    println!("{}", format_micro(&results));
+    if let Some(path) = json {
+        let payload = micro_json(label, config, &results);
+        std::fs::write(path, &payload).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
 fn fig2() {
     println!("=== Figure 2: workload features and rewrite rules applied ===");
     println!("{}", format_figure2(&figure2_rows()));
@@ -149,6 +160,7 @@ fn main() {
     match args.command.as_str() {
         "micro" => micro(&config, &args.label, args.json.as_deref()),
         "serve" => serve(&config, &args.label, args.json.as_deref()),
+        "recover" => recover(&config, &args.label, args.json.as_deref()),
         "fig2" => fig2(),
         "fig6" | "fig7" => fig6(&config),
         "fig8" => traces_for(&["q1", "q3", "q11a", "q12"], "Figure 8", &config),
@@ -173,7 +185,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other}; expected micro|serve|fig2|fig6|fig8|fig9|fig10|fig11|traces|all"
+                "unknown command {other}; expected micro|serve|recover|fig2|fig6|fig8|fig9|fig10|fig11|traces|all"
             );
             std::process::exit(2);
         }

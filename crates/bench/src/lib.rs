@@ -603,6 +603,142 @@ pub fn serve_benchmarks(config: &ExperimentConfig) -> Vec<MicroResult> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Durability benchmarks (harness `recover` subcommand, BENCH_recover.json)
+// ---------------------------------------------------------------------------
+
+/// The durability benchmark suite: durable writer throughput (WAL ahead of
+/// every micro-batch), WAL bytes per event, checkpoint write/load rates
+/// (entries/s) and WAL replay rate (events/s) after a [`ViewServer::kill`]
+/// crash. This is the data series behind `BENCH_recover.json`.
+pub fn recover_benchmarks(config: &ExperimentConfig) -> Vec<MicroResult> {
+    use dbtoaster::durability::{
+        self, load_latest, program_fingerprint, write_checkpoint, DurabilityConfig, WalReader,
+    };
+    use dbtoaster::runtime::Engine;
+    use dbtoaster::to_compiler_catalog;
+
+    let mut out = Vec::new();
+    let catalog = to_compiler_catalog(&workloads::full_catalog());
+    for name in ["q1", "q3", "q6"] {
+        let q = match workloads::query(name) {
+            Some(q) => q,
+            None => continue,
+        };
+        let data = dataset_for(q.family, config.events, config.seed);
+        let dir =
+            std::env::temp_dir().join(format!("dbt-bench-recover-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Durable serve: WAL every batch, one periodic checkpoint mid-stream
+        // so recovery exercises both the checkpoint load and a long replay.
+        let engine = build_engine(&q, CompileMode::HigherOrder, &data);
+        let program = engine.program().clone();
+        let mut dcfg = DurabilityConfig::new(&dir);
+        dcfg.checkpoint_every_events = (config.events as u64 / 2).max(1);
+        let server = engine
+            .open_or_create_with(ServerConfig {
+                max_batch: 2048,
+                durability: Some(dcfg),
+                ..ServerConfig::default()
+            })
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let ingest = server.handle();
+        let t0 = Instant::now();
+        ingest
+            .send_batch(data.events.clone())
+            .expect("server alive");
+        server.flush().expect("flush");
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = server.stats();
+        assert_eq!(stats.events as usize, data.events.len());
+        let rate = |n: f64, secs: f64| if secs > 0.0 { n / secs } else { 0.0 };
+        out.push(MicroResult {
+            name: format!("durable_writer_{name}"),
+            ops_per_sec: rate(stats.events as f64, wall),
+            ops: stats.events as usize,
+            elapsed_secs: wall,
+        });
+        // Log density: total WAL bytes in `ops` (rate column left 0.0 — this
+        // row is a size, not a throughput; bytes/event = ops / events).
+        out.push(MicroResult {
+            name: format!("wal_bytes_{name}"),
+            ops_per_sec: 0.0,
+            ops: stats.wal_bytes_written as usize,
+            elapsed_secs: 0.0,
+        });
+        // Crash (no final checkpoint): the WAL tail above the periodic
+        // checkpoint must be replayed on reopen.
+        server.kill();
+
+        let fp = program_fingerprint(&program);
+        let t0 = Instant::now();
+        let (ckpt, _) = load_latest(&dir, fp).expect("checkpoint readable");
+        let ckpt = ckpt.expect("checkpoint present");
+        let load_secs = t0.elapsed().as_secs_f64();
+        let entries: usize = ckpt.maps.iter().map(|(_, g)| g.len()).sum();
+        out.push(MicroResult {
+            name: format!("ckpt_load_{name}"),
+            ops_per_sec: rate(entries as f64, load_secs),
+            ops: entries,
+            elapsed_secs: load_secs,
+        });
+
+        let watermark = ckpt.watermark;
+        let mut warm = Engine::from_snapshot(program.clone(), &catalog, ckpt.maps, watermark);
+        let reader = WalReader::open(&dir, fp).expect("wal readable");
+        let t0 = Instant::now();
+        let replay = reader
+            .replay(watermark + 1, &mut |_, ev| {
+                warm.process(&ev).map_err(|e| e.to_string())
+            })
+            .expect("replay");
+        let replay_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(warm.stats().events as usize, data.events.len());
+        out.push(MicroResult {
+            name: format!("wal_replay_{name}"),
+            ops_per_sec: rate(replay.events_replayed as f64, replay_secs),
+            ops: replay.events_replayed as usize,
+            elapsed_secs: replay_secs,
+        });
+
+        // End-to-end recovery (checkpoint discovery + load + replay).
+        let t0 = Instant::now();
+        let rec = durability::recover(&dir, program.clone(), &catalog)
+            .expect("recover")
+            .expect("state present");
+        let total_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(rec.engine.stats().events as usize, data.events.len());
+        out.push(MicroResult {
+            name: format!("recover_total_{name}"),
+            ops_per_sec: rate(rec.engine.stats().events as f64, total_secs),
+            ops: rec.engine.stats().events as usize,
+            elapsed_secs: total_secs,
+        });
+
+        // Checkpoint write rate at full state size.
+        let snap = warm.snapshot();
+        let t0 = Instant::now();
+        write_checkpoint(
+            &dir,
+            fp,
+            warm.stats().events,
+            snap.iter().map(|(n, g)| (n.as_str(), g)),
+        )
+        .expect("checkpoint write");
+        let write_secs = t0.elapsed().as_secs_f64();
+        let entries: usize = snap.values().map(|g| g.len()).sum();
+        out.push(MicroResult {
+            name: format!("ckpt_write_{name}"),
+            ops_per_sec: rate(entries as f64, write_secs),
+            ops: entries,
+            elapsed_secs: write_secs,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    out
+}
+
 /// Escape a string for embedding in a JSON string literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());

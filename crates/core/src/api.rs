@@ -11,6 +11,7 @@ use dbtoaster_compiler::{
     compile, Catalog, CompileError, CompileMode, CompileOptions, QuerySpec, RelationMeta,
     TriggerProgram,
 };
+use dbtoaster_durability::DurabilityConfig;
 use dbtoaster_gmr::{Gmr, Value};
 use dbtoaster_runtime::{Engine, EngineStats, RuntimeError, TraceSample};
 use dbtoaster_server::{ServeError, ServedQuery, ServerConfig, ViewServer};
@@ -19,6 +20,7 @@ use dbtoaster_sql::{
 };
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 
 pub use dbtoaster_server::{ResultRow, ResultTable};
 
@@ -132,6 +134,35 @@ impl QueryEngineBuilder {
         self.build()?.serve()
     }
 
+    /// Open a **durable** serving instance anchored in `dir`, creating it on
+    /// first use. When the directory already holds state for this exact
+    /// program (checkpoints + write-ahead log, matched by fingerprint), the
+    /// engine is recovered from it — newest usable checkpoint plus WAL replay,
+    /// bit-for-bit — before serving resumes; otherwise a fresh engine is
+    /// initialized. Either way the returned server logs every micro-batch
+    /// ahead of applying it and checkpoints periodically, so a crash (or
+    /// [`ViewServer::kill`]) loses nothing that was applied.
+    ///
+    /// State belonging to a *different* program (changed queries or schema) is
+    /// refused with a fingerprint-mismatch error rather than silently
+    /// discarded. Workloads that pre-load static tables should use
+    /// [`QueryEngineBuilder::build`] + [`QueryEngine::load_table`] +
+    /// [`QueryEngine::open_or_create_with`] so the tables are in place before
+    /// the initial checkpoint captures them.
+    pub fn open_or_create(self, dir: impl Into<PathBuf>) -> Result<ViewServer, DbToasterError> {
+        let config = ServerConfig {
+            durability: Some(DurabilityConfig::new(dir.into())),
+            ..ServerConfig::default()
+        };
+        self.open_or_create_with(config)
+    }
+
+    /// [`QueryEngineBuilder::open_or_create`] with explicit serving and
+    /// durability knobs; `config.durability` must be set.
+    pub fn open_or_create_with(self, config: ServerConfig) -> Result<ViewServer, DbToasterError> {
+        self.build()?.open_or_create_with(config)
+    }
+
     /// Parse, translate and compile the queries, returning a ready-to-run engine.
     pub fn build(self) -> Result<QueryEngine, DbToasterError> {
         let mut specs: Vec<QuerySpec> = Vec::new();
@@ -156,6 +187,7 @@ impl QueryEngineBuilder {
             engine,
             plans: plans.into_iter().map(|p| (p.name.clone(), p)).collect(),
             mode: self.options.mode,
+            catalog,
         })
     }
 }
@@ -165,6 +197,9 @@ pub struct QueryEngine {
     engine: Engine,
     plans: HashMap<String, TranslatedQuery>,
     mode: CompileMode,
+    /// Compiler catalog, kept for durable recovery (rebuilding an engine from
+    /// a checkpoint needs the stored relations' column names).
+    catalog: Catalog,
 }
 
 impl QueryEngine {
@@ -238,6 +273,71 @@ impl QueryEngine {
         self.serve_with(ServerConfig::default())
     }
 
+    /// Durable serving with explicit sizing: like
+    /// [`QueryEngineBuilder::open_or_create`], but starting from an engine
+    /// whose tables are already loaded. `config.durability` must be set; if
+    /// its directory holds recoverable state for this program, this engine's
+    /// current (pre-serve) state is **replaced** by the recovered one.
+    pub fn open_or_create_with(
+        mut self,
+        config: ServerConfig,
+    ) -> Result<ViewServer, DbToasterError> {
+        let Some(dcfg) = config.durability.clone() else {
+            return Err(DbToasterError::Serve(ServeError::Durability(
+                dbtoaster_durability::DurabilityError::Config(
+                    "open_or_create_with requires ServerConfig::durability".into(),
+                ),
+            )));
+        };
+        // Hold the directory's writer lock across recovery so a live server's
+        // checkpointer cannot prune files out from under the scan (and a
+        // doomed opener is refused here, before a possibly huge replay,
+        // instead of after it).
+        let lock = dbtoaster_durability::acquire_dir_lock(&dcfg.dir)
+            .map_err(|e| DbToasterError::Serve(ServeError::Durability(e)))?;
+        let recovered =
+            dbtoaster_durability::recover(&dcfg.dir, self.engine.program().clone(), &self.catalog)
+                .map_err(|e| DbToasterError::Serve(ServeError::Durability(e)))?;
+        // Released before serving: the writer thread re-acquires it in spawn.
+        // The gap can only produce a clean `Locked` refusal there, never a
+        // mutation race — every directory mutation happens under the lock.
+        drop(lock);
+        // Keep recovery provenance: a degraded recovery (older checkpoint
+        // used, or poison events re-skipped during replay) must stay
+        // distinguishable from a clean one after the server is up.
+        let mut degraded: Option<String> = None;
+        match recovered {
+            Some(rec) => {
+                if !rec.skipped_checkpoints.is_empty() || rec.failed_events > 0 {
+                    let mut parts = Vec::new();
+                    if !rec.skipped_checkpoints.is_empty() {
+                        parts.push(format!(
+                            "skipped damaged checkpoints: {}",
+                            rec.skipped_checkpoints.join("; ")
+                        ));
+                    }
+                    if rec.failed_events > 0 {
+                        parts.push(format!(
+                            "{} replayed events failed (first: {})",
+                            rec.failed_events,
+                            rec.first_failure.as_deref().unwrap_or("unknown")
+                        ));
+                    }
+                    degraded = Some(parts.join("; "));
+                }
+                self.engine = rec.engine;
+            }
+            None => self.init()?, // fresh start: initialize static views
+        }
+        let server = self.serve_with(config)?;
+        if let Some(detail) = degraded {
+            server.record_durability_warning(
+                dbtoaster_durability::DurabilityError::RecoveryDegraded(detail),
+            );
+        }
+        Ok(server)
+    }
+
     /// Start serving with explicit queue / micro-batch sizing.
     pub fn serve_with(self, config: ServerConfig) -> Result<ViewServer, DbToasterError> {
         let served = self
@@ -249,7 +349,7 @@ impl QueryEngine {
                 outputs: p.outputs.clone(),
             })
             .collect();
-        Ok(ViewServer::spawn(self.engine, served, config))
+        ViewServer::spawn(self.engine, served, config).map_err(DbToasterError::from)
     }
 
     /// Runtime statistics (events processed, refresh rate).

@@ -52,6 +52,7 @@ pub use api::{
 // Re-export the workspace crates under stable names.
 pub use dbtoaster_agca as agca;
 pub use dbtoaster_compiler as compiler;
+pub use dbtoaster_durability as durability;
 pub use dbtoaster_gmr as gmr;
 pub use dbtoaster_runtime as runtime;
 pub use dbtoaster_server as server;
@@ -63,10 +64,11 @@ pub mod prelude {
     pub use crate::api::{DbToasterError, QueryEngine, QueryEngineBuilder, ResultRow, ResultTable};
     pub use dbtoaster_agca::{UpdateEvent, UpdateSign};
     pub use dbtoaster_compiler::{CompileMode, CompileOptions};
+    pub use dbtoaster_durability::{DurabilityConfig, DurabilityError, FsyncPolicy};
     pub use dbtoaster_gmr::{Gmr, Schema, Value};
     pub use dbtoaster_server::{
-        DeltaBatch, IngestHandle, OutputDelta, ReaderHandle, ServeError, ServerConfig, Snapshot,
-        Subscription, ViewServer,
+        DeltaBatch, IngestHandle, OutputDelta, ReaderHandle, SendBatchError, ServeError,
+        ServerConfig, Snapshot, Subscription, ViewServer,
     };
     pub use dbtoaster_sql::{SqlCatalog, TableDef};
 }

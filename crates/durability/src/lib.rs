@@ -1,0 +1,314 @@
+//! # DBToaster durability
+//!
+//! The paper's views are "frequently fresh" — but, until this crate, only as
+//! fresh as the process was long-lived: a restart of the serving engine lost
+//! every materialized map and forced a full recomputation. This crate makes
+//! the engine's state durable with the classic event-sourcing pair:
+//!
+//! * a **write-ahead log** ([`wal`]) of every applied update event, and
+//! * periodic **materialized-view checkpoints** ([`checkpoint`]) of the whole
+//!   engine snapshot,
+//!
+//! joined by **recovery** ([`recover()`](recover())): load the newest usable checkpoint,
+//! replay the WAL above its watermark through the normal trigger path, and the
+//! result is *bit-for-bit* the engine a never-crashed process would hold.
+//! This exactness is not luck — higher-order delta processing is a
+//! deterministic function of the ordered event stream, and the codec
+//! ([`codec`]) round-trips `f64` multiplicities as raw bit patterns.
+//!
+//! Everything is hand-rolled on `std` only (files, bytes, CRC32): the durable
+//! format must not depend on an external serialization crate, matching the
+//! workspace's offline-shim philosophy.
+//!
+//! ## On-disk layout
+//!
+//! One durability directory holds both artifact kinds, side by side:
+//!
+//! ```text
+//! <dir>/wal-00000000000000000001.seg    segments, named by first event seq
+//! <dir>/wal-00000000000000180225.seg
+//! <dir>/ckpt-00000000000000200000.ckpt  checkpoints, named by watermark
+//! <dir>/ckpt-00000000000000400000.ckpt
+//! ```
+//!
+//! Both formats carry an explicit version byte ([`codec::FORMAT_VERSION`]) and
+//! CRC32 checksums — per record in the WAL, per file in checkpoints — so
+//! corruption is *detected*, never silently decoded. The exact byte layouts
+//! are documented in [`wal`] and [`checkpoint`].
+//!
+//! ## Fsync policy trade-offs
+//!
+//! [`FsyncPolicy`] picks the point on the durability/throughput curve:
+//!
+//! * [`Always`](FsyncPolicy::Always) — fsync after every appended record.
+//!   Survives OS/machine crashes with zero lost acknowledged batches; costs a
+//!   disk flush per micro-batch (typically the dominant cost at small
+//!   batches).
+//! * [`EveryBatch`](FsyncPolicy::EveryBatch) (default) — buffered appends,
+//!   one fsync at each micro-batch boundary, *before* the batch is applied to
+//!   the views. Identical guarantees to `Always` at the batch granularity the
+//!   serving layer already works in; the flush amortizes over the batch.
+//! * [`Never`](FsyncPolicy::Never) — leave flushing to the OS page cache.
+//!   Survives *process* crashes (the write syscall completed), but a machine
+//!   crash can lose the unflushed suffix; recovery then falls back to the
+//!   newest checkpoint plus whatever log suffix survived, and the WAL writer
+//!   restarts a fresh segment above the checkpoint watermark if the log ended
+//!   below it. Fastest, and a reasonable choice when the stream itself is
+//!   re-playable from an upstream source.
+//!
+//! In every policy the WAL append happens **before** the events are applied —
+//! write-ahead in the literal sense — so no published snapshot can ever
+//! reflect an event the log does not contain.
+//!
+//! ## Atomic-rename checkpoint protocol
+//!
+//! Checkpoints are written to `ckpt-<watermark>.tmp`, fsynced, renamed to
+//! `ckpt-<watermark>.ckpt` (atomic within a directory on POSIX), and the
+//! directory is fsynced before any WAL pruning relies on the new file. A
+//! half-written checkpoint is therefore impossible to mistake for a real one:
+//! it is a `.tmp` that open-time cleanup deletes. Damaged checkpoints fall
+//! back to older retained ones; WAL segments are pruned only below the
+//! *oldest retained* watermark so every fallback is still replayable. See
+//! [`checkpoint`] for details.
+//!
+//! ## Torn tails
+//!
+//! A crash mid-append leaves a truncated final WAL record. The reader drops
+//! it (those events were never applied to any recoverable state) and the
+//! writer truncates it before resuming. Anything else — corruption with valid
+//! data after it, damage in an old segment, a sequence gap — is a **hard
+//! error**: deterministic replay must fail loudly rather than diverge
+//! silently. The torn/corrupt distinction is tested by truncating a log at
+//! every byte offset of the tail record (see `tests/torn_writes.rs`).
+
+pub mod checkpoint;
+pub mod codec;
+pub mod recover;
+pub mod wal;
+
+pub use checkpoint::{list_checkpoints, load_latest, write_checkpoint, Checkpoint};
+pub use codec::{CodecError, FORMAT_VERSION};
+pub use recover::{has_state, recover, Recovery};
+pub use wal::{
+    acquire_dir_lock, list_segments, prune_segments, ReplayStats, WalReader, WalRecord, WalWriter,
+};
+
+use dbtoaster_compiler::TriggerProgram;
+use std::fmt;
+use std::path::PathBuf;
+
+/// When the WAL forces appended records to stable storage. See the crate docs
+/// for the full trade-off discussion.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every appended record.
+    Always,
+    /// fsync once per micro-batch boundary, before the batch is applied.
+    #[default]
+    EveryBatch,
+    /// Never fsync; rely on the OS page cache (process-crash safe only).
+    Never,
+}
+
+/// Configuration of the durable serving pipeline (consumed by
+/// `dbtoaster-server` through `ServerConfig::durability`).
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding WAL segments and checkpoints.
+    pub dir: PathBuf,
+    /// Fsync policy for WAL appends.
+    pub fsync: FsyncPolicy,
+    /// Rotate WAL segments once they reach this many bytes.
+    pub segment_bytes: u64,
+    /// Take a checkpoint after this many applied events (measured since the
+    /// previous checkpoint). Checkpoint serialization runs off the hot path.
+    pub checkpoint_every_events: u64,
+    /// Retain this many checkpoint files (min 1); WAL segments below the
+    /// oldest retained watermark are pruned.
+    pub keep_checkpoints: usize,
+}
+
+impl DurabilityConfig {
+    /// Defaults: fsync per batch, 16 MiB segments, checkpoint every 200k
+    /// events, keep 2 checkpoints.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::default(),
+            segment_bytes: 16 << 20,
+            checkpoint_every_events: 200_000,
+            keep_checkpoints: 2,
+        }
+    }
+}
+
+/// Errors raised by the durability layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DurabilityError {
+    /// An I/O operation failed (message carries path and OS error).
+    Io(String),
+    /// A field failed to decode.
+    Codec(CodecError),
+    /// On-disk bytes are damaged in a way recovery must not tolerate.
+    Corrupt {
+        /// Offending file.
+        file: String,
+        /// Byte offset of the damage.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The file was written by a different format version.
+    VersionMismatch {
+        /// Offending file.
+        file: String,
+        /// Version byte found.
+        found: u8,
+    },
+    /// The durable state belongs to a different compiled program.
+    FingerprintMismatch {
+        /// Offending file.
+        file: String,
+        /// Fingerprint of the current program.
+        expected: u64,
+        /// Fingerprint stored in the file.
+        found: u64,
+    },
+    /// The log is missing events between a checkpoint watermark (or an earlier
+    /// record) and the next surviving record.
+    SequenceGap {
+        /// First sequence number that should have been present.
+        expected: u64,
+        /// Sequence number actually found.
+        found: u64,
+        /// File where the gap was detected.
+        file: String,
+    },
+    /// Replaying a logged event through the engine failed.
+    Replay(String),
+    /// Recovery succeeded but was degraded: damaged checkpoint files were
+    /// skipped in favour of older ones, or replayed events failed their
+    /// triggers (mirroring the live writer's skip-and-continue policy). The
+    /// recovered state is the best reconstruction available; this surfaces
+    /// the fact so operators notice.
+    RecoveryDegraded(String),
+    /// API misuse detected before touching disk (e.g. a missing
+    /// `DurabilityConfig` where one is required). Not retryable.
+    Config(String),
+    /// Another live writer holds the WAL's advisory lock. Two writers on one
+    /// directory would truncate and interleave each other's records; the
+    /// second opener is refused instead. The lock dies with its process, so
+    /// a crashed holder never blocks recovery.
+    Locked {
+        /// The lock file.
+        file: String,
+    },
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io(m) => write!(f, "i/o error {m}"),
+            DurabilityError::Codec(e) => write!(f, "decode error: {e}"),
+            DurabilityError::Corrupt {
+                file,
+                offset,
+                detail,
+            } => write!(f, "{file} corrupt at byte {offset}: {detail}"),
+            DurabilityError::VersionMismatch { file, found } => write!(
+                f,
+                "{file} has format version {found}, this build reads {FORMAT_VERSION}"
+            ),
+            DurabilityError::FingerprintMismatch {
+                file,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{file} belongs to program {found:#018x}, current program is {expected:#018x}"
+            ),
+            DurabilityError::SequenceGap {
+                expected,
+                found,
+                file,
+            } => write!(f, "{file}: expected event seq {expected}, found {found}"),
+            DurabilityError::Replay(m) => write!(f, "replay failed: {m}"),
+            DurabilityError::RecoveryDegraded(m) => write!(f, "recovery degraded: {m}"),
+            DurabilityError::Config(m) => write!(f, "durability misconfigured: {m}"),
+            DurabilityError::Locked { file } => {
+                write!(f, "another live writer holds the WAL lock {file}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<CodecError> for DurabilityError {
+    fn from(e: CodecError) -> Self {
+        DurabilityError::Codec(e)
+    }
+}
+
+/// Wrap an I/O failure with the operation and path that hit it.
+pub(crate) fn io_err(context: &str, path: &std::path::Path, e: std::io::Error) -> DurabilityError {
+    DurabilityError::Io(format!("{context} {}: {e}", path.display()))
+}
+
+/// A stable fingerprint of a compiled program: the durable state is only
+/// replayable against the exact trigger program that produced it, so both WAL
+/// segments and checkpoints embed this value and recovery refuses a mismatch.
+///
+/// Computed as FNV-1a over the program's canonical rendering (maps and
+/// triggers) plus its result descriptors — everything that influences how an
+/// event mutates state or how results are read.
+pub fn program_fingerprint(program: &TriggerProgram) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(format!("{program}").as_bytes());
+    for r in &program.results {
+        eat(r.name.as_bytes());
+        eat(format!("{:?}", r.out_vars).as_bytes());
+        eat(format!("{:?}", r.access).as_bytes());
+    }
+    eat(&[FORMAT_VERSION]);
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_agca::Expr;
+    use dbtoaster_compiler::{compile, Catalog, CompileOptions, QuerySpec, RelationMeta};
+
+    fn program(var: &str) -> TriggerProgram {
+        let catalog: Catalog = [RelationMeta::stream("R", ["A", "V"])]
+            .into_iter()
+            .collect();
+        let q = QuerySpec {
+            name: "Q".into(),
+            out_vars: vec![],
+            expr: Expr::agg_sum(
+                Vec::<String>::new(),
+                Expr::product_of([Expr::rel("R", ["a", "v"]), Expr::var(var)]),
+            ),
+        };
+        compile(&[q], &catalog, &CompileOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let a1 = program_fingerprint(&program("v"));
+        let a2 = program_fingerprint(&program("v"));
+        let b = program_fingerprint(&program("a"));
+        assert_eq!(a1, a2, "same program must fingerprint identically");
+        assert_ne!(a1, b, "different programs must fingerprint differently");
+    }
+}

@@ -1,0 +1,292 @@
+//! Crash recovery: newest usable checkpoint + WAL replay ⇒ a warm engine.
+//!
+//! Because higher-order delta processing is deterministic over an ordered
+//! event stream, recovery is exact: starting from the checkpointed maps at
+//! watermark `W` and replaying WAL events `W+1..` reproduces, bit for bit, the
+//! engine a never-crashed process would hold after the same events. The replay
+//! path is the *same* [`Engine::process`] used live — there is no separate
+//! recovery interpreter to drift out of sync.
+
+use crate::checkpoint;
+use crate::wal::{self, WalReader};
+use crate::{program_fingerprint, DurabilityError};
+use dbtoaster_compiler::{Catalog, TriggerProgram};
+use dbtoaster_runtime::Engine;
+use std::path::Path;
+
+/// The result of [`recover`]: a warm engine plus provenance of how it was
+/// rebuilt.
+pub struct Recovery {
+    /// Engine with every view restored; `stats().events` equals
+    /// `checkpoint_watermark + replayed_events` and
+    /// `stats().recovery_replayed_events` is set.
+    pub engine: Engine,
+    /// Watermark of the checkpoint used (0 when recovery replayed the whole
+    /// log from scratch).
+    pub checkpoint_watermark: u64,
+    /// Events replayed from the WAL on top of the checkpoint.
+    pub replayed_events: u64,
+    /// A torn final WAL record was dropped (normal after a crash).
+    pub torn_tail_dropped: bool,
+    /// Damaged checkpoint files that were skipped in favour of older ones.
+    pub skipped_checkpoints: Vec<String>,
+    /// Replayed events whose triggers failed (counted into `replayed_events`
+    /// too). The live writer skips past a poison event while keeping its
+    /// sequence slot, and replay mirrors that exactly — both runs end in the
+    /// same (degraded) state rather than recovery erroring where serving
+    /// soldiered on.
+    pub failed_events: u64,
+    /// The first replay failure, for logging (`None` when `failed_events` is 0).
+    pub first_failure: Option<String>,
+}
+
+/// Does `dir` hold any durable state (checkpoints or WAL segments)?
+pub fn has_state(dir: &Path) -> Result<bool, DurabilityError> {
+    Ok(!checkpoint::list_checkpoints(dir)?.is_empty() || !wal::list_segments(dir)?.is_empty())
+}
+
+/// Rebuild an engine from the durable state in `dir`, or return `Ok(None)`
+/// when the directory holds none (a fresh start).
+///
+/// Steps:
+/// 1. load the newest checkpoint whose CRC verifies (older ones are fallbacks;
+///    a program-fingerprint mismatch is a hard error — see
+///    [`checkpoint::load_latest`]),
+/// 2. restore the maps into an engine via [`Engine::from_snapshot`] — *without*
+///    re-running static-view initialization, since the checkpoint already
+///    contains static tables and their derived views,
+/// 3. replay every WAL event above the watermark through the normal trigger
+///    path, tolerating a torn tail and refusing mid-log corruption or sequence
+///    gaps.
+///
+/// This function only reads. If a live writer might hold the directory (e.g.
+/// a racing restart), take [`crate::acquire_dir_lock`] first so its
+/// checkpointer cannot prune files mid-scan — the facade's `open_or_create`
+/// does exactly that.
+pub fn recover(
+    dir: &Path,
+    program: TriggerProgram,
+    catalog: &Catalog,
+) -> Result<Option<Recovery>, DurabilityError> {
+    let fingerprint = program_fingerprint(&program);
+    if !has_state(dir)? {
+        return Ok(None);
+    }
+    let (ckpt, skipped_checkpoints) = checkpoint::load_latest(dir, fingerprint)?;
+    let (checkpoint_watermark, mut engine) = match ckpt {
+        Some(c) => {
+            let w = c.watermark;
+            (w, Engine::from_snapshot(program, catalog, c.maps, w))
+        }
+        None => {
+            // Every checkpoint was damaged (or none was ever written): replay
+            // the full log against a fresh engine. Static views derive from
+            // tables, which only travel in checkpoints — with none usable the
+            // static initialization runs over whatever the catalog declares.
+            let mut e = Engine::new(program, catalog);
+            e.init_static_views()
+                .map_err(|err| DurabilityError::Replay(err.to_string()))?;
+            (0, e)
+        }
+    };
+    let reader = WalReader::open(dir, fingerprint)?;
+    let mut failed_events = 0u64;
+    let mut first_failure = None;
+    let stats = reader.replay(checkpoint_watermark + 1, &mut |seq, ev| {
+        if let Err(e) = engine.process(&ev) {
+            // Mirror the live writer's policy (see the serving loop): a poison
+            // event keeps its sequence slot and processing continues, so the
+            // replayed engine converges to the same state the crashed server
+            // actually had.
+            engine.stats_mut().events += 1;
+            failed_events += 1;
+            first_failure.get_or_insert_with(|| format!("event {seq}: {e}"));
+        }
+        Ok(())
+    })?;
+    engine.stats_mut().recovery_replayed_events = stats.events_replayed;
+    Ok(Some(Recovery {
+        engine,
+        checkpoint_watermark,
+        replayed_events: stats.events_replayed,
+        torn_tail_dropped: stats.torn_tail_dropped,
+        skipped_checkpoints,
+        failed_events,
+        first_failure,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::WalWriter;
+    use crate::FsyncPolicy;
+    use dbtoaster_agca::{Expr, UpdateEvent};
+    use dbtoaster_compiler::{compile, CompileOptions, QuerySpec, RelationMeta};
+    use dbtoaster_gmr::Value;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dbt-rec-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn catalog() -> Catalog {
+        [RelationMeta::stream("R", ["A", "V"])]
+            .into_iter()
+            .collect()
+    }
+
+    fn program() -> TriggerProgram {
+        let q = QuerySpec {
+            name: "TOTAL".into(),
+            out_vars: vec![],
+            expr: Expr::agg_sum(
+                Vec::<String>::new(),
+                Expr::product_of([Expr::rel("R", ["a", "v"]), Expr::var("v")]),
+            ),
+        };
+        compile(&[q], &catalog(), &CompileOptions::default()).unwrap()
+    }
+
+    fn ev(v: i64) -> UpdateEvent {
+        UpdateEvent::insert("R", vec![Value::long(v), Value::long(v)])
+    }
+
+    #[test]
+    fn empty_dir_is_a_fresh_start() {
+        let dir = tmp_dir("fresh");
+        assert!(recover(&dir, program(), &catalog()).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_plus_wal_tail_rebuilds_exactly() {
+        let dir = tmp_dir("exact");
+        let prog = program();
+        let fp = program_fingerprint(&prog);
+        // Reference run: 6 events straight through an engine.
+        let mut reference = Engine::new(prog.clone(), &catalog());
+        let events: Vec<UpdateEvent> = (1..=6).map(ev).collect();
+        let mut w = WalWriter::open(&dir, fp, 1, FsyncPolicy::EveryBatch, 1 << 20).unwrap();
+        for (i, e) in events.iter().enumerate() {
+            w.append(std::slice::from_ref(e)).unwrap();
+            reference.process(e).unwrap();
+            if i == 3 {
+                // Checkpoint at watermark 4.
+                let snap = reference.snapshot();
+                checkpoint::write_checkpoint(
+                    &dir,
+                    fp,
+                    4,
+                    snap.iter().map(|(n, g)| (n.as_str(), g)),
+                )
+                .unwrap();
+            }
+        }
+        w.batch_boundary().unwrap();
+        drop(w);
+
+        let rec = recover(&dir, prog, &catalog())
+            .unwrap()
+            .expect("state present");
+        assert_eq!(rec.checkpoint_watermark, 4);
+        assert_eq!(rec.replayed_events, 2);
+        assert_eq!(rec.engine.stats().events, 6);
+        assert_eq!(rec.engine.stats().recovery_replayed_events, 2);
+        let total = |e: &Engine| e.result("TOTAL").unwrap().scalar_value();
+        assert_eq!(
+            total(&rec.engine).to_bits(),
+            total(&reference).to_bits(),
+            "recovered result must be bit-exact"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_only_state_recovers_intact() {
+        // A crash between the initial checkpoint and WAL creation leaves a
+        // checkpoint with no segments; the captured state (e.g. pre-loaded
+        // tables) must come back, not a fresh empty engine.
+        let dir = tmp_dir("ckptonly");
+        let prog = program();
+        let fp = program_fingerprint(&prog);
+        let mut engine = Engine::new(prog.clone(), &catalog());
+        engine.process_all(&[ev(2), ev(5)]).unwrap();
+        let snap = engine.snapshot();
+        checkpoint::write_checkpoint(&dir, fp, 2, snap.iter().map(|(n, g)| (n.as_str(), g)))
+            .unwrap();
+        let rec = recover(&dir, prog, &catalog()).unwrap().expect("state");
+        assert_eq!(rec.checkpoint_watermark, 2);
+        assert_eq!(rec.replayed_events, 0);
+        assert_eq!(rec.engine.result("TOTAL").unwrap().scalar_value(), 7.0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poison_events_keep_their_sequence_slot_on_replay() {
+        // The live writer skips past a failing event while advancing the
+        // watermark; replay must mirror that instead of hard-erroring, so the
+        // recovered engine matches the degraded server bit for bit.
+        let dir = tmp_dir("poison");
+        let prog = program();
+        let fp = program_fingerprint(&prog);
+        let mut w = WalWriter::open(&dir, fp, 1, FsyncPolicy::Never, 1 << 20).unwrap();
+        let poison = UpdateEvent::insert("R", vec![Value::long(1)]); // arity mismatch
+        w.append(&[ev(2), poison, ev(3)]).unwrap();
+        drop(w);
+        let rec = recover(&dir, prog, &catalog()).unwrap().expect("state");
+        assert_eq!(rec.replayed_events, 3);
+        assert_eq!(rec.failed_events, 1);
+        assert!(rec
+            .first_failure
+            .as_deref()
+            .unwrap_or("")
+            .contains("event 2"));
+        assert_eq!(rec.engine.stats().events, 3, "poison event keeps its slot");
+        assert_eq!(rec.engine.result("TOTAL").unwrap().scalar_value(), 5.0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_only_recovery_replays_from_scratch() {
+        let dir = tmp_dir("walonly");
+        let prog = program();
+        let fp = program_fingerprint(&prog);
+        let mut w = WalWriter::open(&dir, fp, 1, FsyncPolicy::Never, 1 << 20).unwrap();
+        w.append(&[ev(2), ev(3)]).unwrap();
+        drop(w);
+        let rec = recover(&dir, prog, &catalog()).unwrap().expect("state");
+        assert_eq!(rec.checkpoint_watermark, 0);
+        assert_eq!(rec.replayed_events, 2);
+        assert_eq!(rec.engine.result("TOTAL").unwrap().scalar_value(), 5.0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pruned_wal_below_checkpoint_still_recovers() {
+        let dir = tmp_dir("pruned");
+        let prog = program();
+        let fp = program_fingerprint(&prog);
+        let mut engine = Engine::new(prog.clone(), &catalog());
+        let mut w = WalWriter::open(&dir, fp, 1, FsyncPolicy::Never, 1).unwrap(); // rotate every record
+        for i in 1..=3 {
+            w.append(&[ev(i)]).unwrap();
+            engine.process(&ev(i)).unwrap();
+        }
+        let snap = engine.snapshot();
+        checkpoint::write_checkpoint(&dir, fp, 3, snap.iter().map(|(n, g)| (n.as_str(), g)))
+            .unwrap();
+        w.append(&[ev(4)]).unwrap();
+        drop(w);
+        wal::prune_segments(&dir, 3).unwrap();
+        let rec = recover(&dir, prog, &catalog()).unwrap().expect("state");
+        assert_eq!(rec.checkpoint_watermark, 3);
+        assert_eq!(rec.replayed_events, 1);
+        assert_eq!(rec.engine.result("TOTAL").unwrap().scalar_value(), 10.0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

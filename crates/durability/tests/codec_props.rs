@@ -1,0 +1,129 @@
+//! Codec round-trip property tests: random `Value` / `Tuple` / `UpdateEvent`
+//! (and whole GMR maps) must survive encode → decode **bit-exactly** — down to
+//! `f64` payload bits, `-0.0` and NaN — and every strict prefix of an encoding
+//! must fail to decode with an error, never panic or succeed.
+
+use dbtoaster_agca::{UpdateEvent, UpdateSign};
+use dbtoaster_durability::codec::{put_event, put_map, put_value, put_values, Reader};
+use dbtoaster_gmr::{Gmr, Schema, Tuple, Value};
+use proptest::prelude::*;
+
+/// Random scalar values, including hostile doubles (arbitrary bit patterns:
+/// NaNs with payloads, infinities, subnormals) and empty/unicode strings.
+fn arb_value() -> impl Strategy<Value = Value> {
+    (0usize..10, i64::MIN..i64::MAX, "[a-z]{0,6}").prop_map(|(tag, bits, s)| match tag {
+        0..=2 => Value::long(bits),
+        3 => Value::long(bits % 100),
+        4..=5 => Value::double(f64::from_bits(bits as u64)),
+        6 => Value::double(bits as f64 / 7.0),
+        7 => Value::double(-0.0),
+        _ => Value::str(s),
+    })
+}
+
+fn arb_values() -> impl Strategy<Value = Vec<Value>> {
+    prop::collection::vec(arb_value(), 0..7)
+}
+
+fn arb_event() -> impl Strategy<Value = UpdateEvent> {
+    ("[A-Z]{1,5}", any::<bool>(), arb_values()).prop_map(|(rel, del, tuple)| UpdateEvent {
+        relation: rel,
+        sign: if del {
+            UpdateSign::Delete
+        } else {
+            UpdateSign::Insert
+        },
+        tuple,
+    })
+}
+
+/// Bit-level equality: `PartialEq` on `Value` coerces Long/Double and
+/// canonicalizes NaN, which is exactly what a *wire* round trip must not rely
+/// on.
+fn value_bits_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Long(x), Value::Long(y)) => x == y,
+        (Value::Double(x), Value::Double(y)) => x.to_bits() == y.to_bits(),
+        (Value::Str(x), Value::Str(y)) => x == y,
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn value_round_trips_bit_exactly(v in arb_value()) {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &v);
+        let mut r = Reader::new(&buf);
+        let back = r.value().unwrap();
+        prop_assert!(r.is_empty(), "decoder must consume the exact encoding");
+        prop_assert!(value_bits_eq(&v, &back), "{v:?} came back as {back:?}");
+    }
+
+    #[test]
+    fn tuple_round_trips(vals in arb_values()) {
+        let mut buf = Vec::new();
+        put_values(&mut buf, &vals);
+        let t: Tuple = Reader::new(&buf).tuple().unwrap();
+        prop_assert_eq!(t.len(), vals.len());
+        for (a, b) in vals.iter().zip(t.as_slice()) {
+            prop_assert!(value_bits_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn event_round_trips(ev in arb_event()) {
+        let mut buf = Vec::new();
+        put_event(&mut buf, &ev);
+        let mut r = Reader::new(&buf);
+        let back = r.event().unwrap();
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(&back.relation, &ev.relation);
+        prop_assert_eq!(back.sign, ev.sign);
+        prop_assert_eq!(back.tuple.len(), ev.tuple.len());
+        for (a, b) in ev.tuple.iter().zip(back.tuple.iter()) {
+            prop_assert!(value_bits_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_of_an_event_fails_to_decode(ev in arb_event()) {
+        let mut buf = Vec::new();
+        put_event(&mut buf, &ev);
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            prop_assert!(
+                r.event().is_err(),
+                "truncation to {cut}/{} bytes decoded successfully",
+                buf.len()
+            );
+        }
+    }
+
+    #[test]
+    fn map_round_trips(rows in prop::collection::vec((arb_values(), -5i64..6), 0..12)) {
+        // Fixed arity 2 (maps require a uniform key schema); nonzero mults only.
+        let mut g = Gmr::new(Schema::new(["a", "b"]));
+        for (vals, m) in &rows {
+            if *m == 0 {
+                continue;
+            }
+            let key: Tuple = vals.iter().take(2).cloned()
+                .chain(std::iter::repeat_n(Value::long(0), 2usize.saturating_sub(vals.len())))
+                .collect();
+            g.add_tuple(key, *m as f64);
+        }
+        let mut buf = Vec::new();
+        put_map(&mut buf, "M", &g);
+        let mut r = Reader::new(&buf);
+        let (name, back) = r.map().unwrap();
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(name, "M");
+        prop_assert_eq!(back.len(), g.len());
+        for (t, m) in g.iter() {
+            prop_assert_eq!(back.get(t).to_bits(), m.to_bits(), "key {:?}", t);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Kill-and-recover equivalence, end to end through the facade.
+//!
+//! Drives ≥50k events into a durable `ViewServer`, hard-drops it mid-stream
+//! with `ViewServer::kill()` (no flush, no final checkpoint — the closest a
+//! live process comes to `kill -9`), reopens the directory with
+//! `open_or_create`, and requires:
+//!
+//! * every served view equals a never-crashed reference engine over the
+//!   applied prefix, **bit for bit** (all maintained maps, not just results);
+//! * recovery replayed only the events above the newest checkpoint watermark
+//!   (asserted exactly via `recovery_replayed_events`);
+//! * replaying the remainder of the stream converges both runs to the same
+//!   final state, bit for bit;
+//! * a clean shutdown then reopens with zero replay (the final checkpoint
+//!   covers everything).
+
+use dbtoaster::prelude::*;
+use dbtoaster::QueryEngineBuilder;
+use dbtoaster_durability::checkpoint;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const EVENTS: usize = 60_000;
+const CHECKPOINT_EVERY: u64 = 8_192;
+
+fn catalog() -> SqlCatalog {
+    [
+        TableDef::stream("Orders", ["ordk", "ck", "xch"]),
+        TableDef::stream("Lineitem", ["ordk", "price"]),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn builder() -> QueryEngineBuilder {
+    QueryEngineBuilder::new(catalog())
+        .add_query(
+            "revenue",
+            "SELECT o.ck, SUM(li.price * o.xch) AS total \
+             FROM Orders o, Lineitem li WHERE o.ordk = li.ordk GROUP BY o.ck",
+        )
+        .mode(CompileMode::HigherOrder)
+}
+
+fn config(dir: &std::path::Path) -> ServerConfig {
+    let mut d = DurabilityConfig::new(dir);
+    d.checkpoint_every_events = CHECKPOINT_EVERY;
+    // `kill()` models a process crash; the completed write syscalls survive it
+    // under any policy, so the fast one keeps the test snappy.
+    d.fsync = FsyncPolicy::Never;
+    ServerConfig {
+        durability: Some(d),
+        ..ServerConfig::default()
+    }
+}
+
+/// A mixed insert/delete stream over both relations.
+fn events() -> Vec<UpdateEvent> {
+    let mut rng = StdRng::seed_from_u64(0x4B31);
+    let mut out = Vec::with_capacity(EVENTS);
+    let mut live_items: Vec<(i64, i64)> = Vec::new();
+    let mut next_order = 0i64;
+    for _ in 0..EVENTS {
+        match rng.random_range(0..10u32) {
+            0..=2 => {
+                out.push(UpdateEvent::insert(
+                    "Orders",
+                    vec![
+                        Value::long(next_order),
+                        Value::long(next_order % 97),
+                        Value::double((next_order % 5) as f64 + 0.5),
+                    ],
+                ));
+                next_order += 1;
+            }
+            3..=8 => {
+                let ordk = rng.random_range(0..(next_order + 1).max(1));
+                let price = rng.random_range(1..1000i64);
+                live_items.push((ordk, price));
+                out.push(UpdateEvent::insert(
+                    "Lineitem",
+                    vec![Value::long(ordk), Value::double(price as f64)],
+                ));
+            }
+            _ if !live_items.is_empty() => {
+                let (ordk, price) = live_items.swap_remove(rng.random_range(0..live_items.len()));
+                out.push(UpdateEvent::delete(
+                    "Lineitem",
+                    vec![Value::long(ordk), Value::double(price as f64)],
+                ));
+            }
+            _ => {
+                out.push(UpdateEvent::insert(
+                    "Lineitem",
+                    vec![Value::long(0), Value::double(1.0)],
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Bit-exact comparison of every view in a served snapshot against a
+/// single-threaded engine.
+fn assert_snapshot_matches_engine(snap: &Snapshot, engine: &dbtoaster::QueryEngine, context: &str) {
+    let mut compared = 0;
+    for name in snap.names() {
+        let served = snap.view(name).unwrap();
+        let reference = engine
+            .view(name)
+            .unwrap_or_else(|| panic!("{context}: reference lacks view {name}"));
+        assert_eq!(
+            served.len(),
+            reference.len(),
+            "{context}: view {name} sizes differ"
+        );
+        for (t, m) in served.iter() {
+            assert_eq!(
+                reference.get(t).to_bits(),
+                m.to_bits(),
+                "{context}: {name}[{t:?}] differs"
+            );
+        }
+        compared += 1;
+    }
+    assert!(compared >= 2, "{context}: expected several maintained maps");
+}
+
+#[test]
+fn kill_and_recover_is_bit_exact_and_replays_only_above_the_watermark() {
+    let dir: PathBuf = std::env::temp_dir().join(format!("dbt-kill-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let stream = events();
+
+    // --- Phase 1: durable server, killed mid-stream -----------------------
+    let server = builder().open_or_create_with(config(&dir)).unwrap();
+    let ingest = server.handle();
+    // The feeder offers only the first 2/3 of the stream: however the kill
+    // races the writer, the crash is guaranteed to land mid-stream.
+    let offered = EVENTS * 2 / 3;
+    let feeder = {
+        let part: Vec<UpdateEvent> = stream[..offered].to_vec();
+        std::thread::spawn(move || match ingest.send_batch(part) {
+            Ok(n) => n,
+            Err(e) => e.accepted,
+        })
+    };
+    // Let it run until a periodic checkpoint has completed (beyond the
+    // initial one at watermark 0) and plenty of further events applied, then
+    // pull the plug mid-stream.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let s = server.stats();
+        if s.checkpoints_taken >= 2 && s.events >= 2 * CHECKPOINT_EVERY {
+            break;
+        }
+        assert!(Instant::now() < deadline, "writer made no progress");
+        std::thread::yield_now();
+    }
+    server.kill();
+    let accepted = feeder.join().expect("feeder thread");
+
+    // --- Phase 2: reopen and verify the recovered prefix ------------------
+    let server = builder().open_or_create_with(config(&dir)).unwrap();
+    let stats = server.stats();
+    let applied = stats.events as usize;
+    assert!(
+        applied <= accepted,
+        "recovered {applied} events but only {accepted} were ever accepted"
+    );
+    assert!(applied >= 2 * CHECKPOINT_EVERY as usize);
+    assert!(applied <= offered, "kill was supposed to land mid-stream");
+
+    // Replay must start exactly at the newest durable checkpoint watermark.
+    let (ckpt, _) = checkpoint::load_latest(
+        &dir,
+        dbtoaster_durability::program_fingerprint(builder().build().unwrap().program()),
+    )
+    .unwrap();
+    let watermark = ckpt.expect("checkpoint present").watermark;
+    assert!(
+        watermark >= CHECKPOINT_EVERY,
+        "no periodic checkpoint survived"
+    );
+    assert_eq!(
+        stats.recovery_replayed_events,
+        applied as u64 - watermark,
+        "recovery must replay exactly the events above the checkpoint watermark"
+    );
+
+    // Bit-exact prefix equivalence against a never-crashed reference.
+    let mut reference = builder().build().unwrap();
+    reference.init().unwrap();
+    reference.process_all(&stream[..applied]).unwrap();
+    let reader = server.reader();
+    assert_snapshot_matches_engine(&reader.snapshot(), &reference, "after recovery");
+    assert_eq!(
+        server.reader().query("revenue").unwrap().len(),
+        reference.result("revenue").unwrap().len(),
+        "served result table diverged"
+    );
+
+    // --- Phase 3: replay the remainder and converge ------------------------
+    let n = server
+        .handle()
+        .send_batch(stream[applied..].to_vec())
+        .unwrap();
+    assert_eq!(n, EVENTS - applied);
+    server.flush().unwrap();
+    reference.process_all(&stream[applied..]).unwrap();
+    let final_stats = server.stats();
+    assert_eq!(final_stats.events as usize, EVENTS);
+    assert!(final_stats.wal_bytes_written > 0);
+    assert_snapshot_matches_engine(&reader.snapshot(), &reference, "after full replay");
+
+    // --- Phase 4: clean shutdown reopens with zero replay ------------------
+    let engine = server.shutdown().unwrap();
+    assert_eq!(engine.stats().events as usize, EVENTS);
+    assert!(engine.stats().checkpoints_taken > 0);
+    let server = builder().open_or_create_with(config(&dir)).unwrap();
+    let stats = server.stats();
+    assert_eq!(stats.events as usize, EVENTS);
+    assert_eq!(
+        stats.recovery_replayed_events, 0,
+        "a cleanly shut down server must reopen from its final checkpoint alone"
+    );
+    assert_snapshot_matches_engine(
+        &server.reader().snapshot(),
+        &reference,
+        "after clean reopen",
+    );
+    drop(server);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_poison_event_does_not_desync_the_wal_from_the_watermark() {
+    // A failing event (wrong arity) is WAL'd with its sequence slot but
+    // applies nothing. The watermark must advance past it all the same, or
+    // every later checkpoint would lag the log and recovery would double-apply
+    // the suffix. Recovery of the degraded stream must also succeed.
+    let dir: PathBuf = std::env::temp_dir().join(format!("dbt-poison-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let mut stream: Vec<UpdateEvent> = events()[..300].to_vec();
+    stream.insert(150, UpdateEvent::insert("Orders", vec![Value::long(1)]));
+
+    let server = builder().open_or_create_with(config(&dir)).unwrap();
+    server.handle().send_batch(stream.clone()).unwrap();
+    server.flush().unwrap();
+    assert!(
+        server.last_error().is_some(),
+        "poison event must be surfaced"
+    );
+    assert_eq!(server.stats().events as usize, stream.len());
+    server.kill();
+
+    let server = builder().open_or_create_with(config(&dir)).unwrap();
+    let stats = server.stats();
+    assert_eq!(
+        stats.events as usize,
+        stream.len(),
+        "recovered watermark must cover the poison event's slot"
+    );
+    assert_eq!(stats.recovery_replayed_events as usize, stream.len());
+    // The arity check fires before any statement runs, so the degraded state
+    // equals the clean stream's state: compare against a reference that skips
+    // the poison event.
+    let mut reference = builder().build().unwrap();
+    reference.init().unwrap();
+    for ev in &stream {
+        let _ = reference.process(ev);
+    }
+    assert_snapshot_matches_engine(&server.reader().snapshot(), &reference, "poison recovery");
+    drop(server);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_serve_refuses_an_unrecovered_directory() {
+    // `serve_with` + durability on a directory that already holds a checkpoint
+    // ahead of the (fresh) engine must be refused: adopting it would fork
+    // history. `open_or_create` is the path that recovers first.
+    let dir: PathBuf = std::env::temp_dir().join(format!("dbt-stale-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let server = builder().open_or_create_with(config(&dir)).unwrap();
+    server
+        .handle()
+        .send_batch(events()[..500].to_vec())
+        .unwrap();
+    server.flush().unwrap();
+    drop(server); // clean shutdown: final checkpoint at watermark 500
+
+    match builder().build().unwrap().serve_with(config(&dir)) {
+        Err(e) => assert!(
+            e.to_string().contains("open_or_create"),
+            "unexpected error: {e}"
+        ),
+        Ok(_) => panic!("serving a stale durable dir with a fresh engine must fail"),
+    }
+    // The sanctioned path still works and comes back warm.
+    let server = builder().open_or_create_with(config(&dir)).unwrap();
+    assert_eq!(server.stats().events, 500);
+    drop(server);
+
+    // Same refusal when only the WAL is ahead (all checkpoints wiped) — and
+    // crucially, the refused open must not have mutated the directory by
+    // writing an initial checkpoint a later recovery would adopt.
+    for (_, path) in dbtoaster_durability::list_checkpoints(&dir).unwrap() {
+        fs::remove_file(path).unwrap();
+    }
+    match builder().build().unwrap().serve_with(config(&dir)) {
+        Err(e) => assert!(
+            e.to_string().contains("open_or_create"),
+            "unexpected error: {e}"
+        ),
+        Ok(_) => panic!("serving a WAL-ahead durable dir with a fresh engine must fail"),
+    }
+    assert!(
+        dbtoaster_durability::list_checkpoints(&dir)
+            .unwrap()
+            .is_empty(),
+        "a refused open must not leave a checkpoint behind"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn send_batch_reports_partial_progress_when_the_server_dies() {
+    let server = builder().serve().unwrap();
+    let ingest = server.handle();
+    let stream = events();
+    let total = stream.len();
+    let feeder = std::thread::spawn(move || match ingest.send_batch(stream) {
+        Ok(n) => Ok(n),
+        Err(e) => Err((e.accepted, e.unsent.len())),
+    });
+    // Kill while the feeder is (very likely) still pushing; either way the
+    // contract must hold.
+    while server.stats().events < 512 {
+        std::thread::yield_now();
+    }
+    server.kill();
+    match feeder.join().expect("feeder") {
+        Ok(n) => assert_eq!(n, total, "a fully accepted batch reports its length"),
+        Err((accepted, unsent)) => {
+            assert!(accepted < total);
+            assert!(unsent > 0, "the rejected chunk must come back");
+            assert_eq!(
+                accepted % 128,
+                0,
+                "chunks are accepted or rejected atomically"
+            );
+        }
+    }
+}

@@ -150,7 +150,10 @@ impl From<EvalError> for RuntimeError {
 /// `ViewServer::stats()`.
 #[derive(Clone, Debug)]
 pub struct EngineStats {
-    /// Events processed so far.
+    /// Events processed so far. On a plain engine only successfully applied
+    /// events count; a *durable* serving writer also counts failed events,
+    /// because each logged event owns a WAL sequence slot and the watermark
+    /// must advance past a poison event for recovery to line up.
     pub events: u64,
     /// Statements executed so far.
     pub statements: u64,
@@ -164,6 +167,13 @@ pub struct EngineStats {
     pub snapshots_published: u64,
     /// Output-delta records fanned out to subscribers (sum over subscribers).
     pub subscriber_deltas: u64,
+    /// Bytes appended to the write-ahead log by a durable serving writer.
+    pub wal_bytes_written: u64,
+    /// Checkpoints written by a durable serving writer.
+    pub checkpoints_taken: u64,
+    /// Events replayed from the WAL when this engine was recovered from disk
+    /// (0 for engines built fresh or restored purely from a checkpoint).
+    pub recovery_replayed_events: u64,
 }
 
 impl EngineStats {
@@ -176,6 +186,9 @@ impl EngineStats {
             batches: 0,
             snapshots_published: 0,
             subscriber_deltas: 0,
+            wal_bytes_written: 0,
+            checkpoints_taken: 0,
+            recovery_replayed_events: 0,
         }
     }
 
@@ -250,6 +263,38 @@ impl Engine {
             stats: EngineStats::new(),
             changes: None,
         }
+    }
+
+    /// Rebuild an engine from a checkpointed snapshot: every map is restored
+    /// wholesale and the event counter resumes at `events_applied`, **without**
+    /// re-running [`Engine::init_static_views`] — the snapshot already contains
+    /// static tables and the views derived from them. This is the restore half
+    /// of the durability layer's checkpoint/recovery protocol; replaying logged
+    /// events `events_applied+1..` through [`Engine::process`] afterwards
+    /// reproduces a never-restarted engine bit-for-bit.
+    pub fn from_snapshot(
+        program: TriggerProgram,
+        catalog: &Catalog,
+        maps: impl IntoIterator<Item = (String, Gmr)>,
+        events_applied: u64,
+    ) -> Self {
+        let mut engine = Engine::new(program, catalog);
+        for (name, gmr) in maps {
+            if !engine.db.contains(&name) {
+                // Present in the snapshot but not declared by the program: a
+                // table that was declared on the fly by `load_table`.
+                engine
+                    .db
+                    .declare(name.clone(), gmr.schema().columns().iter().cloned());
+            }
+            engine
+                .db
+                .view_mut(&name)
+                .expect("declared above")
+                .load_gmr(&gmr);
+        }
+        engine.stats.events = events_applied;
+        engine
     }
 
     /// Enable or disable the changed-key log consumed by [`Engine::take_changes`].

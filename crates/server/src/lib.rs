@@ -22,6 +22,11 @@
 //!   `(key, old multiplicity, new multiplicity)` records per subscribed query
 //!   and fans them out. Replaying a subscription's batches onto its baseline
 //!   snapshot reconstructs the live result bit-exactly.
+//! * **Durability** (optional, [`ServerConfig::durability`]) — the writer
+//!   appends every micro-batch to a write-ahead log *before* applying it and
+//!   checkpoints the materialized maps off the hot path; a crashed server
+//!   ([`ViewServer::kill`] simulates one) reopens warm and bit-exact via the
+//!   `dbtoaster-durability` crate's recovery.
 //!
 //! ## Consistency guarantee
 //!
@@ -53,7 +58,7 @@
 //! let program = compile(&[q], &catalog, &CompileOptions::default()).unwrap();
 //! let engine = Engine::new(program, &catalog);
 //!
-//! let server = ViewServer::spawn(engine, vec![], ServerConfig::default());
+//! let server = ViewServer::spawn(engine, vec![], ServerConfig::default()).unwrap();
 //! let ingest = server.handle();
 //! let reader = server.reader();
 //! let sub = server.subscribe("total").unwrap();
@@ -72,7 +77,11 @@ pub mod swap;
 
 pub use results::{assemble_result, ResultRow, ResultTable};
 pub use server::{
-    DeltaBatch, IngestHandle, OutputDelta, ReaderHandle, ServeError, ServedQuery, ServerConfig,
-    Snapshot, Subscription, TrySendError, ViewServer,
+    DeltaBatch, IngestHandle, OutputDelta, ReaderHandle, SendBatchError, ServeError, ServedQuery,
+    ServerConfig, Snapshot, Subscription, TrySendError, ViewServer,
 };
 pub use swap::EpochCell;
+
+// The durability knobs appear in `ServerConfig`; re-export them so serving
+// callers need no direct dependency on the durability crate.
+pub use dbtoaster_durability::{DurabilityConfig, DurabilityError, FsyncPolicy};

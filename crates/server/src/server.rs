@@ -43,19 +43,22 @@ use crate::swap::EpochCell;
 use dbtoaster_agca::eval::{eval_with, matches_pattern, Bindings, EvalError, RelationSource};
 use dbtoaster_agca::UpdateEvent;
 use dbtoaster_compiler::{ResultAccess, TriggerProgram};
+use dbtoaster_durability::{
+    checkpoint, program_fingerprint, DurabilityConfig, DurabilityError, WalWriter,
+};
 use dbtoaster_gmr::{FastMap, Gmr, Tuple, Value};
 use dbtoaster_runtime::{ChangeSet, Engine, EngineStats, RuntimeError};
 use dbtoaster_sql::OutputColumn;
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError as MpscTrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// Sizing knobs for a [`ViewServer`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Capacity (in messages) of the bounded ingest queue;
     /// [`IngestHandle::send`] blocks (backpressure) when it is full.
@@ -69,6 +72,11 @@ pub struct ServerConfig {
     /// every batch. Barriers ([`ViewServer::flush`]) always force a publish,
     /// so staleness is bounded by this interval.
     pub publish_interval: Duration,
+    /// When set, the writer appends every drained micro-batch to a write-ahead
+    /// log **before** applying it and checkpoints the materialized state off
+    /// the hot path; a crashed or killed server then reopens warm through
+    /// `dbtoaster_durability::recover` (or `QueryEngineBuilder::open_or_create`).
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +85,7 @@ impl Default for ServerConfig {
             queue_capacity: 8192,
             max_batch: 512,
             publish_interval: Duration::from_millis(1),
+            durability: None,
         }
     }
 }
@@ -103,6 +112,8 @@ pub enum ServeError {
     Runtime(RuntimeError),
     /// Evaluating a computed result against a snapshot failed.
     Eval(EvalError),
+    /// The durability layer failed (WAL open/append or checkpoint write).
+    Durability(DurabilityError),
 }
 
 impl fmt::Display for ServeError {
@@ -118,11 +129,18 @@ impl fmt::Display for ServeError {
             ServeError::Closed => write!(f, "view server is shut down"),
             ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
             ServeError::Eval(e) => write!(f, "evaluation error: {e}"),
+            ServeError::Durability(e) => write!(f, "durability error: {e}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+impl From<DurabilityError> for ServeError {
+    fn from(e: DurabilityError) -> Self {
+        ServeError::Durability(e)
+    }
+}
 
 /// An immutable, batch-atomic snapshot of every maintained view.
 #[derive(Debug)]
@@ -258,6 +276,9 @@ struct StatsCell {
     batches: AtomicU64,
     snapshots_published: AtomicU64,
     subscriber_deltas: AtomicU64,
+    wal_bytes_written: AtomicU64,
+    checkpoints_taken: AtomicU64,
+    recovery_replayed_events: AtomicU64,
     started: Instant,
 }
 
@@ -267,6 +288,13 @@ struct Shared {
     queries: FastMap<String, ServedQuery>,
     program: Arc<TriggerProgram>,
     error: Mutex<Option<RuntimeError>>,
+    durability_error: Mutex<Option<DurabilityError>>,
+    /// Startup provenance (e.g. a degraded recovery), kept apart from
+    /// `durability_error` so it can never mask a later runtime failure.
+    durability_warning: Mutex<Option<DurabilityError>>,
+    /// Crash simulation / hard abort: the writer stops at the next loop
+    /// iteration without draining the queue or taking a final checkpoint.
+    killed: AtomicBool,
 }
 
 /// A concurrent serving wrapper around a compiled engine: one writer thread,
@@ -280,8 +308,15 @@ pub struct ViewServer {
 
 impl ViewServer {
     /// Start serving: moves `engine` into a dedicated writer thread and
-    /// publishes its current state as the epoch-0 snapshot.
-    pub fn spawn(mut engine: Engine, queries: Vec<ServedQuery>, config: ServerConfig) -> Self {
+    /// publishes its current state as the epoch-0 snapshot. With
+    /// [`ServerConfig::durability`] set, also opens the write-ahead log
+    /// (resuming after any torn tail) and writes an initial checkpoint if the
+    /// directory has none — failures there are the only error path.
+    pub fn spawn(
+        mut engine: Engine,
+        queries: Vec<ServedQuery>,
+        config: ServerConfig,
+    ) -> Result<Self, ServeError> {
         // Change tracking is enabled lazily, once the first subscriber joins;
         // snapshot-only serving pays nothing for the changed-key log.
         engine.set_change_tracking(false);
@@ -301,25 +336,35 @@ impl ViewServer {
                 batches: AtomicU64::new(0),
                 snapshots_published: AtomicU64::new(0),
                 subscriber_deltas: AtomicU64::new(0),
+                wal_bytes_written: AtomicU64::new(0),
+                checkpoints_taken: AtomicU64::new(0),
+                recovery_replayed_events: AtomicU64::new(engine.stats().recovery_replayed_events),
                 started: Instant::now(),
             },
             queries: queries.into_iter().map(|q| (q.name.clone(), q)).collect(),
             program: engine.program_shared(),
             error: Mutex::new(None),
+            durability_error: Mutex::new(None),
+            durability_warning: Mutex::new(None),
+            killed: AtomicBool::new(false),
         });
+        let durable = match &config.durability {
+            Some(cfg) => Some(DurableState::open(cfg, &engine, &shared)?),
+            None => None,
+        };
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let writer = {
             let shared = shared.clone();
             thread::Builder::new()
                 .name("dbtoaster-writer".into())
-                .spawn(move || writer_loop(engine, rx, shared, initial, config))
+                .spawn(move || writer_loop(engine, rx, shared, initial, config, durable))
                 .expect("failed to spawn writer thread")
         };
-        ViewServer {
+        Ok(ViewServer {
             shared,
             tx,
             writer: Some(writer),
-        }
+        })
     }
 
     /// A cloneable producer handle onto the bounded ingest queue.
@@ -427,7 +472,8 @@ impl ViewServer {
         ack_rx.recv().map_err(|_| ServeError::Closed)
     }
 
-    /// Merged engine + serving statistics (events, batches, publishes, fan-out).
+    /// Merged engine + serving statistics (events, batches, publishes,
+    /// fan-out, durability counters).
     pub fn stats(&self) -> EngineStats {
         let s = &self.shared.stats;
         EngineStats {
@@ -438,6 +484,9 @@ impl ViewServer {
             batches: s.batches.load(Relaxed),
             snapshots_published: s.snapshots_published.load(Relaxed),
             subscriber_deltas: s.subscriber_deltas.load(Relaxed),
+            wal_bytes_written: s.wal_bytes_written.load(Relaxed),
+            checkpoints_taken: s.checkpoints_taken.load(Relaxed),
+            recovery_replayed_events: s.recovery_replayed_events.load(Relaxed),
         }
     }
 
@@ -454,17 +503,72 @@ impl ViewServer {
             .clone()
     }
 
+    /// The first durability error hit by the writer or the checkpointer, if
+    /// any. After a WAL failure the server keeps serving **in memory only**
+    /// (appending stops, snapshots carry [`Snapshot::degraded`]); after a
+    /// checkpoint failure the WAL keeps the state recoverable but recovery
+    /// will replay from an older watermark.
+    pub fn last_durability_error(&self) -> Option<DurabilityError> {
+        self.shared
+            .durability_error
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// A startup durability warning, if any — recovery provenance such as
+    /// skipped damaged checkpoints or replayed poison events, recorded by the
+    /// facade through [`ViewServer::record_durability_warning`]. Kept in its
+    /// own slot so it can never mask a later *runtime* failure reported by
+    /// [`ViewServer::last_durability_error`].
+    pub fn durability_warning(&self) -> Option<DurabilityError> {
+        self.shared
+            .durability_warning
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Record a startup durability warning (does not overwrite an earlier
+    /// one), surfaced through [`ViewServer::durability_warning`]. The facade
+    /// uses this to carry recovery provenance into the running server, so a
+    /// degraded recovery is distinguishable from a clean one.
+    pub fn record_durability_warning(&self, e: DurabilityError) {
+        self.shared
+            .durability_warning
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get_or_insert(e);
+    }
+
     /// The epoch of the currently published snapshot.
     pub fn epoch(&self) -> u64 {
         self.shared.cell.epoch()
     }
 
     /// Stop the writer (after it drains messages queued ahead of the stop
-    /// request) and take the engine back for single-threaded use.
+    /// request) and take the engine back for single-threaded use. With
+    /// durability enabled this is a *clean* shutdown: the WAL is synced and a
+    /// final checkpoint is written, so the next open replays nothing.
     pub fn shutdown(mut self) -> Result<Engine, ServeError> {
         let _ = self.tx.send(Msg::Stop);
         let writer = self.writer.take().expect("writer present until shutdown");
         writer.join().map_err(|_| ServeError::Closed)
+    }
+
+    /// Hard-stop the writer **without** draining the queue, syncing the WAL or
+    /// taking a final checkpoint — the closest a live process can come to
+    /// `kill -9`, used to exercise crash recovery (and as a fast abort).
+    /// Events accepted but not yet applied are dropped; under a durable
+    /// config, reopening the directory recovers exactly the applied prefix.
+    pub fn kill(mut self) {
+        self.shared.killed.store(true, Relaxed);
+        // Wake a writer blocked on an empty queue; if the queue is full the
+        // writer is busy and will see the flag at its next loop iteration.
+        let _ = self.tx.try_send(Msg::Stop);
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
     }
 }
 
@@ -503,27 +607,80 @@ impl IngestHandle {
 
     /// Enqueue a stream of updates in chunks, amortizing the per-message queue
     /// cost (one queue slot carries up to 128 events). Blocks on a full queue.
+    ///
+    /// Returns the number of events accepted into the queue. When the server
+    /// goes away mid-stream the error carries the count accepted **before**
+    /// the failure, so a durable producer can resume from `accepted` without
+    /// double-sending: events of a rejected chunk were *not* enqueued (a chunk
+    /// is accepted or rejected atomically) and come back in
+    /// [`SendBatchError::unsent`].
     pub fn send_batch(
         &self,
         events: impl IntoIterator<Item = UpdateEvent>,
-    ) -> Result<(), ServeError> {
+    ) -> Result<usize, SendBatchError> {
         const CHUNK: usize = 128;
+        let mut accepted = 0usize;
         let mut buf: Vec<UpdateEvent> = Vec::with_capacity(CHUNK);
+        let send = |chunk: Vec<UpdateEvent>, accepted: &mut usize| -> Result<(), SendBatchError> {
+            let n = chunk.len();
+            match self.tx.send(Msg::Events(chunk)) {
+                Ok(()) => {
+                    *accepted += n;
+                    Ok(())
+                }
+                Err(mpsc::SendError(msg)) => Err(SendBatchError {
+                    accepted: *accepted,
+                    unsent: match msg {
+                        Msg::Events(v) => v,
+                        _ => unreachable!("send_batch only wraps event chunks"),
+                    },
+                }),
+            }
+        };
         for ev in events {
             buf.push(ev);
             if buf.len() == CHUNK {
                 let full = std::mem::replace(&mut buf, Vec::with_capacity(CHUNK));
-                self.tx
-                    .send(Msg::Events(full))
-                    .map_err(|_| ServeError::Closed)?;
+                send(full, &mut accepted)?;
             }
         }
         if !buf.is_empty() {
-            self.tx
-                .send(Msg::Events(buf))
-                .map_err(|_| ServeError::Closed)?;
+            send(buf, &mut accepted)?;
         }
-        Ok(())
+        Ok(accepted)
+    }
+}
+
+/// A [`IngestHandle::send_batch`] that failed part-way: the server shut down
+/// after `accepted` events were enqueued.
+#[derive(Clone, Debug)]
+pub struct SendBatchError {
+    /// Events accepted into the queue before the failure.
+    pub accepted: usize,
+    /// The rejected chunk (up to 128 events) handed back to the caller. Note
+    /// that `unsent` covers **only this chunk**: events still inside the
+    /// source iterator were never pulled and are not returned — a producer
+    /// that hands over its only copy must keep the source until `send_batch`
+    /// returns `Ok`, then resume from index `accepted` on failure.
+    pub unsent: Vec<UpdateEvent>,
+}
+
+impl fmt::Display for SendBatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "view server shut down after accepting {} events ({} returned unsent)",
+            self.accepted,
+            self.unsent.len()
+        )
+    }
+}
+
+impl std::error::Error for SendBatchError {}
+
+impl From<SendBatchError> for ServeError {
+    fn from(_: SendBatchError) -> Self {
+        ServeError::Closed
     }
 }
 
@@ -651,6 +808,242 @@ impl Subscription {
 }
 
 // ---------------------------------------------------------------------------
+// Durable pipeline (writer-side WAL + background checkpointer)
+// ---------------------------------------------------------------------------
+
+/// A snapshot handed to the checkpoint thread: shared copy-on-write maps, so
+/// building the job is O(#views) on the hot path and the serialization cost
+/// is paid entirely off it.
+struct CkptJob {
+    maps: FastMap<String, Gmr>,
+    watermark: u64,
+}
+
+fn record_durability_error(shared: &Shared, e: DurabilityError) {
+    shared
+        .durability_error
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .get_or_insert(e);
+}
+
+/// The writer thread's durable state: the open WAL plus a handle to the
+/// checkpoint thread.
+struct DurableState {
+    wal: WalWriter,
+    ckpt_tx: Option<SyncSender<CkptJob>>,
+    ckpt_thread: Option<JoinHandle<()>>,
+    checkpoint_every: u64,
+    events_since_ckpt: u64,
+    /// A WAL append failed: durability is disabled for the rest of the
+    /// session (the server keeps serving in memory; the error is surfaced
+    /// through `ViewServer::last_durability_error`).
+    broken: bool,
+}
+
+impl DurableState {
+    fn open(
+        cfg: &DurabilityConfig,
+        engine: &Engine,
+        shared: &Arc<Shared>,
+    ) -> Result<Self, DurabilityError> {
+        let fingerprint = program_fingerprint(engine.program());
+        let watermark = engine.stats().events;
+        // The writer lock comes FIRST — before any directory read or mutation
+        // (tmp cleanup, the initial checkpoint, the WAL scan). A second opener
+        // racing a live server is refused here, with no window in which it
+        // could delete the live checkpointer's in-flight `.tmp` or interleave
+        // an initial checkpoint write.
+        let lock = dbtoaster_durability::wal::acquire_dir_lock(&cfg.dir)?;
+        checkpoint::clean_tmp_files(&cfg.dir)?;
+        let checkpoints = checkpoint::list_checkpoints(&cfg.dir)?;
+        // A checkpoint or WAL *ahead* of this engine means the directory holds
+        // state the caller never recovered (durable `serve_with` on a used
+        // directory instead of `open_or_create`). Adopting it would fork
+        // history: the new WAL would restart below the stale watermark and a
+        // later recovery would silently merge old state with the new stream.
+        // Both checks run before ANY mutation — a refused open must not leave
+        // an initial checkpoint behind for a later recovery to pick up. Only
+        // *verified* checkpoints count, mirroring recovery's own fallback
+        // policy: a damaged newest file that recovery skipped must not make
+        // `open_or_create` refuse its own result.
+        let mut newest_verified: Option<u64> = None;
+        for (_, path) in &checkpoints {
+            match checkpoint::verify_checkpoint(path, fingerprint) {
+                Ok(w) => {
+                    newest_verified = Some(w);
+                    break;
+                }
+                Err(e @ DurabilityError::FingerprintMismatch { .. }) => return Err(e),
+                Err(e @ DurabilityError::VersionMismatch { .. }) => return Err(e),
+                Err(_) => continue, // damaged: recovery skipped it too
+            }
+        }
+        if let Some(newest) = newest_verified {
+            if newest > watermark {
+                return Err(DurabilityError::Config(format!(
+                    "durability dir {} holds a checkpoint at watermark {newest}, ahead of this \
+                     engine's {watermark} applied events; recover it first (use open_or_create)",
+                    cfg.dir.display()
+                )));
+            }
+        }
+        // (Startup-only trade-off: this probe re-reads the final segment that
+        // recovery already scanned and that `WalWriter::open_locked` will scan
+        // once more. Threading one scan through all three would save at most
+        // one segment read per process start — correctness-critical paths stay
+        // independent instead.)
+        if let Some(end) = dbtoaster_durability::wal::log_end_seq(&cfg.dir, fingerprint)? {
+            if end > watermark + 1 {
+                return Err(DurabilityError::Config(format!(
+                    "durability dir {} holds a WAL ending at seq {}, ahead of this engine's \
+                     {watermark} applied events; recover it first (use open_or_create)",
+                    cfg.dir.display(),
+                    end - 1
+                )));
+            }
+        }
+        // First durable start (or wiped checkpoints): capture the engine's
+        // current state synchronously. Pre-loaded tables and static views
+        // never travel through the WAL, so "newest checkpoint + WAL suffix"
+        // must be a complete recipe from the very first logged event. The
+        // checkpoint is written *before* the WAL is created: a crash in
+        // between leaves checkpoint-only state (recovered intact), whereas the
+        // reverse order would leave a checkpoint-less WAL that a later
+        // recovery would replay against an engine missing the tables.
+        if checkpoints.is_empty() {
+            let snap = engine.snapshot();
+            checkpoint::write_checkpoint(
+                &cfg.dir,
+                fingerprint,
+                watermark,
+                snap.iter().map(|(n, g)| (n.as_str(), g)),
+            )?;
+            shared.stats.checkpoints_taken.fetch_add(1, Relaxed);
+        }
+        let wal = WalWriter::open_locked(
+            &cfg.dir,
+            fingerprint,
+            watermark + 1,
+            cfg.fsync,
+            cfg.segment_bytes,
+            lock,
+        )?;
+        let (tx, rx) = mpsc::sync_channel::<CkptJob>(1);
+        let ckpt_thread = {
+            let shared = shared.clone();
+            let dir = cfg.dir.clone();
+            let keep = cfg.keep_checkpoints;
+            thread::Builder::new()
+                .name("dbtoaster-ckpt".into())
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let res = checkpoint::write_checkpoint(
+                            &dir,
+                            fingerprint,
+                            job.watermark,
+                            job.maps.iter().map(|(n, g)| (n.as_str(), g)),
+                        )
+                        .and_then(|_| checkpoint::retain_and_prune_wal(&dir, keep, fingerprint));
+                        match res {
+                            Ok(_) => {
+                                shared.stats.checkpoints_taken.fetch_add(1, Relaxed);
+                            }
+                            Err(e) => record_durability_error(&shared, e),
+                        }
+                    }
+                })
+                .expect("failed to spawn checkpoint thread")
+        };
+        Ok(DurableState {
+            wal,
+            ckpt_tx: Some(tx),
+            ckpt_thread: Some(ckpt_thread),
+            checkpoint_every: cfg.checkpoint_every_events.max(1),
+            // Replayed events count toward the next checkpoint: without this,
+            // a crash-looping server that never applies `checkpoint_every`
+            // *new* events between crashes would never advance its watermark,
+            // and the WAL (and every recovery) would grow without bound.
+            events_since_ckpt: engine.stats().recovery_replayed_events,
+            broken: false,
+        })
+    }
+
+    /// Write-ahead: append the micro-batch (and apply the fsync policy's
+    /// batch-boundary sync) *before* any of its events touch a view. Returns
+    /// `false` when the WAL just broke (the batch is then applied undurably
+    /// and the snapshot marked degraded).
+    fn log_batch(&mut self, batch: &[UpdateEvent], shared: &Shared) -> bool {
+        if self.broken {
+            return false;
+        }
+        if batch.is_empty() {
+            return true;
+        }
+        match self
+            .wal
+            .append(batch)
+            .and_then(|_| self.wal.batch_boundary())
+        {
+            Ok(()) => {
+                shared
+                    .stats
+                    .wal_bytes_written
+                    .store(self.wal.bytes_written(), Relaxed);
+                true
+            }
+            Err(e) => {
+                record_durability_error(shared, e);
+                self.broken = true;
+                false
+            }
+        }
+    }
+
+    /// Hand a checkpoint job to the background thread once enough events have
+    /// accumulated. If the previous checkpoint is still being written the
+    /// attempt is skipped and retried after the next batch — the writer never
+    /// waits on checkpoint I/O.
+    fn maybe_checkpoint(&mut self, engine: &Engine, applied: u64) {
+        self.events_since_ckpt += applied;
+        if self.broken || self.events_since_ckpt < self.checkpoint_every {
+            return;
+        }
+        let job = CkptJob {
+            maps: engine.snapshot(),
+            watermark: engine.stats().events,
+        };
+        if let Some(tx) = &self.ckpt_tx {
+            if tx.try_send(job).is_ok() {
+                self.events_since_ckpt = 0;
+            }
+        }
+    }
+
+    /// Tear down the pipeline. A clean shutdown syncs the WAL and writes a
+    /// final checkpoint (so the next open replays nothing); a crash
+    /// ([`ViewServer::kill`]) skips both, leaving exactly what a dead process
+    /// would have left.
+    fn shutdown(mut self, engine: &Engine, clean: bool, shared: &Shared) {
+        if clean && !self.broken {
+            if let Err(e) = self.wal.sync() {
+                record_durability_error(shared, e);
+            }
+            if let Some(tx) = &self.ckpt_tx {
+                let _ = tx.send(CkptJob {
+                    maps: engine.snapshot(),
+                    watermark: engine.stats().events,
+                });
+            }
+        }
+        self.ckpt_tx = None; // closes the channel; the thread drains and exits
+        if let Some(t) = self.ckpt_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Writer thread
 // ---------------------------------------------------------------------------
 
@@ -660,6 +1053,7 @@ fn writer_loop(
     shared: Arc<Shared>,
     mut last: Arc<Snapshot>,
     config: ServerConfig,
+    mut durable: Option<DurableState>,
 ) -> Engine {
     use std::sync::mpsc::RecvTimeoutError;
 
@@ -684,6 +1078,12 @@ fn writer_loop(
     let mut degraded = false;
 
     while !stop && !disconnected {
+        // Crash simulation / hard abort: stop here, mid-stream, without
+        // draining the queue. Durable teardown below skips the final sync
+        // and checkpoint on this path.
+        if shared.killed.load(Relaxed) {
+            break;
+        }
         // Wait for work; with unpublished events, wait at most until the
         // publish deadline so idle periods cannot leave stale snapshots.
         let first = if pending_events == 0 {
@@ -730,9 +1130,26 @@ fn writer_loop(
         }
 
         let t0 = Instant::now();
+        // Write-ahead: the batch must be on the log (synced per the fsync
+        // policy) before any of its statements run, so no published snapshot
+        // can ever reflect an event the log does not contain.
+        if let Some(d) = durable.as_mut() {
+            if !batch.is_empty() && !d.log_batch(&batch, &shared) {
+                degraded = true;
+            }
+        }
         for ev in &batch {
             if let Err(e) = engine.process(ev) {
                 degraded = true;
+                // Durable serving only: a failing event still consumes its
+                // slot in the stream — the WAL numbered it, so the `events`
+                // watermark must advance past it or every later checkpoint
+                // would lag the log and recovery would re-apply (or re-trip
+                // over) the poison event. Without a WAL, `events` keeps its
+                // original meaning of successfully applied events.
+                if durable.is_some() {
+                    engine.stats_mut().events += 1;
+                }
                 let mut slot = shared.error.lock().unwrap_or_else(|p| p.into_inner());
                 slot.get_or_insert(e);
             }
@@ -774,6 +1191,14 @@ fn writer_loop(
             shared.stats.snapshots_published.fetch_add(1, Relaxed);
             shared.stats.subscriber_deltas.fetch_add(fanned, Relaxed);
         }
+        // Checkpoint accounting rides the batch boundary: the O(#views)
+        // snapshot handoff happens here, the serialization in the checkpoint
+        // thread.
+        if let Some(d) = durable.as_mut() {
+            if !batch.is_empty() {
+                d.maybe_checkpoint(&engine, batch.len() as u64);
+            }
+        }
         serve_busy += t0.elapsed();
 
         // Mirror the stats before acking barriers so a caller returning from
@@ -810,6 +1235,15 @@ fn writer_loop(
             tracking = want_tracking;
         }
     }
+    let crashed = shared.killed.load(Relaxed);
+    if let Some(d) = durable.take() {
+        d.shutdown(&engine, !crashed, &shared);
+    }
+    // Fold the durability counters into the engine's own stats so a
+    // `shutdown()` caller gets the complete picture.
+    let s = engine.stats_mut();
+    s.wal_bytes_written = shared.stats.wal_bytes_written.load(Relaxed);
+    s.checkpoints_taken = shared.stats.checkpoints_taken.load(Relaxed);
     engine
 }
 

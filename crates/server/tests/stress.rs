@@ -71,7 +71,8 @@ fn concurrent_readers_never_observe_torn_snapshots() {
             max_batch: 64,
             ..ServerConfig::default()
         },
-    );
+    )
+    .expect("spawn without durability is infallible");
 
     let done = Arc::new(AtomicBool::new(false));
     let readers: Vec<_> = (0..4)
@@ -186,7 +187,8 @@ fn subscription_replay_reconstructs_final_view() {
             max_batch: 37, // deliberately odd so batch boundaries wander
             ..ServerConfig::default()
         },
-    );
+    )
+    .expect("spawn without durability is infallible");
 
     let sub = server.subscribe("PER_KEY").unwrap();
     assert!(sub.baseline().view(&view_name).unwrap().is_empty());

@@ -1,37 +1,91 @@
-//! Live dashboard: serve a maintained view to concurrent readers and a
-//! change-stream subscriber while a writer ingests updates.
+//! Live dashboard: a durable served view that survives being killed.
 //!
-//! This is the serving-layer counterpart of `quickstart.rs`: the same kind of
-//! SQL view, but accessed through `serve()` — one writer thread applies the
-//! deltas, dashboard threads read consistent lock-free snapshots, and a
-//! subscriber receives the per-batch output deltas of the revenue-per-customer
-//! query.
+//! The serving-layer counterpart of `quickstart.rs`, now with durability: the
+//! revenue view is served through `open_or_create`, which anchors the engine
+//! in an on-disk directory (write-ahead log + checkpoints). Act 1 ingests half
+//! the stream and then *kills* the server mid-flight — no flush, no final
+//! checkpoint, the moral equivalent of `kill -9`. Act 2 reopens the same
+//! directory: the engine comes back warm (checkpoint + WAL replay, bit-exact),
+//! ingests the second half, and dashboard readers plus a change-stream
+//! subscriber carry on as if nothing happened.
 //!
 //! Run with: `cargo run --example live_dashboard`
 
 use dbtoaster::prelude::*;
+use dbtoaster::QueryEngineBuilder;
 use std::thread;
 
-fn main() -> Result<(), DbToasterError> {
-    let catalog: SqlCatalog = [
+fn catalog() -> SqlCatalog {
+    [
         TableDef::stream("Orders", ["ordk", "custk", "xch"]),
         TableDef::stream("Lineitem", ["ordk", "ptk", "price"]),
     ]
     .into_iter()
-    .collect();
+    .collect()
+}
 
-    // Compile and immediately start serving: the engine moves into a dedicated
-    // writer thread; this thread keeps the ingest and reader handles.
-    let server = QueryEngineBuilder::new(catalog)
+fn builder() -> QueryEngineBuilder {
+    QueryEngineBuilder::new(catalog())
         .add_query(
             "revenue",
             "SELECT o.custk, SUM(li.price * o.xch) AS total \
              FROM Orders o, Lineitem li WHERE o.ordk = li.ordk GROUP BY o.custk",
         )
         .mode(CompileMode::HigherOrder)
-        .serve()?;
+}
 
-    // A subscriber sees each micro-batch's output deltas:
+fn order_stream(range: std::ops::Range<i64>) -> Vec<UpdateEvent> {
+    let mut events = Vec::new();
+    for i in range {
+        events.push(UpdateEvent::insert(
+            "Orders",
+            vec![Value::long(i), Value::long(i % 7), Value::double(2.0)],
+        ));
+        events.push(UpdateEvent::insert(
+            "Lineitem",
+            vec![Value::long(i), Value::long(i % 31), Value::double(10.0)],
+        ));
+    }
+    events
+}
+
+fn main() -> Result<(), DbToasterError> {
+    let dir = std::env::temp_dir().join(format!("dbt-live-dashboard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- Act 1: durable serving, killed mid-stream ------------------------
+    let mut durability = DurabilityConfig::new(&dir);
+    durability.checkpoint_every_events = 500; // checkpoint a few times per act
+    let config = ServerConfig {
+        durability: Some(durability),
+        ..ServerConfig::default()
+    };
+
+    let server = builder().open_or_create_with(config.clone())?;
+    let ingest = server.handle();
+    let accepted = ingest
+        .send_batch(order_stream(0..1000))
+        .unwrap_or_else(|e| e.accepted);
+    server.flush()?;
+    let stats = server.stats();
+    println!(
+        "[act 1] accepted {accepted} events, applied {} in {} batches, \
+         {} checkpoints, {} WAL bytes",
+        stats.events, stats.batches, stats.checkpoints_taken, stats.wal_bytes_written
+    );
+    println!("[act 1] killing the server: no flush, no final checkpoint");
+    server.kill();
+
+    // ---- Act 2: reopen the same directory, warm ---------------------------
+    let server = builder().open_or_create_with(config)?;
+    let stats = server.stats();
+    println!(
+        "[act 2] reopened warm: {} events restored ({} replayed from the WAL \
+         above the last checkpoint)",
+        stats.events, stats.recovery_replayed_events
+    );
+
+    // A subscriber sees each micro-batch's output deltas from here on:
     // (customer key, old total, new total).
     let subscription = server.subscribe("revenue")?;
 
@@ -41,8 +95,7 @@ fn main() -> Result<(), DbToasterError> {
             let reader = server.reader();
             thread::spawn(move || {
                 let mut last_epoch = 0;
-                let mut polls = 0u64;
-                while polls < 200 {
+                for _ in 0..200 {
                     let snap = reader.snapshot();
                     if snap.epoch() != last_epoch {
                         last_epoch = snap.epoch();
@@ -54,58 +107,60 @@ fn main() -> Result<(), DbToasterError> {
                             table.len()
                         );
                     }
-                    polls += 1;
                     thread::yield_now();
                 }
             })
         })
         .collect();
 
-    // The writer side: a stream of orders and line items.
+    // Second half of the stream rides on top of the recovered state.
     let ingest = server.handle();
-    let mut events = Vec::new();
-    for i in 0..1000i64 {
-        events.push(UpdateEvent::insert(
-            "Orders",
-            vec![Value::long(i), Value::long(i % 7), Value::double(2.0)],
-        ));
-        events.push(UpdateEvent::insert(
-            "Lineitem",
-            vec![Value::long(i), Value::long(i % 31), Value::double(10.0)],
-        ));
-    }
-    ingest.send_batch(events).expect("server alive");
-    let epoch = server.flush().expect("server alive");
-    println!("writer: all events published as of epoch {epoch}");
+    ingest
+        .send_batch(order_stream(1000..2000))
+        .expect("server alive");
+    let epoch = server.flush()?;
+    println!("[act 2] second half published as of epoch {epoch}");
 
     for d in dashboards {
         d.join().expect("dashboard thread");
     }
 
-    // Drain a few delta batches: replaying them is how a remote cache or
+    // Drain the delta batches: replaying them is how a remote cache or
     // websocket tier would keep its copy of the result in sync.
     let mut delta_records = 0;
     while let Some(batch) = subscription.try_recv() {
         delta_records += batch.deltas.len();
     }
-    println!("subscriber: {delta_records} output-delta records received");
+    println!("[act 2] subscriber: {delta_records} output-delta records received");
 
     let stats = server.stats();
     println!(
-        "served {} events in {} batches ({:.0} events/batch), {} snapshots published, {} deltas fanned out",
-        stats.events,
-        stats.batches,
-        stats.events_per_batch(),
-        stats.snapshots_published,
-        stats.subscriber_deltas,
+        "[act 2] {} events total, {} snapshots published, {} checkpoints, {} WAL bytes",
+        stats.events, stats.snapshots_published, stats.checkpoints_taken, stats.wal_bytes_written
     );
 
-    // Take the engine back for direct, single-threaded inspection.
-    let engine = server.shutdown().map_err(DbToasterError::from)?;
-    assert_eq!(engine.stats().events, 2000);
+    // The served result must be bit-identical to a never-crashed run of the
+    // full stream, crash and all.
+    let mut served = server.reader().query("revenue")?.rows;
+    let mut reference = builder().build()?;
+    reference.process_all(&order_stream(0..2000))?;
+    let mut expected = reference.result("revenue")?.rows;
+    served.sort_by(|a, b| a.key.cmp(&b.key));
+    expected.sort_by(|a, b| a.key.cmp(&b.key));
+    assert_eq!(served.len(), expected.len());
+    for (s, e) in served.iter().zip(expected.iter()) {
+        assert_eq!(s.key, e.key);
+        assert_eq!(s.values, e.values);
+    }
     println!(
-        "final check: engine processed {} events",
-        engine.stats().events
+        "final check: {} customers, bit-identical to a never-crashed run",
+        served.len()
     );
+
+    // Clean shutdown writes a final checkpoint: the *next* open replays zero
+    // WAL events.
+    let engine = server.shutdown().map_err(DbToasterError::from)?;
+    assert_eq!(engine.stats().events, 4000);
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }
