@@ -32,12 +32,15 @@
 //! * **Join-order hoisting** — before evaluating a product, scalar lifts whose
 //!   value is already computable are hoisted ahead of relation atoms that
 //!   would otherwise be scanned with unbound arguments (see
-//!   `product_eval_order`), turning the compiler's delta-statement pattern
-//!   `M(ok) * (ok := t)` into an indexed probe.
+//!   `product_order_by`), turning the compiler's delta-statement pattern
+//!   `M(ok) * (ok := t)` into an indexed probe. The hoisted order depends only
+//!   on the expression's structure, so a persistent [`EvalScratch`] memoizes
+//!   it per product node instead of re-deriving it per event.
 
 use crate::expr::{AtomKind, CmpOp, Expr, ScalarFn};
-use dbtoaster_gmr::{Gmr, Schema, Tuple, Value};
+use dbtoaster_gmr::{FastMap, Gmr, Schema, Tuple, Value};
 use std::fmt;
+use std::sync::Arc;
 
 /// A variable-binding context: a stack of `(name, value)` pairs with
 /// last-binding-wins lookup (shadowing) and O(1) scope push/undo.
@@ -270,6 +273,34 @@ impl RelationSource for MemSource {
     }
 }
 
+/// Reusable evaluation scratch state: per-`Mul`-node join-order cache and a
+/// recycled lookup-pattern buffer.
+///
+/// The interpreter re-derives the product evaluation order (`product_order_by`)
+/// and re-probes `scalar_ready` for every product it evaluates — work that is
+/// invariant per expression node, because the *set* of bound variables at any
+/// node is determined by the expression's structure, never by the data. A
+/// long-lived `EvalScratch` (the runtime engine keeps one per engine) memoizes
+/// the order per node so repeated evaluations of the same statement pay O(1)
+/// instead of O(factors²) per event, and recycles the atom-lookup pattern
+/// buffer so `eval_atom` stops allocating one `Vec` per atom per event.
+///
+/// **Cache-key invariant:** orders are keyed by the address of the `Mul` node's
+/// factor slice, so a scratch must not outlive the expressions it has seen, and
+/// must only be reused across evaluations where each node is evaluated under
+/// the same *bound-variable set* (always true for a fixed set of expression
+/// roots, e.g. the statements of one trigger program). Fresh-scratch entry
+/// points ([`eval`], [`eval_with`]) trivially satisfy both conditions.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Mul-node factor-slice address → hoisted evaluation order
+    /// (`None` = natural left-to-right order, nothing to hoist).
+    product_orders: FastMap<usize, Option<Arc<[u16]>>>,
+    /// Recycled lookup-pattern buffer for [`eval_atom`]; `None` while a
+    /// (hypothetically re-entrant) atom evaluation is using it.
+    pattern_buf: Option<Vec<Option<Value>>>,
+}
+
 /// Evaluate an expression to a GMR over its output variables.
 pub fn eval(expr: &Expr, src: &dyn RelationSource, ctx: &Bindings) -> Result<Gmr, EvalError> {
     let mut scratch = ctx.clone();
@@ -284,6 +315,17 @@ pub fn eval_with(
     src: &dyn RelationSource,
     ctx: &mut Bindings,
 ) -> Result<Gmr, EvalError> {
+    eval_with_scratch(expr, src, ctx, &mut EvalScratch::default())
+}
+
+/// [`eval_with`] against a caller-owned [`EvalScratch`], letting repeated
+/// evaluations of the same statements reuse cached join orders and buffers.
+pub fn eval_with_scratch(
+    expr: &Expr,
+    src: &dyn RelationSource,
+    ctx: &mut Bindings,
+    scratch: &mut EvalScratch,
+) -> Result<Gmr, EvalError> {
     match expr {
         Expr::Const(v) => Ok(Gmr::scalar(v.as_f64().map_err(EvalError::from)?)),
         Expr::Var(x) => {
@@ -292,11 +334,11 @@ pub fn eval_with(
                 .ok_or_else(|| EvalError::UnboundVariable(x.clone()))?;
             Ok(Gmr::scalar(v.as_f64().map_err(EvalError::from)?))
         }
-        Expr::Rel(r) => eval_atom(r, src, ctx),
+        Expr::Rel(r) => eval_atom(r, src, ctx, scratch),
         Expr::Add(terms) => {
             let mut acc = Gmr::new(Schema::empty());
             for t in terms {
-                let g = eval_with(t, src, ctx)?;
+                let g = eval_with_scratch(t, src, ctx, scratch)?;
                 if acc.is_empty() {
                     acc = g;
                 } else if !g.is_empty() {
@@ -305,10 +347,10 @@ pub fn eval_with(
             }
             Ok(acc)
         }
-        Expr::Mul(factors) => eval_product(factors, src, ctx),
-        Expr::Neg(e) => Ok(eval_with(e, src, ctx)?.negate()),
+        Expr::Mul(factors) => eval_product(factors, src, ctx, scratch),
+        Expr::Neg(e) => Ok(eval_with_scratch(e, src, ctx, scratch)?.negate()),
         Expr::AggSum(gb, e) => {
-            let inner = eval_with(e, src, ctx)?;
+            let inner = eval_with_scratch(e, src, ctx, scratch)?;
             let mut out = Gmr::new(Schema::new(gb.iter().cloned()));
             if inner.is_empty() {
                 return Ok(out);
@@ -339,7 +381,7 @@ pub fn eval_with(
             Ok(out)
         }
         Expr::Lift(x, e) => {
-            let v = eval_scalar_with(e, src, ctx)?;
+            let v = eval_scalar_scratch(e, src, ctx, scratch)?;
             // If the variable is already bound, the lift degenerates into an equality
             // check on the bound value (Section 3.2's distinction between `=` and `:=`
             // is handled here by the context).
@@ -352,8 +394,8 @@ pub fn eval_with(
             Ok(Gmr::singleton(Schema::new([x.clone()]), [v], 1.0))
         }
         Expr::Cmp(op, l, r) => {
-            let lv = eval_scalar_with(l, src, ctx)?;
-            let rv = eval_scalar_with(r, src, ctx)?;
+            let lv = eval_scalar_scratch(l, src, ctx, scratch)?;
+            let rv = eval_scalar_scratch(r, src, ctx, scratch)?;
             if op.eval(&lv, &rv) {
                 Ok(Gmr::scalar(1.0))
             } else {
@@ -361,13 +403,13 @@ pub fn eval_with(
             }
         }
         Expr::Exists(e) => {
-            let g = eval_with(e, src, ctx)?;
+            let g = eval_with_scratch(e, src, ctx, scratch)?;
             Ok(g.map_multiplicities(|m| if m != 0.0 { 1.0 } else { 0.0 }))
         }
         Expr::Apply(f, args) => {
             let vals: Vec<Value> = args
                 .iter()
-                .map(|a| eval_scalar_with(a, src, ctx))
+                .map(|a| eval_scalar_scratch(a, src, ctx, scratch))
                 .collect::<Result<_, _>>()?;
             let v = apply_scalar_fn(f, &vals)?;
             Ok(Gmr::scalar(v.as_f64().map_err(EvalError::from)?))
@@ -379,6 +421,7 @@ fn eval_atom(
     r: &crate::expr::RelRef,
     src: &dyn RelationSource,
     ctx: &mut Bindings,
+    scratch: &mut EvalScratch,
 ) -> Result<Gmr, EvalError> {
     let _ = AtomKind::Stream; // all kinds are looked up the same way at evaluation time
     if let Some(arity) = src.relation_arity(&r.name) {
@@ -390,8 +433,14 @@ fn eval_atom(
             });
         }
     }
-    // Partial binding pattern from the context.
-    let pattern: Vec<Option<Value>> = r.args.iter().map(|a| ctx.get(a).cloned()).collect();
+    // Partial binding pattern from the context, built in the recycled scratch
+    // buffer (no per-call allocation once the buffer has grown to the maximum
+    // atom arity). The visitor below never recurses into evaluation, so the
+    // buffer cannot be needed re-entrantly; the take/put-back protocol falls
+    // back to a fresh allocation if that ever changes.
+    let mut pattern = scratch.pattern_buf.take().unwrap_or_default();
+    pattern.clear();
+    pattern.extend(r.args.iter().map(|a| ctx.get(a).cloned()));
 
     // Output schema: argument variables, deduplicated in order (repeated variables add
     // an implicit self-equality constraint).
@@ -405,7 +454,7 @@ fn eval_atom(
     let mut out = Gmr::new(Schema::new(out_cols.iter().map(|c| c.as_str())));
 
     let mut arity_err: Option<EvalError> = None;
-    src.for_each_matching(&r.name, &pattern, &mut |t, m| {
+    let streamed = src.for_each_matching(&r.name, &pattern, &mut |t, m| {
         if arity_err.is_some() {
             return;
         }
@@ -450,7 +499,10 @@ fn eval_atom(
         } else {
             out.add_tuple(Tuple::from(t), m);
         }
-    })?;
+    });
+    pattern.clear();
+    scratch.pattern_buf = Some(pattern);
+    streamed?;
     if let Some(e) = arity_err {
         return Err(e);
     }
@@ -458,16 +510,21 @@ fn eval_atom(
 }
 
 /// Is `e` a pure scalar expression (no collection-valued subterms) whose
-/// variables are all currently bound?
-fn scalar_ready(e: &Expr, extra: &[&str], ctx: &Bindings) -> bool {
+/// variables are all bound (per the `extra` list of product-local outputs and
+/// the `is_bound` context predicate)? Shared between the interpreter's product
+/// hoisting and the plan compiler's static lowering
+/// (see [`mod@crate::plan`]), so both make the same decision.
+pub(crate) fn scalar_ready_by(e: &Expr, extra: &[&str], is_bound: &dyn Fn(&str) -> bool) -> bool {
     match e {
         Expr::Const(_) => true,
-        Expr::Var(x) => extra.iter().any(|n| *n == x) || ctx.contains_key(x),
-        Expr::Neg(inner) => scalar_ready(inner, extra, ctx),
+        Expr::Var(x) => extra.iter().any(|n| *n == x) || is_bound(x),
+        Expr::Neg(inner) => scalar_ready_by(inner, extra, is_bound),
         Expr::Add(ts) | Expr::Mul(ts) | Expr::Apply(_, ts) => {
-            ts.iter().all(|t| scalar_ready(t, extra, ctx))
+            ts.iter().all(|t| scalar_ready_by(t, extra, is_bound))
         }
-        Expr::Cmp(_, l, r) => scalar_ready(l, extra, ctx) && scalar_ready(r, extra, ctx),
+        Expr::Cmp(_, l, r) => {
+            scalar_ready_by(l, extra, is_bound) && scalar_ready_by(r, extra, is_bound)
+        }
         // Rel / AggSum / Lift / Exists: collection-valued — never hoisted.
         _ => false,
     }
@@ -495,8 +552,17 @@ fn push_outputs<'e>(f: &'e Expr, extra: &mut Vec<&'e str>) {
 /// ring-commutative, only sideways information passing is order-sensitive,
 /// and a hoisted lift depends exclusively on variables bound before the
 /// product started.
-fn product_eval_order<'e>(factors: &'e [Expr], ctx: &Bindings) -> Vec<&'e Expr> {
-    let mut order: Vec<&'e Expr> = Vec::with_capacity(factors.len());
+///
+/// Returns `None` when the hoisted order is the natural left-to-right order
+/// (the common case), so callers can skip the indirection entirely. The order
+/// depends only on which variables are bound — never on their values — which
+/// is what lets both [`EvalScratch`] memoize it per node and the plan compiler
+/// ([`mod@crate::plan`]) bake it into compiled kernels.
+pub(crate) fn product_order_by(
+    factors: &[Expr],
+    is_bound: &dyn Fn(&str) -> bool,
+) -> Option<Arc<[u16]>> {
+    let mut order: Vec<u16> = Vec::with_capacity(factors.len());
     let mut extra: Vec<&str> = Vec::new();
     let mut hoisted = vec![false; factors.len()];
     for (i, factor) in factors.iter().enumerate() {
@@ -505,36 +571,64 @@ fn product_eval_order<'e>(factors: &'e [Expr], ctx: &Bindings) -> Vec<&'e Expr> 
         }
         if let Expr::Rel(r) = factor {
             for a in &r.args {
-                if extra.iter().any(|n| n == a) || ctx.contains_key(a) {
+                if extra.iter().any(|n| n == a) || is_bound(a) {
                     continue;
                 }
                 if let Some(j) = factors.iter().enumerate().skip(i + 1).position(|(j, f)| {
                     !hoisted[j]
                         && matches!(f, Expr::Lift(x, body)
-                            if x == a && scalar_ready(body, &extra, ctx))
+                            if x == a && scalar_ready_by(body, &extra, is_bound))
                 }) {
                     let j = j + i + 1;
                     hoisted[j] = true;
-                    order.push(&factors[j]);
+                    order.push(j as u16);
                     push_outputs(&factors[j], &mut extra);
                 }
             }
         }
-        order.push(factor);
+        order.push(i as u16);
         push_outputs(factor, &mut extra);
     }
-    order
+    if order.iter().enumerate().all(|(i, &o)| i == o as usize) {
+        None
+    } else {
+        Some(order.into())
+    }
 }
 
 fn eval_product(
     factors: &[Expr],
     src: &dyn RelationSource,
     ctx: &mut Bindings,
+    scratch: &mut EvalScratch,
 ) -> Result<Gmr, EvalError> {
-    let factors = product_eval_order(factors, ctx);
+    // The hoisted order is invariant per node (see `product_order_by`): compute
+    // it once per node per scratch lifetime, not per event.
+    let cache_key = factors.as_ptr() as usize;
+    let cached = scratch.product_orders.get(&cache_key);
+    // Guard against a violated lifetime invariant (a new expression's factor
+    // slice reusing a freed slice's address): a cached permutation of the
+    // wrong length is treated as a miss instead of indexing out of bounds.
+    let valid = match &cached {
+        Some(Some(o)) => o.len() == factors.len(),
+        Some(None) => true,
+        None => false,
+    };
+    let order: Option<Arc<[u16]>> = if valid {
+        cached.cloned().unwrap()
+    } else {
+        let computed = product_order_by(factors, &|n| ctx.contains_key(n));
+        scratch.product_orders.insert(cache_key, computed.clone());
+        computed
+    };
+    let factor_at = |i: usize| match &order {
+        Some(o) => &factors[o[i] as usize],
+        None => &factors[i],
+    };
     // Accumulator starts as the ring's one: {<> -> 1}.
     let mut acc = Gmr::scalar(1.0);
-    for factor in factors {
+    for fi in 0..factors.len() {
+        let factor = factor_at(fi);
         if acc.is_empty() {
             return Ok(Gmr::new(Schema::empty()));
         }
@@ -554,7 +648,7 @@ fn eval_product(
             for (i, v) in t.iter().enumerate() {
                 ctx.set_slot(mark + i, v.clone());
             }
-            let r = match eval_with(factor, src, ctx) {
+            let r = match eval_with_scratch(factor, src, ctx, scratch) {
                 Ok(r) => r,
                 Err(e) => {
                     failure = Some(e);
@@ -613,26 +707,35 @@ pub fn eval_scalar_with(
     src: &dyn RelationSource,
     ctx: &mut Bindings,
 ) -> Result<Value, EvalError> {
+    eval_scalar_scratch(expr, src, ctx, &mut EvalScratch::default())
+}
+
+fn eval_scalar_scratch(
+    expr: &Expr,
+    src: &dyn RelationSource,
+    ctx: &mut Bindings,
+    scratch: &mut EvalScratch,
+) -> Result<Value, EvalError> {
     match expr {
         Expr::Const(v) => Ok(v.clone()),
         Expr::Var(x) => ctx
             .get(x)
             .cloned()
             .ok_or_else(|| EvalError::UnboundVariable(x.clone())),
-        Expr::Neg(e) => Ok(eval_scalar_with(e, src, ctx)?.neg()?),
+        Expr::Neg(e) => Ok(eval_scalar_scratch(e, src, ctx, scratch)?.neg()?),
         Expr::Apply(f, args) => {
             let vals: Vec<Value> = args
                 .iter()
-                .map(|a| eval_scalar_with(a, src, ctx))
+                .map(|a| eval_scalar_scratch(a, src, ctx, scratch))
                 .collect::<Result<_, _>>()?;
             apply_scalar_fn(f, &vals)
         }
         Expr::Add(terms) => terms.iter().try_fold(Value::long(0), |acc, t| {
-            let v = eval_scalar_with(t, src, ctx)?;
+            let v = eval_scalar_scratch(t, src, ctx, scratch)?;
             Ok(acc.add(&v)?)
         }),
         Expr::Mul(factors) => factors.iter().try_fold(Value::long(1), |acc, t| {
-            let v = eval_scalar_with(t, src, ctx)?;
+            let v = eval_scalar_scratch(t, src, ctx, scratch)?;
             Ok(acc.mul(&v)?)
         }),
         // General case: evaluate to a GMR, which must be nullary (a scalar) — or have
@@ -640,7 +743,7 @@ pub fn eval_scalar_with(
         // `Sum[OK](LI(OK,Q)*Q)` looked up with OK bound), in which case the sum of its
         // multiplicities is the scalar value.
         other => {
-            let g = eval_with(other, src, ctx)?;
+            let g = eval_with_scratch(other, src, ctx, scratch)?;
             if g.schema().is_empty() || g.is_empty() {
                 Ok(Value::double(g.scalar_value()))
             } else if g.schema().columns().iter().all(|c| ctx.contains_key(c)) {

@@ -113,12 +113,25 @@ pub fn build_engine(
     mode: CompileMode,
     data: &workloads::Dataset,
 ) -> QueryEngine {
+    build_engine_opts(q, mode, data, false)
+}
+
+/// [`build_engine`] with an explicit execution-path choice: `force_interpreter`
+/// bypasses compiled trigger kernels so the AST-interpreter baseline stays
+/// measurable after the compiled path became the default.
+pub fn build_engine_opts(
+    q: &WorkloadQuery,
+    mode: CompileMode,
+    data: &workloads::Dataset,
+    force_interpreter: bool,
+) -> QueryEngine {
     let catalog = workloads::full_catalog();
     let mut engine = QueryEngineBuilder::new(catalog)
         .add_query(q.name, q.sql)
         .mode(mode)
         .build()
         .unwrap_or_else(|e| panic!("{} [{mode}]: {e}", q.name));
+    engine.set_force_interpreter(force_interpreter);
     for (table, rows) in &data.tables {
         engine.load_table(table, rows.clone()).unwrap();
     }
@@ -133,7 +146,19 @@ pub fn run_stream(
     data: &workloads::Dataset,
     budget: Duration,
 ) -> RunStats {
-    let mut engine = build_engine(q, mode, data);
+    run_stream_opts(q, mode, data, budget, false)
+}
+
+/// [`run_stream`] with an explicit execution-path choice (see
+/// [`build_engine_opts`]).
+pub fn run_stream_opts(
+    q: &WorkloadQuery,
+    mode: CompileMode,
+    data: &workloads::Dataset,
+    budget: Duration,
+    force_interpreter: bool,
+) -> RunStats {
+    let mut engine = build_engine_opts(q, mode, data, force_interpreter);
     let start = Instant::now();
     let mut processed = 0usize;
     for event in &data.events {
@@ -428,19 +453,31 @@ pub fn micro_benchmarks(config: &ExperimentConfig) -> Vec<MicroResult> {
     }));
 
     // fig6 refresh rate, Higher-Order IVM only, representative query subset.
+    // Each query is measured twice since the compiled-kernel PR: once on the
+    // (default) compiled trigger path — the `fig6_ho_*` series, keeping the
+    // perf trajectory comparable across runs — and once with the kernels
+    // bypassed (`*_interp`), so the compiled-vs-interpreted gap stays visible.
     for name in ["q1", "q3", "q6", "axf", "bsv"] {
         let q = match workloads::query(name) {
             Some(q) => q,
             None => continue,
         };
         let data = dataset_for(q.family, config.events, config.seed);
-        let stats = run_stream(&q, CompileMode::HigherOrder, &data, config.time_budget);
-        out.push(MicroResult {
-            name: format!("fig6_ho_{name}"),
-            ops_per_sec: stats.refresh_rate,
-            ops: stats.processed,
-            elapsed_secs: stats.elapsed,
-        });
+        for (suffix, force_interpreter) in [("", false), ("_interp", true)] {
+            let stats = run_stream_opts(
+                &q,
+                CompileMode::HigherOrder,
+                &data,
+                config.time_budget,
+                force_interpreter,
+            );
+            out.push(MicroResult {
+                name: format!("fig6_ho_{name}{suffix}"),
+                ops_per_sec: stats.refresh_rate,
+                ops: stats.processed,
+                elapsed_secs: stats.elapsed,
+            });
+        }
     }
     out
 }

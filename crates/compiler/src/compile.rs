@@ -15,8 +15,8 @@
 
 use crate::materialize::{contains_base_atoms, MapRegistry, Materializer};
 use crate::program::{
-    Catalog, CompileMode, CompileOptions, CompileReport, MapDecl, QueryResult, QuerySpec,
-    ResultAccess, Statement, StmtOp, Trigger, TriggerProgram,
+    Catalog, CompileMode, CompileOptions, CompileReport, CompiledTrigger, MapDecl, QueryResult,
+    QuerySpec, ResultAccess, Statement, StmtOp, Trigger, TriggerProgram,
 };
 use dbtoaster_agca::opt::{extract_range_restrictions, order_factors, unify_factors, Monomial};
 use dbtoaster_agca::scope::output_vars;
@@ -224,9 +224,25 @@ pub fn compile(
         order_statements(t);
     }
 
+    // Lower every statement to a compiled kernel where its shape allows (the
+    // runtime interprets the rest). This is the compile-once step that retires
+    // per-event AST interpretation on the hot path; it must run after
+    // `order_statements` so kernels align index-for-index with the statements.
+    let compiled: Vec<CompiledTrigger> = triggers
+        .iter()
+        .map(|t| CompiledTrigger {
+            stmts: t
+                .statements
+                .iter()
+                .map(|s| dbtoaster_agca::lower_statement(&t.trigger_vars, &s.key_vars, &s.rhs))
+                .collect(),
+        })
+        .collect();
+
     Ok(TriggerProgram {
         maps,
         triggers,
+        compiled,
         results,
         stored_relations,
         static_tables,

@@ -44,16 +44,16 @@ pub mod program;
 pub use compile::{compile, fix_atom_kinds, CompileError};
 pub use materialize::{MapRegistry, Materializer};
 pub use program::{
-    Catalog, CompileMode, CompileOptions, CompileReport, MapDecl, QueryResult, QuerySpec,
-    RelationMeta, ResultAccess, Statement, StmtOp, Trigger, TriggerProgram,
+    Catalog, CompileMode, CompileOptions, CompileReport, CompiledTrigger, MapDecl, QueryResult,
+    QuerySpec, RelationMeta, ResultAccess, Statement, StmtOp, Trigger, TriggerProgram,
 };
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::compile::{compile, CompileError};
     pub use crate::program::{
-        Catalog, CompileMode, CompileOptions, CompileReport, MapDecl, QueryResult, QuerySpec,
-        RelationMeta, ResultAccess, Statement, StmtOp, Trigger, TriggerProgram,
+        Catalog, CompileMode, CompileOptions, CompileReport, CompiledTrigger, MapDecl, QueryResult,
+        QuerySpec, RelationMeta, ResultAccess, Statement, StmtOp, Trigger, TriggerProgram,
     };
     pub use dbtoaster_agca::UpdateSign;
 }

@@ -13,7 +13,7 @@
 //! where `Q'` is an AGCA expression over the other materialized views, the trigger
 //! variables and (in the baseline modes) the stored base relations.
 
-use dbtoaster_agca::{AtomKind, Expr, UpdateSign};
+use dbtoaster_agca::{AtomKind, CompiledStmt, Expr, UpdateSign};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -298,6 +298,23 @@ pub struct CompileReport {
     pub max_delta_order: usize,
 }
 
+/// The compiled kernels of one trigger: one entry per statement, in statement
+/// order. `None` marks a statement whose shape could not be lowered — the
+/// runtime interprets it through the AST evaluator instead (see
+/// [`dbtoaster_agca::plan`]).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompiledTrigger {
+    /// Per-statement kernels, aligned with [`Trigger::statements`].
+    pub stmts: Vec<Option<CompiledStmt>>,
+}
+
+impl CompiledTrigger {
+    /// Number of statements that compiled to kernels.
+    pub fn compiled_count(&self) -> usize {
+        self.stmts.iter().flatten().count()
+    }
+}
+
 /// A compiled trigger program.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct TriggerProgram {
@@ -305,6 +322,11 @@ pub struct TriggerProgram {
     pub maps: Vec<MapDecl>,
     /// Triggers, one per (stream relation, sign) with at least one statement.
     pub triggers: Vec<Trigger>,
+    /// Compiled trigger kernels, aligned index-for-index with
+    /// [`TriggerProgram::triggers`] (empty when kernels were not built, e.g.
+    /// for hand-assembled programs). Derived data: excluded from the program
+    /// fingerprint, which hashes the canonical rendering only.
+    pub compiled: Vec<CompiledTrigger>,
     /// User-visible query results.
     pub results: Vec<QueryResult>,
     /// Base relations that must be kept in storage because some statement reads them.
@@ -331,6 +353,11 @@ impl TriggerProgram {
     /// Total number of statements across all triggers.
     pub fn statement_count(&self) -> usize {
         self.triggers.iter().map(|t| t.statements.len()).sum()
+    }
+
+    /// Total number of statements lowered to compiled kernels.
+    pub fn compiled_statement_count(&self) -> usize {
+        self.compiled.iter().map(|c| c.compiled_count()).sum()
     }
 }
 

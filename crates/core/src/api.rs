@@ -208,6 +208,16 @@ impl QueryEngine {
         self.mode
     }
 
+    /// Force (or un-force) the AST-interpreter path, bypassing compiled
+    /// trigger kernels. The compiled path is the default; the interpreter
+    /// remains available as the differential-testing oracle and as an escape
+    /// hatch (also via the `DBTOASTER_FORCE_INTERPRETER` environment
+    /// variable). `EngineStats::compiled_triggers` reports how many
+    /// statements currently run compiled.
+    pub fn set_force_interpreter(&mut self, force: bool) {
+        self.engine.set_force_interpreter(force);
+    }
+
     /// The compiled trigger program.
     pub fn program(&self) -> &TriggerProgram {
         self.engine.program()

@@ -12,13 +12,41 @@
 //! 3. all re-evaluation (`:=`) statements, which read the *new* versions.
 
 use crate::store::Database;
-use dbtoaster_agca::eval::{eval_with, Bindings, EvalError};
+use dbtoaster_agca::eval::{eval_with, eval_with_scratch, Bindings, EvalError, EvalScratch};
+use dbtoaster_agca::plan::{CompiledStmt, KernelState};
 use dbtoaster_agca::{UpdateEvent, UpdateSign};
 use dbtoaster_compiler::{Catalog, ResultAccess, Statement, StmtOp, TriggerProgram};
 use dbtoaster_gmr::{FastMap, Gmr, Tuple, Value};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Environment variable forcing the engine onto the AST-interpreter path even
+/// when compiled kernels are available (`1`/`true`/`yes`; any other value or
+/// absence leaves kernels enabled). The programmatic equivalent is
+/// [`Engine::set_force_interpreter`].
+///
+/// **Durability caveat:** the two paths agree bit-for-bit on integer data but
+/// may differ in the last ulp on floating-point aggregates (different
+/// summation orders). A durable deployment should therefore keep the same
+/// execution path across restarts: recovering a crashed compiled-path server
+/// with the interpreter forced (or vice versa) reproduces float view state to
+/// relative ~1e-15, not bit-exactly.
+pub const FORCE_INTERPRETER_ENV: &str = "DBTOASTER_FORCE_INTERPRETER";
+
+fn env_forces_interpreter() -> bool {
+    std::env::var(FORCE_INTERPRETER_ENV)
+        .map(|v| {
+            let v = v.trim().to_ascii_lowercase();
+            !v.is_empty() && v != "0" && v != "false" && v != "no"
+        })
+        .unwrap_or(false)
+}
+
+/// Kernel for statement `j`, when the trigger has one.
+fn flat_get(kernels: &[Option<CompiledStmt>], j: usize) -> Option<&CompiledStmt> {
+    kernels.get(j).and_then(|k| k.as_ref())
+}
 
 /// The keys of one view that were touched since the last [`Engine::take_changes`].
 ///
@@ -174,6 +202,11 @@ pub struct EngineStats {
     /// Events replayed from the WAL when this engine was recovered from disk
     /// (0 for engines built fresh or restored purely from a checkpoint).
     pub recovery_replayed_events: u64,
+    /// Number of trigger statements executing through compiled kernels
+    /// (slot-addressed plans) rather than the AST interpreter. 0 when the
+    /// program carries no kernels or the engine was forced onto the
+    /// interpreter path (see [`FORCE_INTERPRETER_ENV`]).
+    pub compiled_triggers: u64,
 }
 
 impl EngineStats {
@@ -189,6 +222,7 @@ impl EngineStats {
             wal_bytes_written: 0,
             checkpoints_taken: 0,
             recovery_replayed_events: 0,
+            compiled_triggers: 0,
         }
     }
 
@@ -233,6 +267,17 @@ pub struct Engine {
     stats: EngineStats,
     /// Changed-key log, present only while change tracking is enabled.
     changes: Option<ChangeSet>,
+    /// Reusable kernel execution state (frame, pattern buffers, scratch maps,
+    /// row buffer) for the compiled trigger path — zero per-event allocation
+    /// in steady state.
+    kernel: KernelState,
+    /// Interpreter scratch: memoized product orders + recycled pattern buffer
+    /// for statements without compiled kernels (and the interpreter-forced
+    /// mode).
+    scratch: EvalScratch,
+    /// Ignore compiled kernels and interpret every statement (differential
+    /// testing / escape hatch; see [`FORCE_INTERPRETER_ENV`]).
+    force_interpreter: bool,
 }
 
 impl Engine {
@@ -257,12 +302,44 @@ impl Engine {
                 .unwrap_or_default();
             db.declare(rel.clone(), columns);
         }
-        Engine {
+        let mut engine = Engine {
             program: Arc::new(program),
             db,
             stats: EngineStats::new(),
             changes: None,
-        }
+            kernel: KernelState::new(),
+            scratch: EvalScratch::default(),
+            force_interpreter: false,
+        };
+        engine.set_force_interpreter(env_forces_interpreter());
+        engine
+    }
+
+    /// Force (or un-force) the AST-interpreter path for every statement,
+    /// ignoring compiled kernels. Used by differential tests and as an escape
+    /// hatch; also settable via the [`FORCE_INTERPRETER_ENV`] environment
+    /// variable at engine construction.
+    pub fn set_force_interpreter(&mut self, force: bool) {
+        self.force_interpreter = force;
+        // Count only kernels the dispatcher will actually use: a trigger whose
+        // kernel list is misaligned with its statement list falls back to the
+        // interpreter wholesale (see `process`), and the stat must agree.
+        self.stats.compiled_triggers = if force {
+            0
+        } else {
+            self.program
+                .triggers
+                .iter()
+                .zip(self.program.compiled.iter())
+                .filter(|(t, c)| c.stmts.len() == t.statements.len())
+                .map(|(_, c)| c.compiled_count() as u64)
+                .sum()
+        };
+    }
+
+    /// Is the engine on the interpreter-only path?
+    pub fn force_interpreter(&self) -> bool {
+        self.force_interpreter
     }
 
     /// Rebuild an engine from a checkpointed snapshot: every map is restored
@@ -378,15 +455,22 @@ impl Engine {
     }
 
     /// Process a single update event, firing the matching trigger.
+    ///
+    /// Statements with compiled kernels execute through the slot-addressed
+    /// plan path ([`dbtoaster_agca::plan`]); the rest (and everything, when
+    /// the interpreter is forced) go through the AST evaluator. Both paths
+    /// buffer the full right-hand side before touching the target map, so
+    /// they interleave freely within one trigger.
     pub fn process(&mut self, event: &UpdateEvent) -> Result<(), RuntimeError> {
         let t0 = Instant::now();
         let program = self.program.clone();
-        let trigger = program
+        let idx = program
             .triggers
             .iter()
-            .find(|t| t.relation == event.relation && t.sign == event.sign);
+            .position(|t| t.relation == event.relation && t.sign == event.sign);
 
-        if let Some(trigger) = trigger {
+        if let Some(idx) = idx {
+            let trigger = &program.triggers[idx];
             if trigger.trigger_vars.len() != event.tuple.len() {
                 return Err(RuntimeError::EventArityMismatch {
                     relation: event.relation.clone(),
@@ -394,28 +478,35 @@ impl Engine {
                     actual: event.tuple.len(),
                 });
             }
-            let mut bindings = Bindings::with_capacity(trigger.trigger_vars.len());
-            for (var, value) in trigger.trigger_vars.iter().zip(event.tuple.iter()) {
-                bindings.insert(var.clone(), value.clone());
-            }
+            // Compiled kernels for this trigger, when present and aligned
+            // with the statement list.
+            let kernels: &[Option<CompiledStmt>] = if self.force_interpreter {
+                &[]
+            } else {
+                program
+                    .compiled
+                    .get(idx)
+                    .map(|c| c.stmts.as_slice())
+                    .filter(|s| s.len() == trigger.statements.len())
+                    .unwrap_or(&[])
+            };
+            // Interpreter context, built lazily: a fully compiled trigger
+            // never allocates the per-event name bindings.
+            let mut bindings: Option<Bindings> = None;
 
             // Phase 1: incremental statements read the old state.
-            for stmt in trigger
-                .statements
-                .iter()
-                .filter(|s| s.op == StmtOp::Increment)
-            {
-                self.exec_statement(stmt, &mut bindings)?;
+            for (j, stmt) in trigger.statements.iter().enumerate() {
+                if stmt.op == StmtOp::Increment {
+                    self.exec_dispatch(stmt, flat_get(kernels, j), event, trigger, &mut bindings)?;
+                }
             }
             // Phase 2: reflect the update in the stored base relation (if stored).
             self.apply_base_update(event);
             // Phase 3: re-evaluation statements read the new state.
-            for stmt in trigger
-                .statements
-                .iter()
-                .filter(|s| s.op == StmtOp::Replace)
-            {
-                self.exec_statement(stmt, &mut bindings)?;
+            for (j, stmt) in trigger.statements.iter().enumerate() {
+                if stmt.op == StmtOp::Replace {
+                    self.exec_dispatch(stmt, flat_get(kernels, j), event, trigger, &mut bindings)?;
+                }
             }
         } else {
             // No trigger (e.g. an update to a relation no query depends on): still keep
@@ -425,6 +516,80 @@ impl Engine {
 
         self.stats.events += 1;
         self.stats.busy += t0.elapsed();
+        Ok(())
+    }
+
+    /// Route one statement to its compiled kernel or the interpreter.
+    fn exec_dispatch(
+        &mut self,
+        stmt: &Statement,
+        kernel: Option<&CompiledStmt>,
+        event: &UpdateEvent,
+        trigger: &dbtoaster_compiler::Trigger,
+        bindings: &mut Option<Bindings>,
+    ) -> Result<(), RuntimeError> {
+        match kernel {
+            Some(k) => self.exec_compiled(stmt, k, &event.tuple),
+            None => {
+                let ctx = bindings.get_or_insert_with(|| {
+                    let mut b = Bindings::with_capacity(trigger.trigger_vars.len());
+                    for (var, value) in trigger.trigger_vars.iter().zip(event.tuple.iter()) {
+                        b.insert(var.clone(), value.clone());
+                    }
+                    b
+                });
+                self.exec_statement(stmt, ctx)
+            }
+        }
+    }
+
+    /// Execute a statement through its compiled kernel: seed the frame from
+    /// the event tuple, run the plan into the reusable row buffer, then apply
+    /// the buffered rows to the target map.
+    fn exec_compiled(
+        &mut self,
+        stmt: &Statement,
+        kernel: &CompiledStmt,
+        tuple: &[Value],
+    ) -> Result<(), RuntimeError> {
+        self.stats.statements += 1;
+        {
+            let Engine {
+                db, kernel: state, ..
+            } = self;
+            state.prepare(kernel);
+            for (i, v) in tuple.iter().enumerate() {
+                state.frame[i] = v.clone();
+            }
+            kernel.execute(db, state).map_err(RuntimeError::Eval)?;
+        }
+        let Engine {
+            db,
+            kernel: state,
+            changes,
+            ..
+        } = self;
+        let target = db
+            .view_mut(&stmt.target)
+            .ok_or_else(|| RuntimeError::UnknownView(stmt.target.clone()))?;
+        if stmt.op == StmtOp::Replace {
+            target.clear();
+            if let Some(log) = changes.as_mut() {
+                log.record_clear(&stmt.target);
+            }
+        }
+        for (key, mult) in state.out.drain(..) {
+            if mult == 0.0 {
+                // A collapsed row that cancelled to zero: the interpreter's
+                // result GMR drops such entries, so neither the change log
+                // nor the target should see the key.
+                continue;
+            }
+            if let Some(log) = changes.as_mut() {
+                log.record_key(&stmt.target, key.clone());
+            }
+            target.add(key, mult);
+        }
         Ok(())
     }
 
@@ -454,7 +619,10 @@ impl Engine {
         bindings: &mut Bindings,
     ) -> Result<(), RuntimeError> {
         self.stats.statements += 1;
-        let result = eval_with(&stmt.rhs, &self.db, bindings)?;
+        let result = {
+            let Engine { db, scratch, .. } = self;
+            eval_with_scratch(&stmt.rhs, &*db, bindings, scratch)?
+        };
         let target = self
             .db
             .view_mut(&stmt.target)

@@ -17,8 +17,11 @@
 //!   [`ViewMap::lookup`] remains for tests and cold callers.
 //! * **Index maintenance pays only when indexes exist** — [`ViewMap::add`] takes the
 //!   fast path (a single map probe, zero clones) until the first partial-pattern
-//!   lookup creates a secondary index; afterwards inserts clone the (cheap) key only
-//!   when the entry set actually changes.
+//!   lookup creates a secondary index; afterwards every write mirrors the new
+//!   multiplicity into each index bucket (one probe per index; the key is cloned
+//!   only when the entry is new). Buckets store `(key, multiplicity)`, so a
+//!   partial-pattern scan is pure bucket iteration with no per-entry probe back
+//!   into the primary map — the cost profile compiled trigger kernels rely on.
 //! * **Cost model** — [`ViewMap::approx_bytes`] charges each entry its map-slot
 //!   footprint; spilled (arity > 4) tuples add their shared value slab. `Value`
 //!   itself is 24 bytes inline; string values are interned `Arc<str>`s whose bodies
@@ -36,7 +39,20 @@ use dbtoaster_gmr::{FastMap, Gmr, Schema, Tuple, Value};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
-type Index = FastMap<Tuple, Vec<Tuple>>;
+/// A secondary index: projected key → (full key → multiplicity). Multiplicities
+/// are mirrored into the buckets so a partial-pattern scan is pure iteration —
+/// no per-entry probe back into the primary map. Maintenance is O(1) per write
+/// per index (one bucket probe), paid only by views that both receive writes
+/// and serve partial-pattern lookups.
+type Index = FastMap<Tuple, FastMap<Tuple, f64>>;
+/// Indexes are held behind `Arc`s so a scan can clone the handle and release
+/// the registry lock *before* iterating. Compiled trigger kernels re-enter
+/// scans from inside scan callbacks (nested sub-aggregates over the same
+/// view); holding the read guard across the visit would self-deadlock against
+/// a nested `ensure_index` write. Mutation goes through `Arc::make_mut`,
+/// which never actually copies on the engine's single-threaded write path
+/// (no scan handle is alive while `&mut self` methods run).
+type IndexRegistry = FastMap<u64, Arc<Index>>;
 /// A cached snapshot: the shared map and the view version it reflects.
 type SnapshotCache = Option<(u64, Arc<FastMap<Tuple, f64>>)>;
 
@@ -59,8 +75,8 @@ pub struct ViewMap {
     version: u64,
     /// Last snapshot handed out, valid while its version matches.
     snapshot_cache: RwLock<SnapshotCache>,
-    /// Secondary indexes: bitmask of bound key positions → (projected key → full keys).
-    indexes: RwLock<FastMap<u64, Index>>,
+    /// Secondary indexes: bitmask of bound key positions → shared index.
+    indexes: RwLock<IndexRegistry>,
 }
 
 impl Clone for ViewMap {
@@ -83,7 +99,7 @@ impl ViewMap {
             data: FastMap::default(),
             version: 0,
             snapshot_cache: RwLock::new(None),
-            indexes: RwLock::new(FastMap::default()),
+            indexes: RwLock::new(IndexRegistry::default()),
         }
     }
 
@@ -144,36 +160,43 @@ impl ViewMap {
             return;
         }
 
-        let (inserted, removed) = match self.data.entry(key.clone()) {
+        let (removed, new_mult) = match self.data.entry(key.clone()) {
             Entry::Occupied(mut o) => {
                 let v = o.get_mut();
                 *v += mult;
                 if *v == 0.0 {
                     o.remove();
-                    (false, true)
+                    (true, 0.0)
                 } else {
-                    (false, false)
+                    (false, *v)
                 }
             }
             Entry::Vacant(v) => {
                 v.insert(mult);
-                (true, false)
+                (false, mult)
             }
         };
-        if !inserted && !removed {
-            return; // entry set unchanged; indexes stay valid
-        }
         for (mask, index) in indexes.iter_mut() {
+            let index = Arc::make_mut(index);
             let proj = project_mask(&key, *mask);
             if removed {
                 if let Some(bucket) = index.get_mut(&proj) {
-                    bucket.retain(|k| k != &key);
+                    bucket.remove(key.as_slice());
                     if bucket.is_empty() {
                         index.remove(&proj);
                     }
                 }
             } else {
-                index.entry(proj).or_default().push(key.clone());
+                // Mirror the new multiplicity into the bucket (overwriting in
+                // place when the entry already exists, so multiplicity-only
+                // updates cost one probe and no key clone).
+                let bucket = index.entry(proj).or_default();
+                match bucket.get_mut(key.as_slice()) {
+                    Some(slot) => *slot = new_mult,
+                    None => {
+                        bucket.insert(key.clone(), new_mult);
+                    }
+                }
             }
         }
     }
@@ -208,12 +231,13 @@ impl ViewMap {
         }
         self.ensure_index(mask);
         let probe: Tuple = pattern.iter().flatten().cloned().collect();
-        let indexes = self.indexes.read();
-        if let Some(keys) = indexes.get(&mask).and_then(|idx| idx.get(&probe)) {
-            for k in keys {
-                if let Some(&m) = self.data.get(k.as_slice()) {
-                    visit(k, m);
-                }
+        // Clone the index handle and drop the registry guard before visiting:
+        // visitors may re-enter `for_each` (compiled kernels nest scans), and
+        // a nested `ensure_index` must be able to take the write lock.
+        let index = self.indexes.read().get(&mask).cloned();
+        if let Some(bucket) = index.as_ref().and_then(|idx| idx.get(&probe)) {
+            for (k, &m) in bucket.iter() {
+                visit(k, m);
             }
         }
     }
@@ -232,13 +256,13 @@ impl ViewMap {
             return;
         }
         let mut index: Index = fast_map_with_capacity(self.data.len());
-        for k in self.data.keys() {
+        for (k, &m) in self.data.iter() {
             index
                 .entry(project_mask(k, mask))
                 .or_default()
-                .push(k.clone());
+                .insert(k.clone(), m);
         }
-        self.indexes.write().insert(mask, index);
+        self.indexes.write().insert(mask, Arc::new(index));
     }
 
     /// Snapshot the view contents as an immutable shared GMR. O(1) while the
@@ -314,7 +338,12 @@ impl ViewMap {
             .values()
             .map(|i| {
                 i.iter()
-                    .map(|(k, v)| entry(k) + v.iter().map(entry).sum::<usize>() + 8)
+                    .map(|(k, v)| {
+                        entry(k)
+                            + v.keys().map(entry).sum::<usize>()
+                            + v.len() * std::mem::size_of::<f64>()
+                            + 8
+                    })
                     .sum::<usize>()
             })
             .sum();

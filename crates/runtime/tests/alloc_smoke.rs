@@ -94,9 +94,55 @@ fn allocs_per_event(engine: &mut Engine, measure: &[UpdateEvent]) -> f64 {
     (alloc_count() - before) as f64 / measure.len() as f64
 }
 
+/// A steady-state churn batch: inserts and the matching deletes over a fixed
+/// key range, so the maps stop growing after the first pass and the only cost
+/// left is the per-event trigger work itself.
+fn churn_events(keys: i64) -> Vec<UpdateEvent> {
+    (0..keys)
+        .flat_map(|k| {
+            [
+                UpdateEvent::insert("O", vec![Value::long(k), Value::double(2.0)]),
+                UpdateEvent::insert("LI", vec![Value::long(k), Value::double(10.0)]),
+                UpdateEvent::delete("O", vec![Value::long(k), Value::double(2.0)]),
+                UpdateEvent::delete("LI", vec![Value::long(k), Value::double(10.0)]),
+            ]
+        })
+        .collect()
+}
+
+/// The compiled-kernel path must process events with **zero** heap
+/// allocations in steady state: the frame, pattern buffers and row buffer are
+/// engine-owned and recycled, keys of typical arity are inline, and a probe
+/// never materializes results. (The interpreter path, by contrast, builds
+/// result GMRs per statement — its budget is the constant bound below.)
+#[test]
+fn compiled_path_allocates_nothing_in_steady_state() {
+    let mut engine = build_engine();
+    assert!(
+        engine.stats().compiled_triggers > 0,
+        "expected compiled kernels for the equijoin workload"
+    );
+    // Two warm-up passes: size every buffer, touch every map entry shape.
+    let batch = churn_events(64);
+    engine.process_all(&batch).unwrap();
+    engine.process_all(&batch).unwrap();
+
+    let before = alloc_count();
+    engine.process_all(&batch).unwrap();
+    let allocs = alloc_count() - before;
+    assert_eq!(
+        allocs,
+        0,
+        "compiled path allocated {allocs} times over {} steady-state events",
+        batch.len()
+    );
+}
+
 #[test]
 fn per_event_allocations_are_small_and_constant() {
     let mut engine = build_engine();
+    // This test pins the *interpreter* budget; kernels would trivially pass it.
+    engine.set_force_interpreter(true);
 
     // Warm-up at a small working set, then measure.
     engine.process_all(&events(64, 0)).unwrap();

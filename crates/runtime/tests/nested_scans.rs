@@ -1,0 +1,60 @@
+//! Regression test: compiled kernels may nest a partial scan of a view
+//! *inside* the visit callback of another partial scan of the **same** view
+//! (a non-hoistable inline sub-aggregate, e.g. `M(b,x) * (z := Sum[](M(d,x)*d))`
+//! where the inner scan depends on the outer scan's binding `x`). The store
+//! must not hold its index-registry lock across the visit, or the nested
+//! scan's lazy index build self-deadlocks on the first event.
+
+use dbtoaster_agca::eval::{eval, Bindings};
+use dbtoaster_agca::{lower_statement, Expr, KernelState};
+use dbtoaster_gmr::Value;
+use dbtoaster_runtime::Database;
+
+#[test]
+fn nested_partial_scan_of_same_view_does_not_deadlock() {
+    let mut db = Database::new();
+    db.declare("M", vec!["A".to_string(), "B".to_string()]);
+    let m = db.view_mut("M").unwrap();
+    for (a, b, mult) in [(1, 10, 2.0), (1, 20, 1.0), (2, 10, 3.0), (2, 30, 1.0)] {
+        m.add(vec![Value::long(a), Value::long(b)], mult);
+    }
+
+    // M(b, x) * (z := Sum[]( M(d, x) * d )) * z — the inner scan constrains
+    // its second column to the outer scan's `x` binding, so it cannot be
+    // hoisted and runs inline, inside the outer scan's visit callback, over a
+    // different binding mask of the same map.
+    let inner = Expr::agg_sum(
+        Vec::<String>::new(),
+        Expr::product_of([Expr::view("M", ["d", "x"]), Expr::var("d")]),
+    );
+    let rhs = Expr::product_of([
+        Expr::view("M", ["b", "x"]),
+        Expr::lift("z", inner),
+        Expr::var("z"),
+    ]);
+    let trigger_vars = vec!["b".to_string()];
+    let stmt = lower_statement(&trigger_vars, &["x".to_string()], &rhs)
+        .expect("statement should lower to a compiled kernel");
+
+    let mut state = KernelState::new();
+    state.prepare(&stmt);
+    state.frame[0] = Value::long(1);
+    // Pre-fix this call never returned (read-lock held across the visit,
+    // nested ensure_index blocked on the write lock).
+    stmt.execute(&db, &mut state).expect("kernel executes");
+
+    // Same statement through the AST interpreter as the oracle.
+    let mut ctx = Bindings::new();
+    ctx.insert("b".to_string(), Value::long(1));
+    let expected = eval(&rhs, &db, &ctx).unwrap();
+    let mut got: Vec<(Vec<Value>, f64)> =
+        state.out.drain(..).map(|(k, m)| (k.to_vec(), m)).collect();
+    got.sort_by(|a, b| a.0[0].total_cmp(&b.0[0]));
+    let xi = expected.schema().index_of("x").unwrap();
+    let mut want: Vec<(Vec<Value>, f64)> = expected
+        .iter()
+        .map(|(t, m)| (vec![t[xi].clone()], m))
+        .collect();
+    want.sort_by(|a, b| a.0[0].total_cmp(&b.0[0]));
+    assert_eq!(got, want, "compiled nested scan diverges from interpreter");
+}

@@ -279,6 +279,9 @@ struct StatsCell {
     wal_bytes_written: AtomicU64,
     checkpoints_taken: AtomicU64,
     recovery_replayed_events: AtomicU64,
+    /// Static per-program count (trigger statements running as compiled
+    /// kernels); mirrored so readers see it without touching the engine.
+    compiled_triggers: AtomicU64,
     started: Instant,
 }
 
@@ -339,6 +342,7 @@ impl ViewServer {
                 wal_bytes_written: AtomicU64::new(0),
                 checkpoints_taken: AtomicU64::new(0),
                 recovery_replayed_events: AtomicU64::new(engine.stats().recovery_replayed_events),
+                compiled_triggers: AtomicU64::new(engine.stats().compiled_triggers),
                 started: Instant::now(),
             },
             queries: queries.into_iter().map(|q| (q.name.clone(), q)).collect(),
@@ -487,6 +491,7 @@ impl ViewServer {
             wal_bytes_written: s.wal_bytes_written.load(Relaxed),
             checkpoints_taken: s.checkpoints_taken.load(Relaxed),
             recovery_replayed_events: s.recovery_replayed_events.load(Relaxed),
+            compiled_triggers: s.compiled_triggers.load(Relaxed),
         }
     }
 
