@@ -71,6 +71,23 @@ impl Bindings {
         }
     }
 
+    /// [`Bindings::insert`] from a borrowed name: clones the name only when the
+    /// binding is new. The batch executor re-seeds the same trigger variables
+    /// once per delta entry, so steady-state re-binding allocates nothing.
+    pub fn set(&mut self, name: &str, value: Value) {
+        match self.entries.iter_mut().rev().find(|(n, _)| n == name) {
+            Some(slot) => slot.1 = value,
+            None => self.entries.push((name.to_string(), value)),
+        }
+    }
+
+    /// Drop every binding, retaining capacity (the batch executor clears its
+    /// reused context between statements so no stale name can leak across
+    /// triggers).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// The value bound to `name`, if any (innermost binding wins).
     #[inline]
     pub fn get(&self, name: &str) -> Option<&Value> {

@@ -45,6 +45,7 @@
 //! assert_eq!(dd.degree(), 0);
 //! ```
 
+pub mod batch;
 pub mod delta;
 pub mod eval;
 pub mod expr;
@@ -52,6 +53,7 @@ pub mod opt;
 pub mod plan;
 pub mod scope;
 
+pub use batch::{DeltaBatch, DeltaEntry, RelationDelta};
 pub use delta::{delta, higher_order_delta, TupleUpdate, UpdateEvent, UpdateSign};
 pub use eval::{eval, eval_scalar, Bindings, EvalError, EvalScratch, MemSource, RelationSource};
 pub use expr::{AtomKind, CmpOp, Expr, RelRef, ScalarFn};
@@ -61,6 +63,7 @@ pub use scope::{input_vars, output_vars, var_info, VarInfo};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
+    pub use crate::batch::{DeltaBatch, DeltaEntry, RelationDelta};
     pub use crate::delta::{delta, higher_order_delta, TupleUpdate, UpdateEvent, UpdateSign};
     pub use crate::eval::{eval, eval_scalar, Bindings, EvalError, MemSource, RelationSource};
     pub use crate::expr::{AtomKind, CmpOp, Expr, RelRef, ScalarFn};

@@ -270,6 +270,12 @@ pub struct FusedScan {
     pub eqs: Vec<(u16, u16)>,
     /// The fused sub-aggregates.
     pub members: Vec<FusedMember>,
+    /// Does the scan read nothing from the trigger slots (neither through its
+    /// template holes nor through any member's filters/weights)? Such a scan
+    /// produces the same totals for every entry of a delta batch, so the
+    /// batch executor runs it **once per batch** instead of once per entry
+    /// (see [`CompiledStmt::execute_batch_entry`]).
+    pub entry_invariant: bool,
 }
 
 /// A compiled trigger statement: the lowered right-hand side plus the
@@ -291,6 +297,12 @@ pub struct CompiledStmt {
     pub scratch_maps: u16,
     /// Number of leading frame slots seeded from the event tuple.
     pub trigger_slots: u16,
+    /// The trigger slots the plan (or its prelude, or the key) actually
+    /// reads, sorted. Seeding only these — instead of the full event tuple —
+    /// matters for wide schemas: a TPC-H lineitem statement typically touches
+    /// 3–5 of 16 columns, and per-entry seeding is a large share of a small
+    /// kernel's batch cost.
+    pub used_trigger_slots: Vec<Slot>,
 }
 
 // ---------------------------------------------------------------------------
@@ -628,9 +640,32 @@ pub fn lower_statement(
         pattern_arities: lw.pattern_arities,
         scratch_maps: lw.scratch_maps,
         trigger_slots: trigger_vars.len() as u16,
+        used_trigger_slots: Vec::new(),
     };
     hoist_invariant_subsums(&mut stmt);
+    stmt.used_trigger_slots = used_trigger_slots(&stmt);
     Some(stmt)
+}
+
+/// The trigger slots a compiled statement consumes: reads of the main plan,
+/// reads of every hoisted prelude scan (bound template holes and member
+/// continuations), and trigger-bound key slots.
+fn used_trigger_slots(stmt: &CompiledStmt) -> Vec<Slot> {
+    let mut reads = Vec::new();
+    op_reads(&stmt.plan, &mut reads);
+    for fs in &stmt.prelude {
+        reads.extend(fs.template.iter().flatten().copied());
+        for m in &fs.members {
+            for op in &m.cont {
+                op_reads(op, &mut reads);
+            }
+        }
+    }
+    reads.extend(stmt.key_slots.iter().copied());
+    reads.retain(|s| (*s as usize) < stmt.trigger_slots as usize);
+    reads.sort_unstable();
+    reads.dedup();
+    reads
 }
 
 // ---------------------------------------------------------------------------
@@ -846,6 +881,12 @@ impl Hoister {
         if self.next_slot >= u16::MAX as u32 {
             return None;
         }
+        // Batch invariance: a sub-plan that reads no trigger slot at all (its
+        // reads are entirely its own bindings) computes the same total for
+        // every entry of a delta batch.
+        let entry_invariant = !reads
+            .iter()
+            .any(|s| (*s as usize) < self.trigger_slots as usize);
         let dest = self.next_slot as Slot;
         self.next_slot += 1;
         let member = FusedMember {
@@ -862,13 +903,16 @@ impl Hoister {
             .find(|g| g.rel == *rel && g.template == *template && g.eqs == *eqs)
         {
             // Same scan signature: share the traversal; each member keeps its
-            // own bind slots (written together per entry).
+            // own bind slots (written together per entry). One variant member
+            // makes the whole traversal per-entry (re-accumulating invariant
+            // members redundantly but correctly).
             for &b in binds {
                 if !group.binds.contains(&b) {
                     group.binds.push(b);
                 }
             }
             group.members.push(member);
+            group.entry_invariant &= entry_invariant;
             return Some(dest);
         }
         self.groups.push(FusedScan {
@@ -878,6 +922,7 @@ impl Hoister {
             binds: binds.clone(),
             eqs: eqs.clone(),
             members: vec![member],
+            entry_invariant,
         });
         Some(dest)
     }
@@ -1126,6 +1171,10 @@ struct Exec<'a> {
     scratch: &'a mut [FastMap<Tuple, f64>],
     accs: &'a [Cell<f64>],
     out: &'a mut Vec<(Tuple, f64)>,
+    /// Rows below this index belong to earlier batch entries: the sink's
+    /// consecutive-same-key collapse must never merge across them (each
+    /// entry's rows are applied a different number of times).
+    merge_floor: usize,
     key_slots: &'a [Slot],
     error: Option<EvalError>,
 }
@@ -1196,17 +1245,20 @@ impl Exec<'_> {
                 // Consecutive emissions for the same key (the common case for
                 // loop-free statements, whose key comes entirely from trigger
                 // slots) collapse into one row, so applying the buffer costs
-                // one map write per key run instead of one per emission.
-                if let Some(last) = self.out.last_mut() {
-                    if last.0.len() == self.key_slots.len()
-                        && self
-                            .key_slots
-                            .iter()
-                            .enumerate()
-                            .all(|(i, &s)| last.0[i] == self.frame[s as usize])
-                    {
-                        last.1 += mult;
-                        return;
+                // one map write per key run instead of one per emission —
+                // never across an entry boundary (`merge_floor`).
+                if self.out.len() > self.merge_floor {
+                    if let Some(last) = self.out.last_mut() {
+                        if last.0.len() == self.key_slots.len()
+                            && self
+                                .key_slots
+                                .iter()
+                                .enumerate()
+                                .all(|(i, &s)| last.0[i] == self.frame[s as usize])
+                        {
+                            last.1 += mult;
+                            return;
+                        }
                     }
                 }
                 let key: Tuple = self
@@ -1453,7 +1505,25 @@ impl CompiledStmt {
         src: &dyn RelationSource,
         state: &mut KernelState,
     ) -> Result<(), EvalError> {
+        self.execute_batch_entry(src, state, true)
+    }
+
+    /// [`CompiledStmt::execute`] for one entry of a delta batch: when
+    /// `run_invariant_preludes` is `false`, prelude scans marked
+    /// [`FusedScan::entry_invariant`] are skipped — their result slots still
+    /// hold the totals computed for the batch's first entry, which are valid
+    /// for every entry because such scans read no trigger slot and (by the
+    /// statement-major safety analysis) nothing the batch writes. Rows are
+    /// **appended** to `state.out`; the batch executor tracks entry
+    /// boundaries itself.
+    pub fn execute_batch_entry(
+        &self,
+        src: &dyn RelationSource,
+        state: &mut KernelState,
+        run_invariant_preludes: bool,
+    ) -> Result<(), EvalError> {
         debug_assert!(state.frame.len() >= self.frame_size as usize);
+        let merge_floor = state.out.len();
         let mut exec = Exec {
             src,
             frame: &mut state.frame,
@@ -1461,11 +1531,14 @@ impl CompiledStmt {
             scratch: &mut state.scratch,
             accs: &state.fused_accs,
             out: &mut state.out,
+            merge_floor,
             key_slots: &self.key_slots,
             error: None,
         };
         for fs in &self.prelude {
-            exec.run_prelude(fs);
+            if run_invariant_preludes || !fs.entry_invariant {
+                exec.run_prelude(fs);
+            }
         }
         exec.exec(&self.plan, 1.0, &Tail::Rows);
         match exec.error {

@@ -6,7 +6,7 @@
 //! cargo run --release -p dbtoaster-bench --bin harness -- fig8
 //! ```
 //!
-//! Subcommands: `micro`, `serve`, `recover`, `fig2`, `fig6` (also covers Figure 7),
+//! Subcommands: `micro`, `serve`, `recover`, `batch`, `fig2`, `fig6` (also covers Figure 7),
 //! `fig8`, `fig9`, `fig10`, `fig11`, `traces` (Figures 13–18), `all`.
 
 use dbtoaster::prelude::*;
@@ -105,6 +105,17 @@ fn recover(config: &ExperimentConfig, label: &str, json: Option<&str>) {
     }
 }
 
+fn batch(config: &ExperimentConfig, label: &str, json: Option<&str>) {
+    println!("=== batch: delta-batch size sweep (events/sec at batch sizes 1/8/64/512) ===");
+    let results = batch_benchmarks(config);
+    println!("{}", format_micro(&results));
+    if let Some(path) = json {
+        let payload = micro_json(label, config, &results);
+        std::fs::write(path, &payload).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
 fn fig2() {
     println!("=== Figure 2: workload features and rewrite rules applied ===");
     println!("{}", format_figure2(&figure2_rows()));
@@ -161,6 +172,7 @@ fn main() {
         "micro" => micro(&config, &args.label, args.json.as_deref()),
         "serve" => serve(&config, &args.label, args.json.as_deref()),
         "recover" => recover(&config, &args.label, args.json.as_deref()),
+        "batch" => batch(&config, &args.label, args.json.as_deref()),
         "fig2" => fig2(),
         "fig6" | "fig7" => fig6(&config),
         "fig8" => traces_for(&["q1", "q3", "q11a", "q12"], "Figure 8", &config),
@@ -185,7 +197,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other}; expected micro|serve|recover|fig2|fig6|fig8|fig9|fig10|fig11|traces|all"
+                "unknown command {other}; expected micro|serve|recover|batch|fig2|fig6|fig8|fig9|fig10|fig11|traces|all"
             );
             std::process::exit(2);
         }

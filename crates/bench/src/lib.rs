@@ -483,6 +483,125 @@ pub fn micro_benchmarks(config: &ExperimentConfig) -> Vec<MicroResult> {
 }
 
 // ---------------------------------------------------------------------------
+// Batch benchmarks (harness `batch` subcommand, BENCH_batch.json)
+// ---------------------------------------------------------------------------
+
+/// Batch sizes the `batch` subcommand sweeps. Size 1 is the per-event
+/// baseline (the degenerate delta batch); the larger sizes measure how much
+/// of the per-event dispatch cost — trigger resolution, kernel prelude,
+/// loop-invariant fused scans, per-statement target resolution, change-log
+/// and snapshot-cache bookkeeping — batching amortizes away.
+pub const BATCH_SIZES: &[usize] = &[1, 8, 64, 512];
+
+/// Replay one query's stream through `Engine::process_batch` at a fixed batch
+/// size, measuring wall-clock events/sec (ingest-to-applied, conversion cost
+/// included — the honest number a serving writer would see).
+fn batch_run(
+    q: &workloads::WorkloadQuery,
+    data: &workloads::Dataset,
+    mode: CompileMode,
+    batch_size: usize,
+    budget: Duration,
+) -> MicroResult {
+    let suffix = match mode {
+        CompileMode::HigherOrder => "",
+        CompileMode::Reevaluate => "_rep",
+        CompileMode::FirstOrder => "_fo",
+        CompileMode::NaiveViewlet => "_naive",
+    };
+    let mut engine = build_engine(q, mode, data);
+    let mut delta = DeltaBatch::new();
+    // Pre-chunk an owned copy of the stream before the clock starts: a real
+    // producer (the serving writer draining its queue, WAL replay decoding a
+    // record) owns its events, so conversion moves the tuples rather than
+    // cloning them — the copy below models the producer's cost, not the
+    // engine's.
+    let chunks: Vec<Vec<UpdateEvent>> =
+        data.events.chunks(batch_size).map(|c| c.to_vec()).collect();
+    let start = Instant::now();
+    let mut processed = 0usize;
+    let mut batches = 0usize;
+    for chunk in chunks {
+        let n = chunk.len();
+        delta.clear();
+        for ev in chunk {
+            delta.push_owned(ev);
+        }
+        let report = engine.process_batch(&delta);
+        if let Some(e) = report.first_error {
+            panic!("{} [batch {batch_size}]: {e}", q.name);
+        }
+        processed += n;
+        batches += 1;
+        // Check the budget every 32 batches to keep the overhead negligible.
+        if batches.is_multiple_of(32) && start.elapsed() > budget {
+            break;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    MicroResult {
+        name: format!("batch{batch_size}_{}{suffix}", q.name),
+        ops_per_sec: if elapsed > 0.0 {
+            processed as f64 / elapsed
+        } else {
+            0.0
+        },
+        ops: processed,
+        elapsed_secs: elapsed,
+    }
+}
+
+/// The batch-size sweep behind `BENCH_batch.json`: fig6 representative
+/// queries plus the finance self-join workloads, each replayed at every
+/// [`BATCH_SIZES`] entry. Per-event throughput is expected to *rise* with the
+/// batch size for statement-major queries and stay flat-ish for entry-major
+/// ones (axfinder), whose batches amortize only dispatch.
+pub fn batch_benchmarks(config: &ExperimentConfig) -> Vec<MicroResult> {
+    let mut out = Vec::new();
+    for name in ["q1", "q3", "q6", "axf", "bsv"] {
+        let q = match workloads::query(name) {
+            Some(q) => q,
+            None => continue,
+        };
+        let data = dataset_for(q.family, config.events, config.seed);
+        for &size in BATCH_SIZES {
+            out.push(batch_run(
+                &q,
+                &data,
+                CompileMode::HigherOrder,
+                size,
+                config.time_budget,
+            ));
+        }
+    }
+    // Re-evaluation mode is where batching changes the *asymptotics*: `:=`
+    // statements fire once per relation run instead of once per event, so a
+    // run of N same-relation events costs one re-evaluation, not N. REP's
+    // per-event cost grows with the stored relations, so the comparison must
+    // cover the *same* stream at every batch size: a short fixed stream that
+    // every size completes within the budget (prefix rates would otherwise
+    // favour whichever size stopped earliest).
+    for name in ["q1", "q3", "q6"] {
+        let q = match workloads::query(name) {
+            Some(q) => q,
+            None => continue,
+        };
+        let rep_events = config.events.min(4096);
+        let data = dataset_for(q.family, rep_events, config.seed);
+        for &size in BATCH_SIZES {
+            out.push(batch_run(
+                &q,
+                &data,
+                CompileMode::Reevaluate,
+                size,
+                config.time_budget.max(Duration::from_secs(30)),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Serving benchmarks (harness `serve` subcommand, BENCH_serve.json)
 // ---------------------------------------------------------------------------
 

@@ -44,16 +44,18 @@ pub mod program;
 pub use compile::{compile, fix_atom_kinds, CompileError};
 pub use materialize::{MapRegistry, Materializer};
 pub use program::{
-    Catalog, CompileMode, CompileOptions, CompileReport, CompiledTrigger, MapDecl, QueryResult,
-    QuerySpec, RelationMeta, ResultAccess, Statement, StmtOp, Trigger, TriggerProgram,
+    BatchStrategy, Catalog, CompileMode, CompileOptions, CompileReport, CompiledTrigger, MapDecl,
+    QueryResult, QuerySpec, RelationDispatch, RelationMeta, ResultAccess, Statement, StmtOp,
+    Trigger, TriggerProgram,
 };
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::compile::{compile, CompileError};
     pub use crate::program::{
-        Catalog, CompileMode, CompileOptions, CompileReport, CompiledTrigger, MapDecl, QueryResult,
-        QuerySpec, RelationMeta, ResultAccess, Statement, StmtOp, Trigger, TriggerProgram,
+        BatchStrategy, Catalog, CompileMode, CompileOptions, CompileReport, CompiledTrigger,
+        MapDecl, QueryResult, QuerySpec, RelationDispatch, RelationMeta, ResultAccess, Statement,
+        StmtOp, Trigger, TriggerProgram,
     };
     pub use dbtoaster_agca::UpdateSign;
 }

@@ -337,6 +337,38 @@ pub struct TriggerProgram {
     pub report: CompileReport,
 }
 
+/// How the statements for one relation's triggers execute over a multi-entry
+/// delta batch (see [`TriggerProgram::batch_dispatch`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchStrategy {
+    /// Statement-major: each trigger statement is dispatched **once per
+    /// batch** and driven over all delta entries back-to-back (statement
+    /// prelude and loop-invariant fused scans amortized), base updates are
+    /// applied in one pass, and re-evaluation statements fire once, bound to
+    /// the run's last event. Legal only when the read-before-write discipline
+    /// holds across the relation's statements — see the eligibility rules on
+    /// [`TriggerProgram::batch_dispatch`].
+    StatementMajor,
+    /// Entry-major: each delta entry fires the full per-event trigger sequence
+    /// (`|mult|` times), exactly like event-at-a-time processing. The safe
+    /// fallback for triggers that read what they write.
+    EntryMajor,
+}
+
+/// The per-relation trigger grouping used by batch execution: both sign
+/// triggers of one relation, plus the statically chosen [`BatchStrategy`].
+#[derive(Clone, Debug)]
+pub struct RelationDispatch {
+    /// The stream relation.
+    pub relation: String,
+    /// Index into [`TriggerProgram::triggers`] of the insert trigger, if any.
+    pub insert: Option<usize>,
+    /// Index into [`TriggerProgram::triggers`] of the delete trigger, if any.
+    pub delete: Option<usize>,
+    /// How a batch drives this relation's statement lists.
+    pub strategy: BatchStrategy,
+}
+
 impl TriggerProgram {
     /// Find a map declaration by name.
     pub fn map(&self, name: &str) -> Option<&MapDecl> {
@@ -358,6 +390,130 @@ impl TriggerProgram {
     /// Total number of statements lowered to compiled kernels.
     pub fn compiled_statement_count(&self) -> usize {
         self.compiled.iter().map(|c| c.compiled_count()).sum()
+    }
+
+    /// Group the program's triggers by relation and choose, per relation, how
+    /// a multi-entry delta batch may drive them (the runtime resolves the
+    /// result into its dispatch table once, at engine construction).
+    ///
+    /// [`BatchStrategy::StatementMajor`] requires the **read-before-write
+    /// discipline across the statements of one relation**: evaluating an
+    /// incremental statement for a later entry against the pre-batch state
+    /// must equal evaluating it against the rolling per-event state. That
+    /// holds exactly when
+    ///
+    /// 1. no incremental statement of either sign trigger reads a map any
+    ///    statement of the relation writes, nor the updated base relation
+    ///    itself (when stored) — so every read is batch-invariant;
+    /// 2. within each trigger, incremental statements have pairwise distinct
+    ///    targets and precede all re-evaluation statements — so the per-key
+    ///    write order of each target map matches the per-event order;
+    /// 3. re-evaluation statements, which wipe their target and rebuild it
+    ///    from the *current* state, either do not occur, or occur in **both**
+    ///    sign triggers with the same target set — then only the run's last
+    ///    firing survives per-event processing, and firing them once at the
+    ///    end of the batch (bound to the last event) reproduces it.
+    ///
+    /// Anything else falls back to [`BatchStrategy::EntryMajor`], which is
+    /// per-event processing inside the batch and therefore always exact.
+    pub fn batch_dispatch(&self) -> Vec<RelationDispatch> {
+        let mut relations: Vec<&str> = Vec::new();
+        for t in &self.triggers {
+            if !relations.contains(&t.relation.as_str()) {
+                relations.push(&t.relation);
+            }
+        }
+        relations
+            .into_iter()
+            .map(|rel| {
+                let idx_of = |sign: UpdateSign| {
+                    self.triggers
+                        .iter()
+                        .position(|t| t.relation == rel && t.sign == sign)
+                };
+                let insert = idx_of(UpdateSign::Insert);
+                let delete = idx_of(UpdateSign::Delete);
+                RelationDispatch {
+                    relation: rel.to_string(),
+                    insert,
+                    delete,
+                    strategy: self.relation_batch_strategy(rel, insert, delete),
+                }
+            })
+            .collect()
+    }
+
+    fn relation_batch_strategy(
+        &self,
+        relation: &str,
+        insert: Option<usize>,
+        delete: Option<usize>,
+    ) -> BatchStrategy {
+        let triggers: Vec<&Trigger> = insert
+            .into_iter()
+            .chain(delete)
+            .map(|i| &self.triggers[i])
+            .collect();
+        // Rule 1: batch-invariant reads for every incremental statement.
+        let mut writes: BTreeSet<&str> = triggers
+            .iter()
+            .flat_map(|t| t.statements.iter().map(|s| s.target.as_str()))
+            .collect();
+        if self.stored_relations.contains(relation) || self.static_tables.contains(relation) {
+            // The base update writes the stored relation mid-batch.
+            writes.insert(relation);
+        }
+        let incr_reads_writes = triggers.iter().any(|t| {
+            t.statements
+                .iter()
+                .filter(|s| s.op == StmtOp::Increment)
+                .any(|s| {
+                    s.reads().iter().any(|r| writes.contains(r.as_str()))
+                        || s.base_reads().iter().any(|r| writes.contains(r.as_str()))
+                })
+        });
+        if incr_reads_writes {
+            return BatchStrategy::EntryMajor;
+        }
+        // Rule 2: distinct increment targets, increments before replaces.
+        for t in &triggers {
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            let mut saw_replace = false;
+            for s in &t.statements {
+                match s.op {
+                    StmtOp::Increment => {
+                        if saw_replace || !seen.insert(&s.target) {
+                            return BatchStrategy::EntryMajor;
+                        }
+                    }
+                    StmtOp::Replace => saw_replace = true,
+                }
+            }
+        }
+        // Rule 3: replaces only when mirrored across both sign triggers.
+        let replace_targets = |t: &Trigger| -> BTreeSet<String> {
+            t.statements
+                .iter()
+                .filter(|s| s.op == StmtOp::Replace)
+                .map(|s| s.target.clone())
+                .collect()
+        };
+        let any_replace = triggers
+            .iter()
+            .any(|t| t.statements.iter().any(|s| s.op == StmtOp::Replace));
+        if any_replace {
+            match (insert, delete) {
+                (Some(i), Some(d)) => {
+                    if replace_targets(&self.triggers[i]) != replace_targets(&self.triggers[d]) {
+                        return BatchStrategy::EntryMajor;
+                    }
+                }
+                // A sign without a trigger would skip the re-evaluation its
+                // counterpart relies on; per-event and batch orders diverge.
+                _ => return BatchStrategy::EntryMajor,
+            }
+        }
+        BatchStrategy::StatementMajor
     }
 }
 

@@ -245,7 +245,8 @@ impl QueryEngine {
         self.engine.process(event).map_err(DbToasterError::from)
     }
 
-    /// Process a sequence of update events.
+    /// Process a sequence of update events one at a time (strict: stops at
+    /// the first error).
     pub fn process_all<'a>(
         &mut self,
         events: impl IntoIterator<Item = &'a UpdateEvent>,
@@ -254,6 +255,18 @@ impl QueryEngine {
             self.engine.process(e)?;
         }
         Ok(())
+    }
+
+    /// Process a [`DeltaBatch`](dbtoaster_agca::DeltaBatch) of per-relation
+    /// GMR deltas — the engine's native unit since the batch-first refactor.
+    /// Processing never stops at a failed event (it keeps its stream slot);
+    /// the returned [`BatchReport`](dbtoaster_runtime::BatchReport) carries
+    /// the failure count and first error.
+    pub fn process_batch(
+        &mut self,
+        batch: &dbtoaster_agca::DeltaBatch,
+    ) -> dbtoaster_runtime::BatchReport {
+        self.engine.process_batch(batch)
     }
 
     /// Snapshot a maintained view as a GMR (mainly for tests and debugging).

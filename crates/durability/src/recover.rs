@@ -4,12 +4,14 @@
 //! event stream, recovery is exact: starting from the checkpointed maps at
 //! watermark `W` and replaying WAL events `W+1..` reproduces, bit for bit, the
 //! engine a never-crashed process would hold after the same events. The replay
-//! path is the *same* [`Engine::process`] used live — there is no separate
-//! recovery interpreter to drift out of sync.
+//! path is the *same* `Engine::process_batch` used live — one WAL record is
+//! one live micro-batch, so recovery takes identical batch boundaries and
+//! there is no separate recovery interpreter to drift out of sync.
 
 use crate::checkpoint;
 use crate::wal::{self, WalReader};
 use crate::{program_fingerprint, DurabilityError};
+use dbtoaster_agca::DeltaBatch;
 use dbtoaster_compiler::{Catalog, TriggerProgram};
 use dbtoaster_runtime::Engine;
 use std::path::Path;
@@ -55,9 +57,10 @@ pub fn has_state(dir: &Path) -> Result<bool, DurabilityError> {
 /// 2. restore the maps into an engine via [`Engine::from_snapshot`] — *without*
 ///    re-running static-view initialization, since the checkpoint already
 ///    contains static tables and their derived views,
-/// 3. replay every WAL event above the watermark through the normal trigger
-///    path, tolerating a torn tail and refusing mid-log corruption or sequence
-///    gaps.
+/// 3. replay every WAL record above the watermark through the normal
+///    batch-trigger path (one record = one delta batch, exactly as the live
+///    writer processed it), tolerating a torn tail and refusing mid-log
+///    corruption or sequence gaps.
 ///
 /// This function only reads. If a live writer might hold the directory (e.g.
 /// a racing restart), take [`crate::acquire_dir_lock`] first so its
@@ -92,15 +95,28 @@ pub fn recover(
     let reader = WalReader::open(dir, fingerprint)?;
     let mut failed_events = 0u64;
     let mut first_failure = None;
-    let stats = reader.replay(checkpoint_watermark + 1, &mut |seq, ev| {
-        if let Err(e) = engine.process(&ev) {
+    let mut delta = DeltaBatch::new();
+    let stats = reader.replay_records(checkpoint_watermark + 1, &mut |first_seq, events| {
+        // One WAL record = one live micro-batch: rebuild the same per-relation
+        // delta batch the writer processed and drive it through the same
+        // `process_batch` path, so the replayed engine takes identical batch
+        // boundaries (and therefore identical bits) as the crashed server.
+        delta.clear();
+        let record_len = events.len();
+        for ev in events {
+            delta.push_owned(ev);
+        }
+        let report = engine.process_batch(&delta);
+        if report.failed_events > 0 {
             // Mirror the live writer's policy (see the serving loop): a poison
             // event keeps its sequence slot and processing continues, so the
             // replayed engine converges to the same state the crashed server
             // actually had.
-            engine.stats_mut().events += 1;
-            failed_events += 1;
-            first_failure.get_or_insert_with(|| format!("event {seq}: {e}"));
+            engine.stats_mut().events += report.failed_events;
+            failed_events += report.failed_events;
+            let last_seq = first_seq + record_len.saturating_sub(1) as u64;
+            let e = report.first_error.expect("failed events imply an error");
+            first_failure.get_or_insert_with(|| format!("events {first_seq}..={last_seq}: {e}"));
         }
         Ok(())
     })?;
@@ -241,11 +257,14 @@ mod tests {
         let rec = recover(&dir, prog, &catalog()).unwrap().expect("state");
         assert_eq!(rec.replayed_events, 3);
         assert_eq!(rec.failed_events, 1);
-        assert!(rec
-            .first_failure
-            .as_deref()
-            .unwrap_or("")
-            .contains("event 2"));
+        assert!(
+            rec.first_failure
+                .as_deref()
+                .unwrap_or("")
+                .contains("events 1..=3"),
+            "failure should name the batch: {:?}",
+            rec.first_failure
+        );
         assert_eq!(rec.engine.stats().events, 3, "poison event keeps its slot");
         assert_eq!(rec.engine.result("TOTAL").unwrap().scalar_value(), 5.0);
         let _ = fs::remove_dir_all(&dir);

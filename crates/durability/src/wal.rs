@@ -292,17 +292,38 @@ impl WalReader {
     }
 
     /// Stream every event with sequence number ≥ `from_seq` into `visit`, in
-    /// order. Segments wholly below `from_seq` are skipped without decoding.
+    /// order (per-event convenience wrapper over
+    /// [`WalReader::replay_records`]).
+    pub fn replay(
+        &self,
+        from_seq: u64,
+        visit: &mut dyn FnMut(u64, UpdateEvent) -> Result<(), String>,
+    ) -> Result<ReplayStats, DurabilityError> {
+        self.replay_records(from_seq, &mut |first_seq, events| {
+            for (off, ev) in events.into_iter().enumerate() {
+                visit(first_seq + off as u64, ev)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Stream every record (= one logged micro-batch) overlapping `from_seq`
+    /// into `visit` as `(first visited sequence number, events)`, in order.
+    /// Segments wholly below `from_seq` are skipped without decoding; a
+    /// record straddling `from_seq` is trimmed to its suffix. This is the
+    /// replay entry point recovery uses: each record becomes one delta batch,
+    /// so the replayed engine takes exactly the batch boundaries the live
+    /// writer took.
     ///
     /// Consistency checks (all hard errors):
     /// * the first visited record must cover `from_seq` (no gap between a
     ///   checkpoint watermark and the log),
     /// * sequence numbers must be contiguous from there on,
     /// * a segment's file name must match its first record.
-    pub fn replay(
+    pub fn replay_records(
         &self,
         from_seq: u64,
-        visit: &mut dyn FnMut(u64, UpdateEvent) -> Result<(), String>,
+        visit: &mut dyn FnMut(u64, Vec<UpdateEvent>) -> Result<(), String>,
     ) -> Result<ReplayStats, DurabilityError> {
         let mut stats = ReplayStats {
             next_seq: from_seq,
@@ -358,14 +379,15 @@ impl WalReader {
                         file: path.display().to_string(),
                     });
                 }
-                for (off, ev) in record.events.into_iter().enumerate() {
-                    let seq = record.first_seq + off as u64;
-                    if seq < from_seq {
-                        continue;
-                    }
-                    visit(seq, ev).map_err(DurabilityError::Replay)?;
-                    stats.events_replayed += 1;
-                }
+                let skip = from_seq.saturating_sub(record.first_seq) as usize;
+                let first_visited = record.first_seq + skip as u64;
+                let events: Vec<UpdateEvent> = if skip == 0 {
+                    record.events
+                } else {
+                    record.events.into_iter().skip(skip).collect()
+                };
+                stats.events_replayed += events.len() as u64;
+                visit(first_visited, events).map_err(DurabilityError::Replay)?;
             }
         }
         Ok(stats)

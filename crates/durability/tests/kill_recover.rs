@@ -279,6 +279,75 @@ fn a_poison_event_does_not_desync_the_wal_from_the_watermark() {
 }
 
 #[test]
+fn a_poison_event_mid_batch_leaves_live_and_recovered_state_identical() {
+    // The batch-first contract for poison events: a failing event *inside* a
+    // multi-event batch (here: an arity-mismatched insert surrounded by good
+    // same-relation events, all drained into one micro-batch = one WAL
+    // record) keeps its WAL sequence slot, the rest of the batch applies, and
+    // replay — which rebuilds the same DeltaBatch per record — reproduces the
+    // live degraded state bit for bit.
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("dbt-poison-midbatch-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let mut stream: Vec<UpdateEvent> = events()[..400].to_vec();
+    stream.insert(200, UpdateEvent::insert("Lineitem", vec![Value::long(3)]));
+
+    let server = builder().open_or_create_with(config(&dir)).unwrap();
+    server.handle().send_batch(stream.clone()).unwrap();
+    server.flush().unwrap();
+    assert!(
+        server.last_error().is_some(),
+        "mid-batch poison event must be surfaced"
+    );
+    assert_eq!(
+        server.stats().events as usize,
+        stream.len(),
+        "the poison event must keep its WAL sequence slot"
+    );
+    // Capture the live (degraded) state, then crash without a final checkpoint.
+    let live: Vec<(String, Gmr)> = {
+        let snap = server.reader().snapshot();
+        snap.names()
+            .map(|n| (n.to_string(), snap.view(n).unwrap().clone()))
+            .collect()
+    };
+    assert!(live.len() >= 2, "expected several maintained maps");
+    server.kill();
+
+    let server = builder().open_or_create_with(config(&dir)).unwrap();
+    let stats = server.stats();
+    assert_eq!(
+        stats.events as usize,
+        stream.len(),
+        "recovered watermark must cover the poison event's slot"
+    );
+    assert!(
+        server.durability_warning().is_some(),
+        "replaying past a poison event is a degraded recovery and must say so"
+    );
+    let snap = server.reader().snapshot();
+    for (name, g) in &live {
+        let recovered = snap
+            .view(name)
+            .unwrap_or_else(|| panic!("recovered snapshot lacks view {name}"));
+        assert_eq!(
+            recovered.len(),
+            g.len(),
+            "view {name} sizes differ after mid-batch poison recovery"
+        );
+        for (t, m) in g.iter() {
+            assert_eq!(
+                recovered.get(t).to_bits(),
+                m.to_bits(),
+                "view {name}[{t:?}] differs between live and recovered state"
+            );
+        }
+    }
+    drop(server);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn durable_serve_refuses_an_unrecovered_directory() {
     // `serve_with` + durability on a directory that already holds a checkpoint
     // ahead of the (fresh) engine must be refused: adopting it would fork

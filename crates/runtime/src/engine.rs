@@ -1,21 +1,51 @@
 //! The query engine: executes a compiled trigger program against a stream of updates.
 //!
-//! The engine owns the [`Database`] of views, stored base relations and static tables,
-//! and processes one [`UpdateEvent`] at a time (Section 7.2 of the paper — DBToaster
-//! refreshes views on every single-tuple update rather than batching). Per event the
-//! execution order is:
+//! The engine owns the [`Database`] of views, stored base relations and static tables.
+//! Its native unit of work is the [`DeltaBatch`]: per-relation GMR deltas built from a
+//! slice of the update stream (insert = `+1`, delete = `−1`, same-key events collapsed
+//! by ring addition — see [`dbtoaster_agca::batch`]). [`Engine::process`] is the
+//! degenerate batch of one event; [`Engine::process_batch`] is the real entry point the
+//! serving writer and WAL replay use.
+//!
+//! Per single-tuple firing the execution order is the paper's (Section 7.2):
 //!
 //! 1. all incremental (`+=`) statements of the matching trigger, which by construction
 //!    read the *old* versions of the views they use;
 //! 2. the update itself is applied to the stored base relation (if it is stored at all —
 //!    full Higher-Order IVM usually does not need the base relations);
 //! 3. all re-evaluation (`:=`) statements, which read the *new* versions.
+//!
+//! ## Batch execution
+//!
+//! How a multi-entry delta drives that sequence is chosen statically per relation by
+//! [`TriggerProgram::batch_dispatch`]:
+//!
+//! * **Statement-major** (the common case — triggers whose statements never read
+//!   anything the same run writes): each incremental statement is dispatched *once*
+//!   per batch and driven over all delta entries back-to-back — the kernel prelude
+//!   and loop-invariant fused scans run once, rows are buffered with entry
+//!   boundaries, and the target map is written in one pass (one change-log entry
+//!   resolution and one snapshot-cache bump per statement). Base updates follow in
+//!   one pass, and `:=` statements fire once, bound to the run's last event —
+//!   exactly the firing whose output survives event-at-a-time processing.
+//! * **Entry-major** (triggers that read their own writes, e.g. axfinder's
+//!   self-referencing map): each surviving entry fires the full per-event sequence
+//!   `|mult|` times. Always exact; amortizes only the per-batch dispatch.
+//!
+//! Both paths are driven by the same loop for compiled kernels and the AST
+//! interpreter, so the interpreter remains the differential-testing oracle for batch
+//! execution too. See the ring-linearity argument in [`dbtoaster_agca::batch`] for
+//! why this reproduces per-event processing (bit-exactly on integer-weighted
+//! streams; to summation order on float aggregates).
 
-use crate::store::Database;
+use crate::store::{CachedSource, Database};
+use dbtoaster_agca::batch::{DeltaBatch, RelationDelta};
 use dbtoaster_agca::eval::{eval_with, eval_with_scratch, Bindings, EvalError, EvalScratch};
 use dbtoaster_agca::plan::{CompiledStmt, KernelState};
 use dbtoaster_agca::{UpdateEvent, UpdateSign};
-use dbtoaster_compiler::{Catalog, ResultAccess, Statement, StmtOp, TriggerProgram};
+use dbtoaster_compiler::{
+    BatchStrategy, Catalog, ResultAccess, Statement, StmtOp, Trigger, TriggerProgram,
+};
 use dbtoaster_gmr::{FastMap, Gmr, Tuple, Value};
 use std::fmt;
 use std::sync::Arc;
@@ -74,7 +104,19 @@ pub struct ChangeSet {
 }
 
 impl ChangeSet {
+    /// The change record for one view, created on first touch. Resolved once
+    /// per (statement, batch) on the batch path — the per-write cost is then
+    /// one key clone into the set, no name hashing.
+    fn entry(&mut self, view: &str) -> &mut ViewChange {
+        if !self.views.contains_key(view) {
+            self.views.insert(view.to_string(), ViewChange::default());
+        }
+        self.views.get_mut(view).expect("inserted above")
+    }
+
     fn record_key(&mut self, view: &str, key: Tuple) {
+        // Single hash on the hit path (this runs once per write on the
+        // per-firing paths while change tracking is on).
         if let Some(c) = self.views.get_mut(view) {
             c.keys.insert(key, ());
         } else {
@@ -85,7 +127,7 @@ impl ChangeSet {
     }
 
     fn record_clear(&mut self, view: &str) {
-        let c = self.views.entry(view.to_string()).or_default();
+        let c = self.entry(view);
         c.cleared = true;
         c.keys.clear();
     }
@@ -170,9 +212,26 @@ impl From<EvalError> for RuntimeError {
     }
 }
 
+/// The outcome of one [`Engine::process_batch`] call. Processing never stops
+/// at the first failure — a poison event inside a batch keeps its slot in the
+/// stream (and, under durability, its WAL sequence number) while the rest of
+/// the batch is applied; the caller learns how many events failed and what
+/// went wrong first.
+#[derive(Clone, Debug, Default)]
+pub struct BatchReport {
+    /// Stream events the batch covered (successful + failed).
+    pub events: u64,
+    /// Events whose trigger work failed (counted by the delta entries or
+    /// firings they were folded into; such events may be *partially* applied —
+    /// there is no statement rollback).
+    pub failed_events: u64,
+    /// The first error encountered, if any.
+    pub first_error: Option<RuntimeError>,
+}
+
 /// Runtime statistics: event counts, processing time and memory footprint.
 ///
-/// The batch-level counters (`batches`, `snapshots_published`,
+/// The serving-level counters (`batches`, `snapshots_published`,
 /// `subscriber_deltas`) stay zero on a plain single-threaded engine; the
 /// serving layer fills them in and surfaces the merged view through
 /// `ViewServer::stats()`.
@@ -185,12 +244,20 @@ pub struct EngineStats {
     pub events: u64,
     /// Statements executed so far.
     pub statements: u64,
-    /// Total time spent inside `process`.
+    /// Total time spent inside `process` / `process_batch`.
     pub busy: Duration,
     /// Wall-clock time of engine creation.
     pub started: Instant,
-    /// Micro-batches drained by a serving writer loop.
+    /// Micro-batches drained by a serving writer loop (queue drains; see
+    /// [`EngineStats::delta_batches`] for the processing-side unit).
     pub batches: u64,
+    /// Delta batches processed through [`Engine::process_batch`] (a plain
+    /// [`Engine::process`] call counts as a batch of one).
+    pub delta_batches: u64,
+    /// Events whose work vanished before any kernel ran because a same-key
+    /// opposite-sign event in the same batch cancelled them (ring addition
+    /// inside the [`DeltaBatch`]).
+    pub batch_events_collapsed: u64,
     /// Snapshots published for concurrent readers.
     pub snapshots_published: u64,
     /// Output-delta records fanned out to subscribers (sum over subscribers).
@@ -217,6 +284,8 @@ impl EngineStats {
             busy: Duration::ZERO,
             started: Instant::now(),
             batches: 0,
+            delta_batches: 0,
+            batch_events_collapsed: 0,
             snapshots_published: 0,
             subscriber_deltas: 0,
             wal_bytes_written: 0,
@@ -226,10 +295,13 @@ impl EngineStats {
         }
     }
 
-    /// Average events per drained micro-batch (0.0 when not serving).
+    /// Average events per processed delta batch (0.0 before the first batch).
+    /// Since the batch-first refactor this reflects the size of the
+    /// [`DeltaBatch`]es actually driven through the engine, not raw serving
+    /// queue drains.
     pub fn events_per_batch(&self) -> f64 {
-        if self.batches > 0 {
-            self.events as f64 / self.batches as f64
+        if self.delta_batches > 0 {
+            self.events as f64 / self.delta_batches as f64
         } else {
             0.0
         }
@@ -260,6 +332,39 @@ pub struct TraceSample {
     pub memory_mb: f64,
 }
 
+/// Engine-internal copy of one relation's batch dispatch decision (trigger
+/// indexes fit in `u16`; the strategy is `Copy`), so run processing never
+/// clones strings out of the dispatch table.
+#[derive(Clone, Copy, Debug)]
+struct DispatchEntry {
+    insert: Option<u16>,
+    delete: Option<u16>,
+    strategy: BatchStrategy,
+}
+
+/// One entry's emitted row range within the shared row buffer, plus how many
+/// times it is applied (`|net multiplicity|` single-tuple firings).
+#[derive(Clone, Copy, Debug)]
+struct Seg {
+    start: usize,
+    end: usize,
+    reps: u32,
+}
+
+/// Reusable buffers for statement-major batch execution.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// Per-entry failure flags for the current run (a failed entry is skipped
+    /// by later statements, the base-update pass and the `:=` phase).
+    failed: Vec<bool>,
+    /// Entry boundaries into the row buffer for the statement being applied.
+    segs: Vec<Seg>,
+    /// Interpreter-path row buffer (the compiled path uses `KernelState::out`).
+    rows: Vec<(Tuple, f64)>,
+    /// Interpreter-path bindings, re-seeded per entry (cleared per statement).
+    bindings: Bindings,
+}
+
 /// The DBToaster runtime engine.
 pub struct Engine {
     program: Arc<TriggerProgram>,
@@ -275,6 +380,13 @@ pub struct Engine {
     /// for statements without compiled kernels (and the interpreter-forced
     /// mode).
     scratch: EvalScratch,
+    /// Statement-major batch execution buffers.
+    batch: BatchScratch,
+    /// Recycled batch-of-1 for [`Engine::process`] (zero-allocation wrapper).
+    single: DeltaBatch,
+    /// Per-relation batch dispatch, resolved from
+    /// [`TriggerProgram::batch_dispatch`] at construction.
+    dispatch: FastMap<String, DispatchEntry>,
     /// Ignore compiled kernels and interpret every statement (differential
     /// testing / escape hatch; see [`FORCE_INTERPRETER_ENV`]).
     force_interpreter: bool,
@@ -302,6 +414,20 @@ impl Engine {
                 .unwrap_or_default();
             db.declare(rel.clone(), columns);
         }
+        let dispatch = program
+            .batch_dispatch()
+            .into_iter()
+            .map(|d| {
+                (
+                    d.relation,
+                    DispatchEntry {
+                        insert: d.insert.map(|i| i as u16),
+                        delete: d.delete.map(|i| i as u16),
+                        strategy: d.strategy,
+                    },
+                )
+            })
+            .collect();
         let mut engine = Engine {
             program: Arc::new(program),
             db,
@@ -309,6 +435,9 @@ impl Engine {
             changes: None,
             kernel: KernelState::new(),
             scratch: EvalScratch::default(),
+            batch: BatchScratch::default(),
+            single: DeltaBatch::new(),
+            dispatch,
             force_interpreter: false,
         };
         engine.set_force_interpreter(env_forces_interpreter());
@@ -347,7 +476,7 @@ impl Engine {
     /// re-running [`Engine::init_static_views`] — the snapshot already contains
     /// static tables and the views derived from them. This is the restore half
     /// of the durability layer's checkpoint/recovery protocol; replaying logged
-    /// events `events_applied+1..` through [`Engine::process`] afterwards
+    /// events `events_applied+1..` through [`Engine::process_batch`] afterwards
     /// reproduces a never-restarted engine bit-for-bit.
     pub fn from_snapshot(
         program: TriggerProgram,
@@ -454,86 +583,457 @@ impl Engine {
         Ok(())
     }
 
-    /// Process a single update event, firing the matching trigger.
-    ///
-    /// Statements with compiled kernels execute through the slot-addressed
-    /// plan path ([`dbtoaster_agca::plan`]); the rest (and everything, when
-    /// the interpreter is forced) go through the AST evaluator. Both paths
-    /// buffer the full right-hand side before touching the target map, so
-    /// they interleave freely within one trigger.
+    /// Process a single update event: the degenerate batch of one. Exactly
+    /// equivalent to the historical per-event path — one run, one entry, one
+    /// firing — and still allocation-free in steady state (the batch-of-1 is
+    /// recycled and its single key stays inline for typical arities).
     pub fn process(&mut self, event: &UpdateEvent) -> Result<(), RuntimeError> {
+        let mut single = std::mem::take(&mut self.single);
+        single.clear();
+        single.push(event);
+        let report = self.process_batch(&single);
+        self.single = single;
+        match report.first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Process a delta batch, firing each relation run's triggers under the
+    /// statically chosen [`BatchStrategy`] (see the module docs). Never stops
+    /// early: failed events are skipped past (keeping their stream slot) and
+    /// reported, so a durable writer's WAL watermark and a replay stay lined
+    /// up with live processing.
+    pub fn process_batch(&mut self, batch: &DeltaBatch) -> BatchReport {
+        if batch.is_empty() {
+            return BatchReport::default();
+        }
         let t0 = Instant::now();
         let program = self.program.clone();
-        let idx = program
-            .triggers
-            .iter()
-            .position(|t| t.relation == event.relation && t.sign == event.sign);
-
-        if let Some(idx) = idx {
-            let trigger = &program.triggers[idx];
-            if trigger.trigger_vars.len() != event.tuple.len() {
-                return Err(RuntimeError::EventArityMismatch {
-                    relation: event.relation.clone(),
-                    expected: trigger.trigger_vars.len(),
-                    actual: event.tuple.len(),
-                });
-            }
-            // Compiled kernels for this trigger, when present and aligned
-            // with the statement list.
-            let kernels: &[Option<CompiledStmt>] = if self.force_interpreter {
-                &[]
-            } else {
-                program
-                    .compiled
-                    .get(idx)
-                    .map(|c| c.stmts.as_slice())
-                    .filter(|s| s.len() == trigger.statements.len())
-                    .unwrap_or(&[])
-            };
-            // Interpreter context, built lazily: a fully compiled trigger
-            // never allocates the per-event name bindings.
-            let mut bindings: Option<Bindings> = None;
-
-            // Phase 1: incremental statements read the old state.
-            for (j, stmt) in trigger.statements.iter().enumerate() {
-                if stmt.op == StmtOp::Increment {
-                    self.exec_dispatch(stmt, flat_get(kernels, j), event, trigger, &mut bindings)?;
-                }
-            }
-            // Phase 2: reflect the update in the stored base relation (if stored).
-            self.apply_base_update(event);
-            // Phase 3: re-evaluation statements read the new state.
-            for (j, stmt) in trigger.statements.iter().enumerate() {
-                if stmt.op == StmtOp::Replace {
-                    self.exec_dispatch(stmt, flat_get(kernels, j), event, trigger, &mut bindings)?;
-                }
-            }
-        } else {
-            // No trigger (e.g. an update to a relation no query depends on): still keep
-            // the stored base relation consistent.
-            self.apply_base_update(event);
+        let mut report = BatchReport {
+            events: batch.events(),
+            ..BatchReport::default()
+        };
+        for run in batch.runs() {
+            self.process_run(&program, run, &mut report);
         }
-
-        self.stats.events += 1;
+        self.stats.events += report.events - report.failed_events;
+        self.stats.delta_batches += 1;
+        self.stats.batch_events_collapsed += batch.collapsed_events();
         self.stats.busy += t0.elapsed();
+        report
+    }
+
+    /// Process a sequence of events one at a time, stopping at the first error
+    /// (the historical strict API; batching callers use
+    /// [`Engine::process_batch`]).
+    pub fn process_all<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a UpdateEvent>,
+    ) -> Result<(), RuntimeError> {
+        for e in events {
+            self.process(e)?;
+        }
         Ok(())
     }
 
-    /// Route one statement to its compiled kernel or the interpreter.
+    // -----------------------------------------------------------------------
+    // Batch execution
+    // -----------------------------------------------------------------------
+
+    /// Dispatch one relation run.
+    fn process_run(
+        &mut self,
+        program: &TriggerProgram,
+        run: &RelationDelta,
+        report: &mut BatchReport,
+    ) {
+        let Some(&disp) = self.dispatch.get(run.relation()) else {
+            // No trigger for this relation under either sign (e.g. an update
+            // to a relation no query depends on): still keep the stored base
+            // relation consistent.
+            self.apply_base_run(run, false);
+            return;
+        };
+        // Arity gate, per run (runs are arity-uniform by construction): a
+        // mismatched event applies nothing — not even the base update — just
+        // like the per-event path.
+        for idx in [disp.insert, disp.delete].into_iter().flatten() {
+            let trigger = &program.triggers[idx as usize];
+            if trigger.trigger_vars.len() != run.arity() {
+                report.failed_events += run.events();
+                report
+                    .first_error
+                    .get_or_insert(RuntimeError::EventArityMismatch {
+                        relation: run.relation().to_string(),
+                        expected: trigger.trigger_vars.len(),
+                        actual: run.arity(),
+                    });
+                return;
+            }
+        }
+        match disp.strategy {
+            BatchStrategy::StatementMajor => self.run_statement_major(program, disp, run, report),
+            BatchStrategy::EntryMajor => self.run_entry_major(program, disp, run, report),
+        }
+    }
+
+    /// Entry-major fallback: every surviving entry fires the full per-event
+    /// trigger sequence `|mult|` times — identical to event-at-a-time
+    /// processing of the net stream.
+    fn run_entry_major(
+        &mut self,
+        program: &TriggerProgram,
+        disp: DispatchEntry,
+        run: &RelationDelta,
+        report: &mut BatchReport,
+    ) {
+        for entry in run.entries() {
+            let Some(sign) = entry.sign() else { continue };
+            let tidx = match sign {
+                UpdateSign::Insert => disp.insert,
+                UpdateSign::Delete => disp.delete,
+            };
+            for _ in 0..entry.firings() {
+                if let Err(e) = self.fire_single(program, run.relation(), tidx, sign, &entry.key) {
+                    report.failed_events += 1;
+                    report.first_error.get_or_insert(e);
+                }
+            }
+        }
+    }
+
+    /// One complete single-tuple firing: increments, base update, replaces.
+    fn fire_single(
+        &mut self,
+        program: &TriggerProgram,
+        relation: &str,
+        tidx: Option<u16>,
+        sign: UpdateSign,
+        key: &Tuple,
+    ) -> Result<(), RuntimeError> {
+        let Some(tidx) = tidx else {
+            // This sign has no trigger: only the stored base relation moves.
+            self.apply_base_raw(relation, key, sign.multiplier());
+            return Ok(());
+        };
+        let trigger = &program.triggers[tidx as usize];
+        let kernels = self.kernels_for(program, tidx);
+        // Interpreter context, built lazily: a fully compiled trigger
+        // never allocates the per-event name bindings.
+        let mut bindings: Option<Bindings> = None;
+
+        // Phase 1: incremental statements read the old state.
+        for (j, stmt) in trigger.statements.iter().enumerate() {
+            if stmt.op == StmtOp::Increment {
+                self.exec_dispatch(
+                    stmt,
+                    flat_get(kernels, j),
+                    key.as_slice(),
+                    trigger,
+                    &mut bindings,
+                )?;
+            }
+        }
+        // Phase 2: reflect the update in the stored base relation (if stored).
+        self.apply_base_raw(relation, key, sign.multiplier());
+        // Phase 3: re-evaluation statements read the new state.
+        for (j, stmt) in trigger.statements.iter().enumerate() {
+            if stmt.op == StmtOp::Replace {
+                self.exec_dispatch(
+                    stmt,
+                    flat_get(kernels, j),
+                    key.as_slice(),
+                    trigger,
+                    &mut bindings,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Statement-major execution of one run (see the module docs): increments
+    /// driven over all entries per statement, one base-update pass, replaces
+    /// once for the run's last event. Legal by the dispatch analysis.
+    fn run_statement_major(
+        &mut self,
+        program: &TriggerProgram,
+        disp: DispatchEntry,
+        run: &RelationDelta,
+        report: &mut BatchReport,
+    ) {
+        self.batch.failed.clear();
+        self.batch.failed.resize(run.entries().len(), false);
+
+        // Phase 1: incremental statements, insert entries then delete entries.
+        for (sign, tidx) in [
+            (UpdateSign::Insert, disp.insert),
+            (UpdateSign::Delete, disp.delete),
+        ] {
+            let Some(tidx) = tidx else { continue };
+            if !run.entries().iter().any(|e| e.sign() == Some(sign)) {
+                continue;
+            }
+            let trigger = &program.triggers[tidx as usize];
+            let kernels = self.kernels_for(program, tidx);
+            for (j, stmt) in trigger.statements.iter().enumerate() {
+                if stmt.op != StmtOp::Increment {
+                    continue;
+                }
+                let res = match flat_get(kernels, j) {
+                    Some(k) => self.increment_compiled_over(stmt, k, run, sign, report),
+                    None => self.increment_interp_over(stmt, trigger, run, sign, report),
+                };
+                if let Err(e) = res {
+                    // Statement-level failure (missing target view): program
+                    // corruption rather than a poison event. The buffered
+                    // rows were discarded; fail the sign's remaining entries
+                    // so the base-update and `:=` phases skip them — the
+                    // per-event path would likewise die before its base
+                    // update.
+                    for (ei, entry) in run.entries().iter().enumerate() {
+                        if !self.batch.failed[ei] && entry.sign() == Some(sign) {
+                            self.batch.failed[ei] = true;
+                            report.failed_events += entry.events as u64;
+                        }
+                    }
+                    report.first_error.get_or_insert(e);
+                }
+            }
+        }
+
+        // Phase 2: one base-update pass over the surviving entries.
+        self.apply_base_run(run, true);
+
+        // Phase 3: re-evaluation statements fire once, bound to the run's
+        // last event — the firing whose output survives per-event processing.
+        let Some((sign, last_idx)) = run.last_event_index() else {
+            return;
+        };
+        if self.batch.failed[last_idx] {
+            // The binding event failed its increments; per-event it would not
+            // have reached its `:=` phase either.
+            return;
+        }
+        let tidx = match sign {
+            UpdateSign::Insert => disp.insert,
+            UpdateSign::Delete => disp.delete,
+        };
+        let Some(tidx) = tidx else { return };
+        let trigger = &program.triggers[tidx as usize];
+        if !trigger.statements.iter().any(|s| s.op == StmtOp::Replace) {
+            return;
+        }
+        let key = run.entries()[last_idx].key.clone();
+        let kernels = self.kernels_for(program, tidx);
+        let mut bindings: Option<Bindings> = None;
+        for (j, stmt) in trigger.statements.iter().enumerate() {
+            if stmt.op != StmtOp::Replace {
+                continue;
+            }
+            if let Err(e) = self.exec_dispatch(
+                stmt,
+                flat_get(kernels, j),
+                key.as_slice(),
+                trigger,
+                &mut bindings,
+            ) {
+                // Mirror the single-event contract: the binding event counts
+                // as failed and its remaining statements are skipped.
+                report.failed_events += 1;
+                report.first_error.get_or_insert(e);
+                break;
+            }
+        }
+    }
+
+    /// The compiled kernels for a trigger, when present, aligned with its
+    /// statement list and not overridden by the interpreter escape hatch.
+    fn kernels_for<'p>(
+        &self,
+        program: &'p TriggerProgram,
+        tidx: u16,
+    ) -> &'p [Option<CompiledStmt>] {
+        if self.force_interpreter {
+            return &[];
+        }
+        let trigger = &program.triggers[tidx as usize];
+        program
+            .compiled
+            .get(tidx as usize)
+            .map(|c| c.stmts.as_slice())
+            .filter(|s| s.len() == trigger.statements.len())
+            .unwrap_or(&[])
+    }
+
+    /// Drive one compiled incremental statement over all of a run's entries of
+    /// one sign: prelude + loop-invariant fused scans once, rows buffered with
+    /// entry boundaries, then one buffered apply (single target resolution,
+    /// change-log entry and snapshot-cache bump).
+    fn increment_compiled_over(
+        &mut self,
+        stmt: &Statement,
+        kernel: &CompiledStmt,
+        run: &RelationDelta,
+        sign: UpdateSign,
+        report: &mut BatchReport,
+    ) -> Result<(), RuntimeError> {
+        let Engine {
+            db,
+            kernel: state,
+            batch,
+            stats,
+            changes,
+            ..
+        } = self;
+        batch.segs.clear();
+        state.prepare(kernel);
+        // The whole entries pass is read-only (rows are buffered), so probe
+        // and scan targets can be resolved once per name for the batch.
+        let src = CachedSource::new(db);
+        let mut first = true;
+        for (ei, entry) in run.entries().iter().enumerate() {
+            if batch.failed[ei] || entry.sign() != Some(sign) {
+                continue;
+            }
+            stats.statements += 1;
+            let start = state.out.len();
+            for &slot in &kernel.used_trigger_slots {
+                state.frame[slot as usize] = entry.key[slot as usize].clone();
+            }
+            match kernel.execute_batch_entry(&src, state, first) {
+                Ok(()) => {
+                    first = false;
+                    batch.segs.push(Seg {
+                        start,
+                        end: state.out.len(),
+                        reps: entry.firings(),
+                    });
+                }
+                Err(e) => {
+                    // Nothing of this entry's statement is applied (rows are
+                    // dropped), matching the per-event all-or-nothing apply.
+                    state.out.truncate(start);
+                    batch.failed[ei] = true;
+                    report.failed_events += entry.events as u64;
+                    report.first_error.get_or_insert(RuntimeError::Eval(e));
+                }
+            }
+        }
+        // `src` (immutable borrow of `db`) ends here; the apply needs `&mut`.
+        let _ = src;
+        let res = apply_buffered_statement(db, changes, &stmt.target, &batch.segs, &state.out);
+        state.out.clear();
+        res
+    }
+
+    /// The interpreter twin of [`Engine::increment_compiled_over`]: same entry
+    /// loop, same buffered apply, with the right-hand side evaluated by the
+    /// AST evaluator — keeping the two paths oracles of each other on the
+    /// batch path too.
+    fn increment_interp_over(
+        &mut self,
+        stmt: &Statement,
+        trigger: &Trigger,
+        run: &RelationDelta,
+        sign: UpdateSign,
+        report: &mut BatchReport,
+    ) -> Result<(), RuntimeError> {
+        let Engine {
+            db,
+            scratch,
+            batch,
+            stats,
+            changes,
+            ..
+        } = self;
+        batch.segs.clear();
+        batch.rows.clear();
+        batch.bindings.clear();
+        for (ei, entry) in run.entries().iter().enumerate() {
+            if batch.failed[ei] || entry.sign() != Some(sign) {
+                continue;
+            }
+            stats.statements += 1;
+            for (var, value) in trigger.trigger_vars.iter().zip(entry.key.iter()) {
+                batch.bindings.set(var, value.clone());
+            }
+            let start = batch.rows.len();
+            let res =
+                interp_statement_rows(db, scratch, &mut batch.bindings, stmt, &mut batch.rows);
+            match res {
+                Ok(()) => batch.segs.push(Seg {
+                    start,
+                    end: batch.rows.len(),
+                    reps: entry.firings(),
+                }),
+                Err(e) => {
+                    batch.rows.truncate(start);
+                    batch.failed[ei] = true;
+                    report.failed_events += entry.events as u64;
+                    report.first_error.get_or_insert(e);
+                }
+            }
+        }
+        let res = apply_buffered_statement(db, changes, &stmt.target, &batch.segs, &batch.rows);
+        batch.rows.clear();
+        res
+    }
+
+    /// One base-update pass for a whole run: each surviving entry's net
+    /// multiplicity is applied in one write (exact — net multiplicities are
+    /// integers). `respect_failed` skips entries whose trigger work failed,
+    /// mirroring the per-event path where a poison event never reaches its
+    /// base update.
+    fn apply_base_run(&mut self, run: &RelationDelta, respect_failed: bool) {
+        let Engine {
+            db, changes, batch, ..
+        } = self;
+        let Some(view) = db.view_mut(run.relation()) else {
+            return;
+        };
+        let mut change = changes.as_mut().map(|c| c.entry(run.relation()));
+        let failed: &[bool] = &batch.failed;
+        let rows = run.entries().iter().enumerate().filter_map(|(ei, e)| {
+            if e.mult == 0.0 || (respect_failed && failed[ei]) {
+                None
+            } else {
+                Some((&e.key, e.mult))
+            }
+        });
+        view.add_rows(rows, &mut |k| {
+            if let Some(c) = change.as_mut() {
+                c.keys.insert(k.clone(), ());
+            }
+        });
+    }
+
+    /// Apply one single-tuple base update (the entry-major / no-trigger path).
+    fn apply_base_raw(&mut self, relation: &str, key: &Tuple, mult: f64) {
+        if let Some(view) = self.db.view_mut(relation) {
+            view.add(key.clone(), mult);
+            if let Some(log) = self.changes.as_mut() {
+                log.record_key(relation, key.clone());
+            }
+        }
+    }
+
+    /// Route one statement to its compiled kernel or the interpreter
+    /// (single-firing path).
     fn exec_dispatch(
         &mut self,
         stmt: &Statement,
         kernel: Option<&CompiledStmt>,
-        event: &UpdateEvent,
-        trigger: &dbtoaster_compiler::Trigger,
+        tuple: &[Value],
+        trigger: &Trigger,
         bindings: &mut Option<Bindings>,
     ) -> Result<(), RuntimeError> {
         match kernel {
-            Some(k) => self.exec_compiled(stmt, k, &event.tuple),
+            Some(k) => self.exec_compiled(stmt, k, tuple),
             None => {
                 let ctx = bindings.get_or_insert_with(|| {
                     let mut b = Bindings::with_capacity(trigger.trigger_vars.len());
-                    for (var, value) in trigger.trigger_vars.iter().zip(event.tuple.iter()) {
+                    for (var, value) in trigger.trigger_vars.iter().zip(tuple.iter()) {
                         b.insert(var.clone(), value.clone());
                     }
                     b
@@ -558,8 +1058,8 @@ impl Engine {
                 db, kernel: state, ..
             } = self;
             state.prepare(kernel);
-            for (i, v) in tuple.iter().enumerate() {
-                state.frame[i] = v.clone();
+            for &slot in &kernel.used_trigger_slots {
+                state.frame[slot as usize] = tuple[slot as usize].clone();
             }
             kernel.execute(db, state).map_err(RuntimeError::Eval)?;
         }
@@ -593,26 +1093,6 @@ impl Engine {
         Ok(())
     }
 
-    /// Process a sequence of events, stopping at the first error.
-    pub fn process_all<'a>(
-        &mut self,
-        events: impl IntoIterator<Item = &'a UpdateEvent>,
-    ) -> Result<(), RuntimeError> {
-        for e in events {
-            self.process(e)?;
-        }
-        Ok(())
-    }
-
-    fn apply_base_update(&mut self, event: &UpdateEvent) {
-        if let Some(view) = self.db.view_mut(&event.relation) {
-            view.add(event.tuple.as_slice(), event.sign.multiplier());
-            if let Some(log) = self.changes.as_mut() {
-                log.record_key(&event.relation, Tuple::from(event.tuple.as_slice()));
-            }
-        }
-    }
-
     fn exec_statement(
         &mut self,
         stmt: &Statement,
@@ -636,25 +1116,7 @@ impl Engine {
         if result.is_empty() {
             return Ok(());
         }
-        let schema = result.schema().clone();
-        // Resolve each key variable to its source once, outside the row loop:
-        // a trigger binding (range restriction) or a result-column position.
-        let key_sources: Vec<Result<Value, usize>> = stmt
-            .key_vars
-            .iter()
-            .map(|kv| {
-                if let Some(v) = bindings.get(kv) {
-                    Ok(Ok(v.clone()))
-                } else if let Some(i) = schema.index_of(kv) {
-                    Ok(Err(i))
-                } else {
-                    Err(RuntimeError::MissingKeyVariable {
-                        statement: stmt.to_string(),
-                        variable: kv.clone(),
-                    })
-                }
-            })
-            .collect::<Result<_, _>>()?;
+        let key_sources = resolve_key_sources(stmt, bindings, result.schema())?;
         for (row, mult) in result.iter() {
             let key: Tuple = key_sources
                 .iter()
@@ -728,6 +1190,125 @@ impl Engine {
     pub fn sign_multiplier(sign: UpdateSign) -> f64 {
         sign.multiplier()
     }
+}
+
+/// Apply one statement's buffered rows to its target map: a single target
+/// resolution, change-log entry and snapshot-cache bump per (statement,
+/// batch), shared by the compiled and interpreter batch twins. A missing
+/// target view (program corruption — compiled programs always declare their
+/// targets) applies nothing; the caller discards the buffers and fails the
+/// affected entries.
+fn apply_buffered_statement(
+    db: &mut Database,
+    changes: &mut Option<ChangeSet>,
+    target_name: &str,
+    segs: &[Seg],
+    rows: &[(Tuple, f64)],
+) -> Result<(), RuntimeError> {
+    let target = db
+        .view_mut(target_name)
+        .ok_or_else(|| RuntimeError::UnknownView(target_name.to_string()))?;
+    let mut change = changes.as_mut().map(|c| c.entry(target_name));
+    let it = segs.iter().flat_map(|s| {
+        let slice = &rows[s.start..s.end];
+        (0..s.reps).flat_map(move |_| slice.iter().map(|(k, m)| (k, *m)))
+    });
+    target.add_rows(Coalesce::new(it), &mut |k| {
+        if let Some(c) = change.as_mut() {
+            c.keys.insert(k.clone(), ());
+        }
+    });
+    Ok(())
+}
+
+/// Resolve each of a statement's key variables to its source — a trigger
+/// binding (range restriction, `Ok`) or a result-column position (`Err`) —
+/// once per evaluation, outside the row loop. Shared by the strict
+/// interpreter path and its batch twin so the two cannot drift.
+fn resolve_key_sources(
+    stmt: &Statement,
+    bindings: &Bindings,
+    schema: &dbtoaster_gmr::Schema,
+) -> Result<Vec<Result<Value, usize>>, RuntimeError> {
+    stmt.key_vars
+        .iter()
+        .map(|kv| {
+            if let Some(v) = bindings.get(kv) {
+                Ok(Ok(v.clone()))
+            } else if let Some(i) = schema.index_of(kv) {
+                Ok(Err(i))
+            } else {
+                Err(RuntimeError::MissingKeyVariable {
+                    statement: stmt.to_string(),
+                    variable: kv.clone(),
+                })
+            }
+        })
+        .collect()
+}
+
+/// Coalesce consecutive same-key rows of a buffered application stream into
+/// one write each. Driven over a whole batch, the entries of a run often hit
+/// the same group keys (every entry, for a scalar aggregate), so this turns
+/// O(entries) target-map writes per statement into O(distinct consecutive
+/// keys). Summation is reassociated relative to per-event processing — exact
+/// on integer weights, last-ulp on floats (the documented batch caveat); a
+/// batch of one entry coalesces nothing beyond what the kernel sink already
+/// did, keeping the batch-of-1 path bit-exact.
+struct Coalesce<'a, I: Iterator<Item = (&'a Tuple, f64)>> {
+    inner: std::iter::Peekable<I>,
+}
+
+impl<'a, I: Iterator<Item = (&'a Tuple, f64)>> Coalesce<'a, I> {
+    fn new(inner: I) -> Self {
+        Coalesce {
+            inner: inner.peekable(),
+        }
+    }
+}
+
+impl<'a, I: Iterator<Item = (&'a Tuple, f64)>> Iterator for Coalesce<'a, I> {
+    type Item = (&'a Tuple, f64);
+
+    fn next(&mut self) -> Option<(&'a Tuple, f64)> {
+        let (key, mut mult) = self.inner.next()?;
+        while let Some(&(next_key, next_mult)) = self.inner.peek() {
+            if next_key != key {
+                break;
+            }
+            mult += next_mult;
+            self.inner.next();
+        }
+        Some((key, mult))
+    }
+}
+
+/// Evaluate one incremental statement for the interpreter batch path,
+/// appending `(key, multiplicity)` rows to `out` instead of touching the
+/// target map (the caller applies them buffered).
+fn interp_statement_rows(
+    db: &Database,
+    scratch: &mut EvalScratch,
+    bindings: &mut Bindings,
+    stmt: &Statement,
+    out: &mut Vec<(Tuple, f64)>,
+) -> Result<(), RuntimeError> {
+    let result = eval_with_scratch(&stmt.rhs, db, bindings, scratch)?;
+    if result.is_empty() {
+        return Ok(());
+    }
+    let key_sources = resolve_key_sources(stmt, bindings, result.schema())?;
+    for (row, mult) in result.iter() {
+        let key: Tuple = key_sources
+            .iter()
+            .map(|s| match s {
+                Ok(v) => v.clone(),
+                Err(i) => row[*i].clone(),
+            })
+            .collect();
+        out.push((key, mult));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -849,6 +1430,8 @@ mod tests {
             .process(&UpdateEvent::insert("R", long_tuple(&[1])))
             .unwrap_err();
         assert!(matches!(err, RuntimeError::EventArityMismatch { .. }));
+        // A failed single event is not counted as applied.
+        assert_eq!(engine.stats().events, 0);
     }
 
     #[test]
@@ -868,6 +1451,84 @@ mod tests {
         let sample = engine.sample(0.5);
         assert_eq!(sample.fraction, 0.5);
         assert_eq!(engine.stats().events, 1);
+        assert_eq!(engine.stats().delta_batches, 1);
         assert!(engine.total_entries() >= 1);
+    }
+
+    #[test]
+    fn batch_processing_matches_per_event() {
+        // The same stream (with a cancelling pair and a duplicate key) through
+        // the per-event path and one big batch must land on identical views.
+        let events = vec![
+            UpdateEvent::insert("R", long_tuple(&[1, 1])),
+            UpdateEvent::insert("R", long_tuple(&[1, 1])), // duplicate key
+            UpdateEvent::insert("S", long_tuple(&[7, 7])),
+            UpdateEvent::insert("S", long_tuple(&[8, 8])),
+            UpdateEvent::delete("S", long_tuple(&[7, 7])), // cancels within batch
+            UpdateEvent::insert("R", long_tuple(&[2, 5])),
+        ];
+        for mode in [
+            CompileMode::HigherOrder,
+            CompileMode::FirstOrder,
+            CompileMode::NaiveViewlet,
+            CompileMode::Reevaluate,
+        ] {
+            let program = compile(
+                &[example1_query()],
+                &catalog(),
+                &CompileOptions::for_mode(mode),
+            )
+            .unwrap();
+            let mut per_event = Engine::new(program.clone(), &catalog());
+            per_event.process_all(&events).unwrap();
+
+            let mut batched = Engine::new(program, &catalog());
+            let batch = DeltaBatch::from_events(&events);
+            let report = batched.process_batch(&batch);
+            assert!(report.first_error.is_none(), "mode {mode}");
+            assert_eq!(report.events, 6);
+            assert_eq!(batched.stats().events, 6, "mode {mode}");
+            assert!(
+                batched.stats().batch_events_collapsed >= 2,
+                "cancelling pair must be collapsed (mode {mode})"
+            );
+            assert_eq!(
+                per_event.result("Q").unwrap().scalar_value(),
+                batched.result("Q").unwrap().scalar_value(),
+                "mode {mode}"
+            );
+            for name in per_event.db.names() {
+                let a = per_event.view(name).unwrap();
+                let b = batched.view(name).expect("same view set");
+                assert!(a.equivalent(&b, 0.0), "view {name} differs in {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn poison_event_mid_batch_keeps_its_slot_and_the_rest_applies() {
+        let program = compile(
+            &[example1_query()],
+            &catalog(),
+            &CompileOptions::for_mode(CompileMode::HigherOrder),
+        )
+        .unwrap();
+        let mut engine = Engine::new(program, &catalog());
+        let events = vec![
+            UpdateEvent::insert("R", long_tuple(&[1, 1])),
+            UpdateEvent::insert("R", long_tuple(&[9])), // arity mismatch: its own run
+            UpdateEvent::insert("S", long_tuple(&[7, 7])),
+        ];
+        let batch = DeltaBatch::from_events(&events);
+        let report = engine.process_batch(&batch);
+        assert_eq!(report.events, 3);
+        assert_eq!(report.failed_events, 1);
+        assert!(matches!(
+            report.first_error,
+            Some(RuntimeError::EventArityMismatch { .. })
+        ));
+        // The good events around the poison one are fully applied.
+        assert_eq!(engine.stats().events, 2);
+        assert_eq!(engine.result("Q").unwrap().scalar_value(), 1.0);
     }
 }

@@ -40,13 +40,15 @@
 pub mod engine;
 pub mod store;
 
-pub use engine::{ChangeSet, Engine, EngineStats, RuntimeError, TraceSample, ViewChange};
-pub use store::{Database, ViewMap};
+pub use engine::{
+    BatchReport, ChangeSet, Engine, EngineStats, RuntimeError, TraceSample, ViewChange,
+};
+pub use store::{CachedSource, Database, ViewMap};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::engine::{
-        ChangeSet, Engine, EngineStats, RuntimeError, TraceSample, ViewChange,
+        BatchReport, ChangeSet, Engine, EngineStats, RuntimeError, TraceSample, ViewChange,
     };
-    pub use crate::store::{Database, ViewMap};
+    pub use crate::store::{CachedSource, Database, ViewMap};
 }

@@ -137,10 +137,38 @@ impl ViewMap {
         if mult == 0.0 {
             return;
         }
-        let key = key.into();
+        self.version = self.version.wrapping_add(1);
+        self.add_unversioned(key.into(), mult);
+    }
+
+    /// Apply a pre-buffered row batch: every surviving (non-zero) row is added
+    /// in iteration order, with **one** version bump — i.e. one snapshot-cache
+    /// invalidation — for the whole batch instead of one per write, and
+    /// `on_write` invoked per applied row (the engine's change-log hook).
+    pub fn add_rows<'a>(
+        &mut self,
+        rows: impl IntoIterator<Item = (&'a Tuple, f64)>,
+        on_write: &mut dyn FnMut(&Tuple),
+    ) {
+        let mut bumped = false;
+        for (key, mult) in rows {
+            if mult == 0.0 {
+                continue;
+            }
+            if !bumped {
+                self.version = self.version.wrapping_add(1);
+                bumped = true;
+            }
+            on_write(key);
+            self.add_unversioned(key.clone(), mult);
+        }
+    }
+
+    /// The shared write path behind [`ViewMap::add`] / [`ViewMap::add_rows`]:
+    /// everything except the version bump. `mult` must be non-zero.
+    fn add_unversioned(&mut self, key: Tuple, mult: f64) {
         debug_assert_eq!(key.len(), self.schema.arity(), "key arity mismatch");
         use std::collections::hash_map::Entry;
-        self.version = self.version.wrapping_add(1);
 
         let indexes = self.indexes.get_mut();
         if indexes.is_empty() {
@@ -439,6 +467,74 @@ impl RelationSource for Database {
         let m = self
             .maps
             .get(name)
+            .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))?;
+        m.for_each(pattern, visit);
+        Ok(())
+    }
+}
+
+/// A read-only [`Database`] view that memoizes name→view resolution.
+///
+/// Compiled kernels address every probe and scan by relation name; driven
+/// over a multi-entry delta batch, the *same* op asks for the *same* name
+/// once per entry, and the per-call string hash becomes the dominant
+/// removable cost of small kernels. Ops own their name strings, so the cache
+/// is keyed by the `&str`'s address — a pointer identity hit needs no
+/// hashing and no character comparison. Sound only while the database is not
+/// mutated (the batch executor buffers all rows before applying, so a whole
+/// statement-over-entries pass is read-only); the wrapper borrows the
+/// database immutably, letting the compiler enforce exactly that.
+pub struct CachedSource<'a> {
+    db: &'a Database,
+    /// `(name address, name length, resolved view)` — a fixed handful of
+    /// inline slots scanned linearly (zero heap allocation; a statement
+    /// referencing more distinct relations simply falls back to uncached
+    /// lookups for the overflow).
+    cache: std::cell::Cell<usize>,
+    slots: [std::cell::Cell<(*const u8, usize, Option<&'a ViewMap>)>; 8],
+}
+
+impl<'a> CachedSource<'a> {
+    /// Wrap a database for one read-only batch pass.
+    pub fn new(db: &'a Database) -> Self {
+        CachedSource {
+            db,
+            cache: std::cell::Cell::new(0),
+            slots: std::array::from_fn(|_| std::cell::Cell::new((std::ptr::null(), 0, None))),
+        }
+    }
+
+    fn resolve(&self, name: &str) -> Option<&'a ViewMap> {
+        let key = (name.as_ptr(), name.len());
+        let len = self.cache.get();
+        for slot in &self.slots[..len] {
+            let (p, l, v) = slot.get();
+            if p == key.0 && l == key.1 {
+                return v;
+            }
+        }
+        let view = self.db.view(name)?;
+        if len < self.slots.len() {
+            self.slots[len].set((key.0, key.1, Some(view)));
+            self.cache.set(len + 1);
+        }
+        Some(view)
+    }
+}
+
+impl RelationSource for CachedSource<'_> {
+    fn relation_arity(&self, name: &str) -> Option<usize> {
+        self.resolve(name).map(|m| m.schema().arity())
+    }
+
+    fn for_each_matching(
+        &self,
+        name: &str,
+        pattern: &[Option<Value>],
+        visit: &mut dyn FnMut(&[Value], f64),
+    ) -> Result<(), EvalError> {
+        let m = self
+            .resolve(name)
             .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))?;
         m.for_each(pattern, visit);
         Ok(())

@@ -77,8 +77,8 @@ pub mod swap;
 
 pub use results::{assemble_result, ResultRow, ResultTable};
 pub use server::{
-    DeltaBatch, IngestHandle, OutputDelta, ReaderHandle, SendBatchError, ServeError, ServedQuery,
-    ServerConfig, Snapshot, Subscription, TrySendError, ViewServer,
+    IngestHandle, OutputDelta, OutputDeltaBatch, ReaderHandle, SendBatchError, ServeError,
+    ServedQuery, ServerConfig, Snapshot, Subscription, TrySendError, ViewServer,
 };
 pub use swap::EpochCell;
 

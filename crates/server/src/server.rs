@@ -32,7 +32,7 @@
 //! writer only publishes between batches. Snapshot acquisition is wait-free and
 //! never blocks the writer (see [`crate::swap`] for the reclamation protocol).
 //!
-//! Subscriptions see the same batch boundaries: each [`DeltaBatch`] carries the
+//! Subscriptions see the same batch boundaries: each [`OutputDeltaBatch`] carries the
 //! epoch of the snapshot it produced, and replaying batches `1..=e` on top of
 //! the subscription's baseline snapshot reconstructs the epoch-`e` view state
 //! bit-exactly (new multiplicities are copied verbatim from the view, not
@@ -226,9 +226,11 @@ pub struct OutputDelta {
     pub new_mult: f64,
 }
 
-/// The output deltas one micro-batch produced for one subscription.
+/// The output deltas one micro-batch produced for one subscription. (Not to
+/// be confused with the *input*-side [`dbtoaster_agca::DeltaBatch`], the
+/// per-relation GMR deltas the writer feeds into the engine.)
 #[derive(Clone, Debug)]
-pub struct DeltaBatch {
+pub struct OutputDeltaBatch {
     /// Epoch of the snapshot these deltas lead up to.
     pub epoch: u64,
     /// Changed keys with their old and new multiplicities.
@@ -258,13 +260,13 @@ enum Msg {
 
 struct SubscribeReq {
     access: ResultAccess,
-    tx: mpsc::Sender<DeltaBatch>,
+    tx: mpsc::Sender<OutputDeltaBatch>,
     ack: mpsc::Sender<Arc<Snapshot>>,
 }
 
 struct Subscriber {
     access: ResultAccess,
-    tx: mpsc::Sender<DeltaBatch>,
+    tx: mpsc::Sender<OutputDeltaBatch>,
 }
 
 /// Batch-level counters mirrored out of the writer thread.
@@ -274,6 +276,8 @@ struct StatsCell {
     statements: AtomicU64,
     busy_nanos: AtomicU64,
     batches: AtomicU64,
+    delta_batches: AtomicU64,
+    batch_events_collapsed: AtomicU64,
     snapshots_published: AtomicU64,
     subscriber_deltas: AtomicU64,
     wal_bytes_written: AtomicU64,
@@ -337,6 +341,8 @@ impl ViewServer {
                 statements: AtomicU64::new(engine.stats().statements),
                 busy_nanos: AtomicU64::new(engine.stats().busy.as_nanos() as u64),
                 batches: AtomicU64::new(0),
+                delta_batches: AtomicU64::new(engine.stats().delta_batches),
+                batch_events_collapsed: AtomicU64::new(engine.stats().batch_events_collapsed),
                 snapshots_published: AtomicU64::new(0),
                 subscriber_deltas: AtomicU64::new(0),
                 wal_bytes_written: AtomicU64::new(0),
@@ -486,6 +492,8 @@ impl ViewServer {
             busy: Duration::from_nanos(s.busy_nanos.load(Relaxed)),
             started: s.started,
             batches: s.batches.load(Relaxed),
+            delta_batches: s.delta_batches.load(Relaxed),
+            batch_events_collapsed: s.batch_events_collapsed.load(Relaxed),
             snapshots_published: s.snapshots_published.load(Relaxed),
             subscriber_deltas: s.subscriber_deltas.load(Relaxed),
             wal_bytes_written: s.wal_bytes_written.load(Relaxed),
@@ -784,7 +792,7 @@ fn table_from_gmr(name: &str, gmr: &Gmr) -> ResultTable {
 pub struct Subscription {
     query: String,
     baseline: Arc<Snapshot>,
-    rx: Receiver<DeltaBatch>,
+    rx: Receiver<OutputDeltaBatch>,
 }
 
 impl Subscription {
@@ -802,12 +810,12 @@ impl Subscription {
     /// with empty `deltas` when this query's output did not change in that
     /// batch. `None` once the server is shut down and all pending batches
     /// were consumed.
-    pub fn recv(&self) -> Option<DeltaBatch> {
+    pub fn recv(&self) -> Option<OutputDeltaBatch> {
         self.rx.recv().ok()
     }
 
     /// Take the next delta batch if one is ready.
-    pub fn try_recv(&self) -> Option<DeltaBatch> {
+    pub fn try_recv(&self) -> Option<OutputDeltaBatch> {
         self.rx.try_recv().ok()
     }
 }
@@ -1064,6 +1072,9 @@ fn writer_loop(
 
     let max_batch = config.max_batch.max(1);
     let mut subscribers: Vec<Subscriber> = Vec::new();
+    // Recycled input-side delta batch (per-relation GMR deltas); rebuilt from
+    // each drained micro-batch with zero steady-state allocation.
+    let mut delta = dbtoaster_agca::DeltaBatch::new();
     // Continue from the engine's pre-serve processing time so the mirrored
     // busy counter never goes backwards.
     let mut serve_busy = engine.stats().busy;
@@ -1143,8 +1154,21 @@ fn writer_loop(
                 degraded = true;
             }
         }
-        for ev in &batch {
-            if let Err(e) = engine.process(ev) {
+        let drained = batch.len() as u64;
+        if !batch.is_empty() {
+            // Coalesced publication now also means coalesced *computation*:
+            // the drained micro-batch becomes one DeltaBatch of per-relation
+            // GMR deltas, processed with per-batch (not per-event) kernel
+            // dispatch. WAL replay rebuilds the same DeltaBatch per logged
+            // record, so live and recovered state stay bit-exact. The events
+            // were already logged above, so their tuples can be *moved* into
+            // the delta keys.
+            delta.clear();
+            for ev in batch.drain(..) {
+                delta.push_owned(ev);
+            }
+            let report = engine.process_batch(&delta);
+            if let Some(e) = report.first_error {
                 degraded = true;
                 // Durable serving only: a failing event still consumes its
                 // slot in the stream — the WAL numbered it, so the `events`
@@ -1153,15 +1177,15 @@ fn writer_loop(
                 // over) the poison event. Without a WAL, `events` keeps its
                 // original meaning of successfully applied events.
                 if durable.is_some() {
-                    engine.stats_mut().events += 1;
+                    engine.stats_mut().events += report.failed_events;
                 }
                 let mut slot = shared.error.lock().unwrap_or_else(|p| p.into_inner());
                 slot.get_or_insert(e);
             }
         }
         pending.merge(engine.take_changes());
-        pending_events += batch.len() as u64;
-        if !batch.is_empty() {
+        pending_events += drained;
+        if drained > 0 {
             engine.stats_mut().batches += 1;
             shared.stats.batches.fetch_add(1, Relaxed);
         }
@@ -1200,8 +1224,8 @@ fn writer_loop(
         // snapshot handoff happens here, the serialization in the checkpoint
         // thread.
         if let Some(d) = durable.as_mut() {
-            if !batch.is_empty() {
-                d.maybe_checkpoint(&engine, batch.len() as u64);
+            if drained > 0 {
+                d.maybe_checkpoint(&engine, drained);
             }
         }
         serve_busy += t0.elapsed();
@@ -1211,6 +1235,11 @@ fn writer_loop(
         let s = engine.stats();
         shared.stats.events.store(s.events, Relaxed);
         shared.stats.statements.store(s.statements, Relaxed);
+        shared.stats.delta_batches.store(s.delta_batches, Relaxed);
+        shared
+            .stats
+            .batch_events_collapsed
+            .store(s.batch_events_collapsed, Relaxed);
         shared
             .stats
             .busy_nanos
@@ -1279,7 +1308,7 @@ fn fan_out(
             }
         };
         let count = deltas.len() as u64;
-        if sub.tx.send(DeltaBatch { epoch, deltas }).is_ok() {
+        if sub.tx.send(OutputDeltaBatch { epoch, deltas }).is_ok() {
             fanned += count;
             true
         } else {

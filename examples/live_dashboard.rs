@@ -69,9 +69,14 @@ fn main() -> Result<(), DbToasterError> {
     server.flush()?;
     let stats = server.stats();
     println!(
-        "[act 1] accepted {accepted} events, applied {} in {} batches, \
-         {} checkpoints, {} WAL bytes",
-        stats.events, stats.batches, stats.checkpoints_taken, stats.wal_bytes_written
+        "[act 1] accepted {accepted} events, applied {} as {} delta batches \
+         (avg {:.1} events/batch, {} cancelled in-batch), {} checkpoints, {} WAL bytes",
+        stats.events,
+        stats.delta_batches,
+        stats.events_per_batch(),
+        stats.batch_events_collapsed,
+        stats.checkpoints_taken,
+        stats.wal_bytes_written
     );
     println!("[act 1] killing the server: no flush, no final checkpoint");
     server.kill();

@@ -1,0 +1,273 @@
+//! Batch-partition equivalence: the batch-first processing spine must be a
+//! pure refactoring of event-at-a-time processing.
+//!
+//! Property: for any event stream and **any** partition of it into delta
+//! batches, `Engine::process_batch` over the partition produces final view
+//! maps **bit-exactly** equal to `Engine::process` over the events one at a
+//! time — in all four compile modes, on the compiled-kernel path and with the
+//! interpreter forced. Streams are integer-weighted (all arithmetic exact in
+//! f64), which is exactly the regime where the ring-linearity argument of
+//! `dbtoaster_agca::batch` promises bit equality; duplicate keys and
+//! insert/delete cancellations inside one batch are generated on purpose.
+//!
+//! The query set spans both batch strategies: linear aggregates and group-bys
+//! (statement-major) and a self-join whose trigger reads a map it also writes
+//! (entry-major fallback), plus a nested-aggregate shape.
+
+use dbtoaster::agca::{CmpOp, DeltaBatch, Expr, UpdateEvent};
+use dbtoaster::compiler::{
+    compile, BatchStrategy, Catalog, CompileMode, CompileOptions, QuerySpec, RelationMeta,
+};
+use dbtoaster::gmr::Value;
+use dbtoaster::runtime::Engine;
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    [
+        RelationMeta::stream("R", ["A", "B"]),
+        RelationMeta::stream("S", ["B", "C"]),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// The query shapes under test (see module docs).
+fn queries() -> Vec<QuerySpec> {
+    vec![
+        // Linear scalar join aggregate (statement-major in HO mode).
+        QuerySpec {
+            name: "TOTAL".into(),
+            out_vars: vec![],
+            expr: Expr::agg_sum(
+                Vec::<String>::new(),
+                Expr::product_of([
+                    Expr::rel("R", ["a", "b"]),
+                    Expr::rel("S", ["b", "c"]),
+                    Expr::var("c"),
+                ]),
+            ),
+        },
+        // Group-by with a comparison filter.
+        QuerySpec {
+            name: "PER_B".into(),
+            out_vars: vec!["b".into()],
+            expr: Expr::agg_sum(
+                ["b"],
+                Expr::product_of([
+                    Expr::rel("R", ["a", "b"]),
+                    Expr::cmp(CmpOp::Le, Expr::var("a"), Expr::var("b")),
+                    Expr::var("a"),
+                ]),
+            ),
+        },
+        // Self-join: the R-trigger reads the partial-sum map it also writes,
+        // forcing the entry-major fallback.
+        QuerySpec {
+            name: "SELFJ".into(),
+            out_vars: vec![],
+            expr: Expr::agg_sum(
+                Vec::<String>::new(),
+                Expr::product_of([Expr::rel("R", ["a", "b"]), Expr::rel("R", ["a2", "b"])]),
+            ),
+        },
+    ]
+}
+
+/// A nested-aggregate query (compiled separately: its re-evaluation statements
+/// exercise the once-per-run `:=` phase).
+fn nested_query() -> QuerySpec {
+    let inner = Expr::agg_sum(
+        Vec::<String>::new(),
+        Expr::product_of([Expr::rel("S", ["b2", "c"]), Expr::var("c")]),
+    );
+    QuerySpec {
+        name: "NESTED".into(),
+        out_vars: vec![],
+        expr: Expr::agg_sum(
+            Vec::<String>::new(),
+            Expr::product_of([
+                Expr::rel("R", ["a", "b"]),
+                Expr::lift("z", inner),
+                Expr::cmp(CmpOp::Lt, Expr::var("b"), Expr::var("z")),
+            ]),
+        ),
+    }
+}
+
+/// Deterministic stream generator: inserts and deletes over small integer
+/// domains, with deletes drawn from the live multiset so multiplicities never
+/// go negative and same-key cancellations are common.
+fn random_stream(seed: u64, len: usize) -> Vec<UpdateEvent> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let mut next = move |bound: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % bound
+    };
+    let mut live_r: Vec<Vec<Value>> = Vec::new();
+    let mut live_s: Vec<Vec<Value>> = Vec::new();
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let relation_r = next(2) == 0;
+        let (live, rel, arity) = if relation_r {
+            (&mut live_r, "R", 2)
+        } else {
+            (&mut live_s, "S", 2)
+        };
+        let delete = !live.is_empty() && next(100) < 35;
+        if delete {
+            let i = next(live.len() as u64) as usize;
+            let tuple = live.swap_remove(i);
+            out.push(UpdateEvent::delete(rel, tuple));
+        } else {
+            let tuple: Vec<Value> = (0..arity).map(|_| Value::long(next(6) as i64)).collect();
+            live.push(tuple.clone());
+            out.push(UpdateEvent::insert(rel, tuple));
+        }
+    }
+    out
+}
+
+/// Split a stream into batches at random boundaries (possibly one big batch,
+/// possibly all singletons).
+fn random_partition(events: &[UpdateEvent], seed: u64) -> Vec<DeltaBatch> {
+    let mut state = seed.wrapping_mul(0xd1342543de82ef95).wrapping_add(7);
+    let mut next = move |bound: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % bound
+    };
+    let style = next(3);
+    let mut batches = Vec::new();
+    let mut current = DeltaBatch::new();
+    for (i, e) in events.iter().enumerate() {
+        current.push(e);
+        let cut = match style {
+            0 => next(4) == 0,               // geometric, mean ~4
+            1 => (i + 1).is_multiple_of(64), // fixed 64
+            _ => next(100) < 2,              // huge batches
+        };
+        if cut {
+            batches.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    batches
+}
+
+/// Every maintained map (views + stored relations) of `a` must equal `b`'s,
+/// bit for bit.
+fn assert_engines_identical(a: &Engine, b: &Engine, ctx: &str) {
+    let mut names: Vec<String> = a.program().maps.iter().map(|m| m.name.clone()).collect();
+    names.extend(a.program().stored_relations.iter().cloned());
+    names.extend(a.program().static_tables.iter().cloned());
+    assert!(!names.is_empty(), "{ctx}: no maps to compare");
+    for name in names {
+        let (va, vb) = (a.view(&name), b.view(&name));
+        match (va, vb) {
+            (Some(ga), Some(gb)) => assert!(
+                ga.equivalent(&gb, 0.0),
+                "{ctx}: view {name} diverges\nper-event:\n{ga}\nbatched:\n{gb}"
+            ),
+            (None, None) => {}
+            _ => panic!("{ctx}: view {name} present in only one engine"),
+        }
+    }
+}
+
+fn check_case(specs: &[QuerySpec], mode: CompileMode, force_interp: bool, seed: u64) {
+    let program = compile(specs, &catalog(), &CompileOptions::for_mode(mode))
+        .unwrap_or_else(|e| panic!("compile [{mode}]: {e}"));
+    let events = random_stream(seed, 300);
+    let batches = random_partition(&events, seed ^ 0xabcdef);
+
+    let mut reference = Engine::new(program.clone(), &catalog());
+    reference.set_force_interpreter(force_interp);
+    reference
+        .process_all(&events)
+        .unwrap_or_else(|e| panic!("per-event [{mode}]: {e}"));
+
+    let mut batched = Engine::new(program, &catalog());
+    batched.set_force_interpreter(force_interp);
+    let mut covered = 0u64;
+    for b in &batches {
+        let report = batched.process_batch(b);
+        assert!(
+            report.first_error.is_none(),
+            "batched [{mode}]: {:?}",
+            report.first_error
+        );
+        covered += report.events;
+    }
+    assert_eq!(covered, events.len() as u64);
+    assert_eq!(batched.stats().events, reference.stats().events);
+    let path = if force_interp { "interp" } else { "compiled" };
+    assert_engines_identical(
+        &reference,
+        &batched,
+        &format!("seed {seed} [{mode}/{path}]"),
+    );
+}
+
+#[test]
+fn query_set_spans_both_batch_strategies() {
+    // Guard the test's own premise: the HO-compiled query set must exercise
+    // statement-major *and* entry-major dispatch.
+    let program = compile(
+        &queries(),
+        &catalog(),
+        &CompileOptions::for_mode(CompileMode::HigherOrder),
+    )
+    .unwrap();
+    let dispatch = program.batch_dispatch();
+    assert!(
+        dispatch
+            .iter()
+            .any(|d| d.strategy == BatchStrategy::EntryMajor),
+        "self-join should force entry-major somewhere: {dispatch:?}"
+    );
+    assert!(
+        dispatch
+            .iter()
+            .any(|d| d.strategy == BatchStrategy::StatementMajor),
+        "linear queries should allow statement-major somewhere: {dispatch:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_partitions_are_bit_exact(seed32 in 0u32..1_000_000u32) {
+        let seed = seed32 as u64;
+        for mode in [
+            CompileMode::HigherOrder,
+            CompileMode::FirstOrder,
+            CompileMode::NaiveViewlet,
+            CompileMode::Reevaluate,
+        ] {
+            for force_interp in [false, true] {
+                check_case(&queries(), mode, force_interp, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn nested_aggregates_random_partitions_are_bit_exact(seed32 in 0u32..1_000_000u32) {
+        let seed = seed32 as u64;
+        for mode in [
+            CompileMode::HigherOrder,
+            CompileMode::FirstOrder,
+            CompileMode::NaiveViewlet,
+            CompileMode::Reevaluate,
+        ] {
+            for force_interp in [false, true] {
+                check_case(std::slice::from_ref(&nested_query()), mode, force_interp, seed);
+            }
+        }
+    }
+}
