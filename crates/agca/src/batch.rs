@@ -47,6 +47,42 @@
 //!    that violate it (e.g. a statement reading a sibling statement's target)
 //!    fall back to entry-at-a-time processing inside the batch.
 //!
+//! ## Second-order batch-delta programs
+//!
+//! Statement-major execution still fires each statement once *per entry*. The
+//! compiler goes one step further and derives, per relation, a **whole-batch
+//! trigger program** (`derive_batch_corrections` in `dbtoaster-compiler`): treat
+//! the run's net delta `ΔR = Σₑ mₑ{tₑ}` as a single update and expand each
+//! maintained map in the GMR ring,
+//!
+//! ```text
+//! M(S + ΔR) = M(S) + Σₑ mₑ · dM(tₑ)              (first order)
+//!           + ½ Σₓ Σᵧ mₓ mᵧ · d²M(tₓ, tᵧ)        (pair correction)
+//!           − ½ Σₑ |mₑ| · d²M(tₑ, tₑ)            (diagonal; |mₑ| = mₑ²
+//!                                                  for unit-step entries)
+//! ```
+//!
+//! The first-order statements are the ordinary trigger statements evaluated
+//! against the *pre-batch* state for every entry back-to-back; the correction
+//! statements are the second delta fired over entry pairs. Because AGCA
+//! deltas of polynomial queries terminate, the expansion is exact — not a
+//! truncation — whenever the third delta simplifies to zero: linear queries
+//! have empty corrections, and quadratic self-joins close at the pair term.
+//!
+//! Derivation bails out (and dispatch stays statement-major or entry-major)
+//! when the expansion cannot be both exact and pre-state-evaluable: a trigger
+//! with non-`Increment` statements (`:=` re-evaluation is not linear), a
+//! statement reading a map an earlier statement of the same trigger writes,
+//! a nonzero third delta, or a second delta that still mentions a *stream*
+//! atom (its mid-run state would be read; static tables are fine). One
+//! runtime guard remains: pair corrections are O(entries²), so runs whose
+//! correction firing count exceeds a small cap fall back to entry-major.
+//! That cap depends only on the run's shape, never on wall-clock, so a WAL
+//! replay makes the same choice as the live run. The dispatch actually taken
+//! is observable through
+//! `EngineStats::{batch_delta_runs, statement_major_runs, entry_major_runs}`
+//! and per run via `BatchReport::runs` under `Engine::set_run_recording`.
+//!
 //! Both arguments are exact in the GMR ring. Over floating-point
 //! multiplicities they are exact up to summation order: integer-weighted
 //! streams reproduce the per-event state bit for bit, while float aggregates
@@ -70,6 +106,23 @@
 
 use crate::delta::{UpdateEvent, UpdateSign};
 use dbtoaster_gmr::{FastMap, Gmr, Tuple};
+
+/// Name of the pseudo-relation under which second-order batch correction
+/// statements read a run's **signed** net multiplicities (`ΔR` as a GMR). The
+/// `@` prefix keeps the name disjoint from every SQL-addressable relation; the
+/// engine resolves it against the in-flight [`RelationDelta`] instead of the
+/// store.
+pub fn delta_relation_name(relation: &str) -> String {
+    format!("@delta:{relation}")
+}
+
+/// Name of the pseudo-relation exposing a run's **absolute** net
+/// multiplicities (`|ΔR|`) — the diagonal weighting of the second-order
+/// correction, matching the `|mult|` trigger firings the first-order
+/// statements perform per entry.
+pub fn delta_abs_relation_name(relation: &str) -> String {
+    format!("@delta_abs:{relation}")
+}
 
 /// One key of a per-relation delta: the net multiplicity of all events in the
 /// run that carried this tuple, plus how many events were folded in.
@@ -184,6 +237,31 @@ impl RelationDelta {
         self.index.clear();
         self.events = 0;
         self.last = None;
+    }
+
+    /// Fold a coalesced entry of another run into this one (merge support):
+    /// ring-add its net multiplicity and carry its event count. Returns the
+    /// entry's index in this run.
+    fn fold_entry(&mut self, key: &Tuple, mult: f64, events: u32) -> u32 {
+        use std::collections::hash_map::Entry;
+        let idx = match self.index.entry(key.clone()) {
+            Entry::Occupied(o) => {
+                let i = *o.get();
+                let e = &mut self.entries[i as usize];
+                e.mult += mult;
+                e.events += events;
+                i
+            }
+            Entry::Vacant(v) => {
+                let i = self.entries.len() as u32;
+                let key = v.key().clone();
+                v.insert(i);
+                self.entries.push(DeltaEntry { key, mult, events });
+                i
+            }
+        };
+        self.events += events as u64;
+        idx
     }
 
     /// Fold one tuple into the run (caller guarantees relation/arity match).
@@ -306,6 +384,55 @@ impl DeltaBatch {
     pub fn collapsed_events(&self) -> u64 {
         self.runs().iter().map(|r| r.collapsed_events()).sum()
     }
+
+    /// Does any `(relation, arity)` pair own more than one run? When it does,
+    /// [`DeltaBatch::merge_runs_into`] would shrink the batch; when it does
+    /// not, merging is the identity and callers can skip it.
+    pub fn has_repeated_relation(&self) -> bool {
+        let runs = self.runs();
+        runs.iter().enumerate().any(|(i, r)| {
+            runs[..i]
+                .iter()
+                .any(|p| p.relation == r.relation && p.arity == r.arity)
+        })
+    }
+
+    /// Rebuild this batch into `out` with all same-`(relation, arity)` runs
+    /// ring-added into one run each, in first-appearance order. Because GMR
+    /// addition is associative and commutative, the merged batch carries the
+    /// same net delta per relation; cross-run same-key cancellations that the
+    /// stream order hid now collapse. Merging reorders *processing* across
+    /// relations, which is state-preserving exactly when every trigger
+    /// statement computes a pure state difference (all-`Increment` programs —
+    /// the engine checks this; `:=` statements are bound to a specific event
+    /// position and must keep the original run boundaries).
+    pub fn merge_runs_into(&self, out: &mut DeltaBatch) {
+        out.clear();
+        for run in self.runs() {
+            let dst = match (0..out.live)
+                .find(|&i| out.runs[i].relation == run.relation && out.runs[i].arity == run.arity)
+            {
+                Some(i) => &mut out.runs[i],
+                None => {
+                    if out.live == out.runs.len() {
+                        out.runs.push(RelationDelta::default());
+                    }
+                    out.runs[out.live].reset(&run.relation, run.arity);
+                    out.live += 1;
+                    &mut out.runs[out.live - 1]
+                }
+            };
+            for e in &run.entries {
+                dst.fold_entry(&e.key, e.mult, e.events);
+            }
+            if let Some((sign, i)) = run.last {
+                let key = &run.entries[i as usize].key;
+                let idx = dst.index[key];
+                dst.last = Some((sign, idx));
+            }
+        }
+        out.events = self.events;
+    }
 }
 
 #[cfg(test)]
@@ -394,6 +521,42 @@ mod tests {
             sum.merge_delta(&d);
         }
         assert!(batch_gmr.equivalent(&sum, 0.0));
+    }
+
+    #[test]
+    fn merge_runs_folds_same_relation_runs_and_cancels_across_them() {
+        let events = [
+            ins("R", &[1, 2]),
+            ins("S", &[7]), // splits R into two runs
+            del("R", &[1, 2]),
+            ins("R", &[3, 4]),
+            ins("S", &[7]),
+        ];
+        let b = DeltaBatch::from_events(&events);
+        assert_eq!(b.runs().len(), 4);
+        assert!(b.has_repeated_relation());
+
+        let mut merged = DeltaBatch::new();
+        b.merge_runs_into(&mut merged);
+        assert_eq!(merged.events(), b.events());
+        let runs = merged.runs();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].relation(), "R");
+        assert_eq!(runs[0].events(), 3);
+        // Cross-run cancellation: the [1,2] insert/delete pair nets to zero.
+        assert_eq!(runs[0].entries()[0].mult, 0.0);
+        assert_eq!(runs[0].entries()[1].mult, 1.0);
+        assert_eq!(runs[0].collapsed_events(), 2);
+        assert_eq!(runs[1].relation(), "S");
+        assert_eq!(runs[1].entries()[0].mult, 2.0);
+        // last_event re-anchored to the merged entry slots.
+        let (sign, key) = runs[0].last_event().unwrap();
+        assert_eq!(sign, UpdateSign::Insert);
+        assert_eq!(key.as_slice(), &[Value::long(3), Value::long(4)]);
+
+        // A batch without repeats merges to itself.
+        let single = DeltaBatch::from_events(&[ins("R", &[1, 2]), ins("S", &[7])]);
+        assert!(!single.has_repeated_relation());
     }
 
     #[test]

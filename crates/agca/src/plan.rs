@@ -77,6 +77,35 @@
 //! in multiplicity position) makes [`lower_statement`] return `None` and the
 //! engine falls back to the AST interpreter for that statement — which is also
 //! the differential-testing oracle for the statements that *do* compile.
+//!
+//! ## Banded prelude scans
+//!
+//! Statements like axfinder's spend their time in a *prelude*: a fused scan
+//! over a loop-invariant map filtered by a range predicate on the event tuple
+//! (`b_price > t_price + k`, say). Driven over a multi-entry batch run, the
+//! same map is walked once per entry with only the bound changing. Lowering
+//! detects this shape statically ([`BandSpec`]): a fused-scan comparison
+//! whose two sides are linear in exactly one scan-bound key slot with `±1`
+//! coefficients, rearranged into `key < bound` / `key > bound` (or their
+//! inclusive forms) where `bound` is computable before the scan binds
+//! anything. At run time, when a statement is driven over a run of
+//! [`BAND_MIN_RUN_ENTRIES`] or more entries, the executor builds a
+//! `BandCache` for the scanned map once per (prelude, loop-invariant
+//! bounds) pair: keys sorted ascending with prefix sums of the scan's
+//! emissions. Each entry's range predicate then resolves to a contiguous
+//! band of the sorted keys, answered by binary search plus a prefix-sum
+//! subtraction instead of a full traversal.
+//!
+//! **Exactness.** A prefix-sum subtraction reassociates the float additions a
+//! traversal would do in map order, so the cache is only used when the sums
+//! are exactly representable: every emitted multiplicity and every key must
+//! be a finite integer-valued double, magnitudes (and their running sums)
+//! bounded well inside `2^53`, and the comparison bound itself an exact
+//! integer. Any violation — at build time or per lookup — disables the cache
+//! for that prelude and the executor falls back to the plain traversal, so
+//! banded and unbanded execution are bit-identical, not approximately equal.
+//! Caches live for one run: `prepare` resets the run-entry count to 1, so
+//! per-event and entry-major processing never see a stale band.
 
 use crate::eval::{matches_pattern, product_order_by, EvalError, RelationSource};
 use crate::expr::{CmpOp, Expr, RelRef, ScalarFn};
@@ -241,6 +270,39 @@ pub struct FusedMember {
     pub fast: Option<Vec<FastOp>>,
     /// Frame slot receiving the member's total (as a double).
     pub dest: Slot,
+    /// Banded-lookup specialization of `fast`: present when every fast op is
+    /// a range comparison linear in one scanned column (see [`BandSpec`]).
+    pub band: Option<BandSpec>,
+}
+
+/// A banded-lookup specialization of one fused member: every op of its fast
+/// pipeline is a range comparison (`<`, `<=`, `>`, `>=`) that is linear, with
+/// coefficient ±1, in exactly one scanned column — so the member's total is
+/// the sum of the multiplicities of the entries whose key falls in one
+/// interval. When a delta run re-executes the same prelude scan for many
+/// batch entries, the executor sorts the scanned entries by that column
+/// *once* per distinct set of bound template values and answers each member
+/// with two binary searches over prefix sums instead of a full traversal
+/// (axfinder's six price-band aggregates are the canonical case: O(log n)
+/// per batch entry instead of O(n)).
+///
+/// Bit-exactness with the per-entry traversal is guaranteed by runtime
+/// guards, not by construction: the banded answer is used only when every
+/// scanned key, every multiplicity and every bound-expression leaf is a
+/// nonzero integer-valued finite number and all magnitude sums stay below
+/// 2^53. In that regime every f64 addition both paths perform is exact
+/// integer arithmetic, so the algebraic rearrangement `price - key > 1000 ⇔
+/// key < price - 1000` is an identity and prefix-sum differences equal the
+/// traversal's running sums. Any guard violation falls back to the full
+/// traversal for that batch entry (or marks the cache line unusable).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BandSpec {
+    /// The scanned tuple position whose value is the band key.
+    pub key_pos: u16,
+    /// Normalized constraints `key cmp bound`, all of which must hold. The
+    /// bound expressions read only slots that are invariant during the scan
+    /// (trigger slots), never scan-bound slots.
+    pub ranges: Vec<(CmpOp, NumExpr)>,
 }
 
 /// A loop-invariant sub-aggregate scan hoisted into the statement prelude.
@@ -276,6 +338,10 @@ pub struct FusedScan {
     /// batch executor runs it **once per batch** instead of once per entry
     /// (see [`CompiledStmt::execute_batch_entry`]).
     pub entry_invariant: bool,
+    /// When every member carries a [`BandSpec`] on the same scanned position,
+    /// that position: the whole traversal can be replaced by banded lookups
+    /// against a sorted per-run cache (see [`BandSpec`]).
+    pub band_pos: Option<u16>,
 }
 
 /// A compiled trigger statement: the lowered right-hand side plus the
@@ -889,10 +955,13 @@ impl Hoister {
             .any(|s| (*s as usize) < self.trigger_slots as usize);
         let dest = self.next_slot as Slot;
         self.next_slot += 1;
+        let fast = compile_fast(cont);
+        let band = fast.as_deref().and_then(|f| member_band(f, binds));
         let member = FusedMember {
-            fast: compile_fast(cont),
+            fast,
             cont: cont.to_vec(),
             dest,
+            band,
         };
         // With equal templates and equality checks, the bound positions are
         // fully determined (first free occurrences), so (rel, template, eqs)
@@ -923,9 +992,121 @@ impl Hoister {
             eqs: eqs.clone(),
             members: vec![member],
             entry_invariant,
+            band_pos: None,
         });
         Some(dest)
     }
+}
+
+/// `a cmp b ⇔ b mirror(cmp) a`.
+fn mirror_cmp(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+/// Flatten an `Add`/`Neg` tree into signed `Slot`/`Const` leaves
+/// (`true` = negated). Returns `false` if the tree contains `Mul` — such
+/// predicates stay on the per-entry path.
+fn flatten_linear(e: &NumExpr, neg: bool, out: &mut Vec<(bool, NumExpr)>) -> bool {
+    match e {
+        NumExpr::Const(_) | NumExpr::Slot(_) => {
+            out.push((neg, e.clone()));
+            true
+        }
+        NumExpr::Neg(x) => flatten_linear(x, !neg, out),
+        NumExpr::Add(xs) => xs.iter().all(|x| flatten_linear(x, neg, out)),
+        NumExpr::Mul(_) => false,
+    }
+}
+
+/// Rebuild a flat signed-leaf list into a [`NumExpr`].
+fn bound_expr(leaves: Vec<(bool, NumExpr)>) -> NumExpr {
+    let mut terms: Vec<NumExpr> = leaves
+        .into_iter()
+        .map(|(n, e)| if n { NumExpr::Neg(Box::new(e)) } else { e })
+        .collect();
+    match terms.len() {
+        0 => NumExpr::Const(0.0),
+        1 => terms.pop().unwrap(),
+        _ => NumExpr::Add(terms),
+    }
+}
+
+/// Derive a [`BandSpec`] from a member's fast pipeline against the member's
+/// own scan bindings: no weights, and every predicate a range comparison in
+/// which exactly one leaf — always over the same scanned position — is a
+/// scan-bound slot with coefficient ±1 (reachable through `Add`/`Neg` only).
+/// Each predicate is rearranged into `key cmp bound`; the rearrangement is an
+/// *algebraic* identity, made exact at run time by the integer guards
+/// documented on [`BandSpec`].
+fn member_band(fast: &[FastOp], binds: &[(u16, Slot)]) -> Option<BandSpec> {
+    let key_slot = |e: &NumExpr| match e {
+        NumExpr::Slot(s) => binds.iter().find(|(_, bs)| bs == s).map(|(p, _)| *p),
+        _ => None,
+    };
+    let mut key_pos: Option<u16> = None;
+    let mut ranges = Vec::new();
+    for op in fast {
+        let FastOp::Pred(cmp, l, r) = op else {
+            return None;
+        };
+        if matches!(cmp, CmpOp::Eq | CmpOp::Ne) {
+            return None;
+        }
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        if !flatten_linear(l, false, &mut left) || !flatten_linear(r, false, &mut right) {
+            return None;
+        }
+        let lk: Vec<usize> = (0..left.len())
+            .filter(|&i| key_slot(&left[i].1).is_some())
+            .collect();
+        let rk: Vec<usize> = (0..right.len())
+            .filter(|&i| key_slot(&right[i].1).is_some())
+            .collect();
+        let (key_in_left, idx) = match (lk.as_slice(), rk.as_slice()) {
+            ([i], []) => (true, *i),
+            ([], [i]) => (false, *i),
+            _ => return None,
+        };
+        let (mut rest, other) = if key_in_left {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        let (negated, key_leaf) = rest.remove(idx);
+        let pos = key_slot(&key_leaf).unwrap();
+        if *key_pos.get_or_insert(pos) != pos {
+            return None;
+        }
+        // Orient the key's side left: `±key + rest cmp_l other`.
+        let cmp_l = if key_in_left { *cmp } else { mirror_cmp(*cmp) };
+        let (cmp_k, bound) = if !negated {
+            // key cmp_l other - rest
+            let terms: Vec<_> = other
+                .into_iter()
+                .chain(rest.into_iter().map(|(n, e)| (!n, e)))
+                .collect();
+            (cmp_l, terms)
+        } else {
+            // -key + rest cmp_l other ⇔ key mirror(cmp_l) rest - other
+            let terms: Vec<_> = rest
+                .into_iter()
+                .chain(other.into_iter().map(|(n, e)| (!n, e)))
+                .collect();
+            (mirror_cmp(cmp_l), terms)
+        };
+        ranges.push((cmp_k, bound_expr(bound)));
+    }
+    key_pos.map(|kp| BandSpec {
+        key_pos: kp,
+        ranges,
+    })
 }
 
 /// Specialize a fused member's continuation into numeric fast ops, when every
@@ -1020,6 +1201,40 @@ fn eval_num(e: &NumExpr, frame: &[Value]) -> Option<(f64, bool)> {
     }
 }
 
+/// Evaluate a banded range bound: `Add`/`Neg` folds over finite, nonzero,
+/// integer-valued leaves only. Returns `(value, Σ|leaf|)`; the magnitude sum
+/// is what bounds every intermediate of both the original and the rearranged
+/// comparison (see [`BandSpec`]). `None` = fall back to the full traversal.
+fn eval_bound(e: &NumExpr, frame: &[Value]) -> Option<(f64, f64)> {
+    match e {
+        NumExpr::Const(c) => bound_leaf(*c),
+        NumExpr::Slot(s) => match &frame[*s as usize] {
+            Value::Long(v) if v.unsigned_abs() <= (1u64 << 53) => bound_leaf(*v as f64),
+            Value::Double(d) => bound_leaf(*d),
+            _ => None,
+        },
+        NumExpr::Neg(x) => {
+            let (v, mag) = eval_bound(x, frame)?;
+            Some((-v, mag))
+        }
+        NumExpr::Add(xs) => {
+            let (mut acc, mut mag) = (0.0f64, 0.0f64);
+            for x in xs {
+                let (v, m) = eval_bound(x, frame)?;
+                acc += v;
+                mag += m;
+            }
+            (mag < EXACT_INT_BOUND).then_some((acc, mag))
+        }
+        NumExpr::Mul(_) => None,
+    }
+}
+
+fn bound_leaf(v: f64) -> Option<(f64, f64)> {
+    (v.is_finite() && v.fract() == 0.0 && v != 0.0 && v.abs() <= EXACT_INT_BOUND)
+        .then(|| (v, v.abs()))
+}
+
 /// Evaluate a comparison exactly as `CmpOp::eval` does on numeric [`Value`]s:
 /// equality through `Value`'s normalized bit patterns, ordering through IEEE
 /// `total_cmp`.
@@ -1089,6 +1304,17 @@ fn hoist_invariant_subsums(stmt: &mut CompiledStmt) {
     stmt.plan = plan;
     stmt.frame_size = h.next_slot as u16;
     stmt.prelude = h.groups;
+    // A scan is banded only when every fused member banded on the same
+    // scanned position (members joining a group later may not have).
+    for g in &mut stmt.prelude {
+        g.band_pos = match g.members.split_first() {
+            Some((first, rest)) => first.band.as_ref().map(|b| b.key_pos).filter(|&p| {
+                rest.iter()
+                    .all(|m| m.band.as_ref().is_some_and(|b| b.key_pos == p))
+            }),
+            None => None,
+        };
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1108,6 +1334,13 @@ pub struct KernelState {
     scratch: Vec<FastMap<Tuple, f64>>,
     /// Per-member accumulators for fused prelude scans.
     fused_accs: Vec<Cell<f64>>,
+    /// Banded prelude cache lines, keyed by `(prelude index, bound template
+    /// values)`. Valid only while the store is unchanged — cleared by
+    /// [`KernelState::prepare`].
+    bands: FastMap<(u16, Tuple), BandCache>,
+    /// Number of delta-run entries the caller will execute against the
+    /// current prepared state (see [`KernelState::set_run_entries`]).
+    run_entries: u32,
     /// Buffered `(key, multiplicity)` emissions of the last execution.
     pub out: Vec<(Tuple, f64)>,
 }
@@ -1144,8 +1377,39 @@ impl KernelState {
         if self.fused_accs.len() < members {
             self.fused_accs.resize(members, Cell::new(0.0));
         }
+        self.bands.clear();
+        self.run_entries = 1;
         self.out.clear();
     }
+
+    /// Tell the kernel how many delta-run entries the caller will execute
+    /// against the current prepared state (the store must stay unchanged in
+    /// between, which the buffered-apply discipline guarantees). Runs of at
+    /// least [`BAND_MIN_RUN_ENTRIES`] entries enable the banded prelude
+    /// cache; [`KernelState::prepare`] resets the count to 1.
+    pub fn set_run_entries(&mut self, n: usize) {
+        self.run_entries = n.min(u32::MAX as usize) as u32;
+    }
+}
+
+/// Minimum delta-run entries before a banded prelude pays for its sort.
+pub const BAND_MIN_RUN_ENTRIES: u32 = 4;
+
+/// One banded prelude cache line: the matching entries of one fused scan for
+/// one set of bound template values, sorted by band key, with exact integer
+/// prefix sums of their multiplicities.
+#[derive(Debug, Default)]
+struct BandCache {
+    /// Did every build-time guard hold (integer nonzero keys and integer
+    /// multiplicities, magnitudes within the exact-f64 range)? `false` is a
+    /// negative cache: these bound values keep full traversals.
+    ok: bool,
+    /// Band-key values, ascending by `total_cmp`.
+    keys: Vec<f64>,
+    /// `prefix[i]` = exact sum of the first `i` entries' multiplicities.
+    prefix: Vec<f64>,
+    /// Largest |key|, part of the rearrangement-exactness magnitude bound.
+    max_abs_key: f64,
 }
 
 /// Downstream continuation of an emission: the remaining pipeline stages plus
@@ -1170,6 +1434,8 @@ struct Exec<'a> {
     patterns: &'a mut [Vec<Option<Value>>],
     scratch: &'a mut [FastMap<Tuple, f64>],
     accs: &'a [Cell<f64>],
+    bands: &'a mut FastMap<(u16, Tuple), BandCache>,
+    run_entries: u32,
     out: &'a mut Vec<(Tuple, f64)>,
     /// Rows below this index belong to earlier batch entries: the sink's
     /// consecutive-same-key collapse must never merge across them (each
@@ -1416,10 +1682,19 @@ impl Exec<'_> {
 
     /// Run one fused prelude scan: a single bucket traversal feeding every
     /// member's filter chain into its own accumulator, then write the totals
-    /// into the members' result slots.
-    fn run_prelude(&mut self, fs: &FusedScan) {
+    /// into the members' result slots. Over a long enough delta run, a fully
+    /// banded scan (see [`BandSpec`]) is answered from a sorted cache
+    /// instead.
+    fn run_prelude(&mut self, idx: u16, fs: &FusedScan) {
         if self.error.is_some() {
             return;
+        }
+        if self.run_entries >= BAND_MIN_RUN_ENTRIES {
+            if let Some(pos) = fs.band_pos {
+                if self.run_banded(idx, fs, pos) || self.error.is_some() {
+                    return;
+                }
+            }
         }
         let accs = self.accs;
         for c in &accs[..fs.members.len()] {
@@ -1453,6 +1728,180 @@ impl Exec<'_> {
                 self.frame[member.dest as usize] = Value::double(accs[k].get());
             }
         }
+    }
+
+    /// Answer every member of a banded prelude scan from sorted prefix sums.
+    /// Returns `false` — caller falls back to the full traversal, which is
+    /// the bit-exactness baseline — whenever any exactness guard trips: a
+    /// bound-expression leaf, scanned key or multiplicity that is not a
+    /// finite integer-valued number (keys and leaves must also be nonzero,
+    /// which rules the `-0.0`/`+0.0` `total_cmp` corner cases out of both
+    /// evaluation orders), or a magnitude sum reaching 2^53. Within the
+    /// guards every addition either path performs is exact, so the banded
+    /// interval sums equal the traversal's accumulators bit for bit.
+    fn run_banded(&mut self, idx: u16, fs: &FusedScan, pos: u16) -> bool {
+        // Evaluate every member's bounds first (they read only trigger
+        // slots); any failure bails before any state is touched.
+        const MAX_RANGES: usize = 16;
+        let mut bounds = [(CmpOp::Lt, 0.0f64); MAX_RANGES];
+        let mut mags = [0.0f64; MAX_RANGES];
+        let mut n = 0usize;
+        for m in &fs.members {
+            let Some(band) = &m.band else {
+                return false;
+            };
+            for (cmp, be) in &band.ranges {
+                if n == MAX_RANGES || matches!(cmp, CmpOp::Eq | CmpOp::Ne) {
+                    return false;
+                }
+                let Some((b, mag)) = eval_bound(be, self.frame) else {
+                    return false;
+                };
+                // `-0.0` bounds (an all-negated-zero-terms fold) would order
+                // differently under `total_cmp` than the original compare.
+                if b == 0.0 && b.is_sign_negative() {
+                    return false;
+                }
+                bounds[n] = (*cmp, b);
+                mags[n] = mag;
+                n += 1;
+            }
+        }
+        let probe: Tuple = fs
+            .template
+            .iter()
+            .flatten()
+            .map(|&s| self.frame[s as usize].clone())
+            .collect();
+        let probe = (idx, probe);
+        if !self.bands.contains_key(&probe) {
+            let cache = self.build_band_cache(fs, pos);
+            if self.error.is_some() {
+                // The traversal error stands; `execute` will surface it.
+                return true;
+            }
+            self.bands.insert(probe.clone(), cache);
+        }
+        let cache = &self.bands[&probe];
+        if !cache.ok {
+            return false;
+        }
+        // Σ|leaf| + |key| < 2^53 bounds every intermediate of both the
+        // original and the rearranged comparison, making them identical.
+        if mags[..n]
+            .iter()
+            .any(|&mag| mag + cache.max_abs_key >= EXACT_INT_BOUND)
+        {
+            return false;
+        }
+        let len = cache.keys.len();
+        let mut r = 0usize;
+        for m in &fs.members {
+            let band = m.band.as_ref().expect("checked above");
+            let (mut lo, mut hi) = (0usize, len);
+            for _ in &band.ranges {
+                let (cmp, b) = bounds[r];
+                r += 1;
+                // `partition_point` closures mirror `num_cmp`'s `total_cmp`
+                // ordering exactly.
+                use std::cmp::Ordering::{Greater, Less};
+                match cmp {
+                    CmpOp::Lt => {
+                        hi = hi.min(cache.keys.partition_point(|k| k.total_cmp(&b) == Less))
+                    }
+                    CmpOp::Le => {
+                        hi = hi.min(cache.keys.partition_point(|k| k.total_cmp(&b) != Greater))
+                    }
+                    CmpOp::Gt => {
+                        lo = lo.max(cache.keys.partition_point(|k| k.total_cmp(&b) != Greater))
+                    }
+                    CmpOp::Ge => {
+                        lo = lo.max(cache.keys.partition_point(|k| k.total_cmp(&b) == Less))
+                    }
+                    CmpOp::Eq | CmpOp::Ne => {} // rejected above
+                }
+            }
+            let total = if hi > lo {
+                cache.prefix[hi] - cache.prefix[lo]
+            } else {
+                0.0
+            };
+            self.frame[m.dest as usize] = Value::double(total);
+        }
+        true
+    }
+
+    /// Build one banded cache line: traverse the scan once (respecting the
+    /// template and equality checks exactly as the per-entry path does),
+    /// collect `(band key, multiplicity)` pairs, sort by key and integrate.
+    /// Any guard violation yields a `!ok` negative line.
+    fn build_band_cache(&mut self, fs: &FusedScan, pos: u16) -> BandCache {
+        let Some(&(_, slot)) = fs.binds.iter().find(|(p, _)| *p == pos) else {
+            return BandCache::default();
+        };
+        let binds = [(pos, slot)];
+        let mut pairs: Vec<(f64, f64)> = Vec::new();
+        let mut ok = true;
+        let mut max_abs = 0.0f64;
+        self.scan_atom(
+            &fs.rel,
+            fs.buf,
+            &fs.template,
+            &fs.eqs,
+            &binds,
+            &mut |me, m| {
+                if !ok {
+                    return;
+                }
+                let k = match &me.frame[slot as usize] {
+                    Value::Long(v) if v.unsigned_abs() <= (1u64 << 53) => *v as f64,
+                    Value::Double(d) => *d,
+                    _ => {
+                        ok = false;
+                        return;
+                    }
+                };
+                if !(k.is_finite() && k.fract() == 0.0 && k != 0.0 && k.abs() <= EXACT_INT_BOUND)
+                    || !(m.is_finite() && m.fract() == 0.0 && m.abs() <= EXACT_INT_BOUND)
+                {
+                    ok = false;
+                    return;
+                }
+                max_abs = max_abs.max(k.abs());
+                pairs.push((k, m));
+            },
+        );
+        if self.error.is_some() {
+            return BandCache::default();
+        }
+        if ok {
+            pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+            let mut keys = Vec::with_capacity(pairs.len());
+            let mut prefix = Vec::with_capacity(pairs.len() + 1);
+            let (mut acc, mut cum_abs) = (0.0f64, 0.0f64);
+            prefix.push(0.0);
+            for (k, m) in pairs {
+                // Bounding Σ|m| (not just each running prefix) keeps every
+                // partial sum of *any* contiguous range exact.
+                cum_abs += m.abs();
+                if cum_abs >= EXACT_INT_BOUND {
+                    ok = false;
+                    break;
+                }
+                acc += m;
+                keys.push(k);
+                prefix.push(acc);
+            }
+            if ok {
+                return BandCache {
+                    ok: true,
+                    keys,
+                    prefix,
+                    max_abs_key: max_abs,
+                };
+            }
+        }
+        BandCache::default()
     }
 
     fn eval_scalar(&mut self, s: &Scalar) -> Result<Value, EvalError> {
@@ -1530,14 +1979,16 @@ impl CompiledStmt {
             patterns: &mut state.patterns,
             scratch: &mut state.scratch,
             accs: &state.fused_accs,
+            bands: &mut state.bands,
+            run_entries: state.run_entries,
             out: &mut state.out,
             merge_floor,
             key_slots: &self.key_slots,
             error: None,
         };
-        for fs in &self.prelude {
+        for (i, fs) in self.prelude.iter().enumerate() {
             if run_invariant_preludes || !fs.entry_invariant {
-                exec.run_prelude(fs);
+                exec.run_prelude(i as u16, fs);
             }
         }
         exec.exec(&self.plan, 1.0, &Tail::Rows);

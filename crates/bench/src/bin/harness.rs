@@ -8,6 +8,13 @@
 //!
 //! Subcommands: `micro`, `serve`, `recover`, `batch`, `fig2`, `fig6` (also covers Figure 7),
 //! `fig8`, `fig9`, `fig10`, `fig11`, `traces` (Figures 13–18), `all`.
+//!
+//! Flags: `--events N`, `--budget SECS`, `--seed N`, `--label NAME`,
+//! `--json PATH`, and `--strategy entry|statement|auto` — which pins the
+//! delta-batch dispatch via the `DBTOASTER_FORCE_BATCH_STRATEGY` environment
+//! override (the batch twin of `DBTOASTER_FORCE_INTERPRETER`): `entry` is the
+//! per-event oracle, `statement` the legacy pre-batch-delta dispatch, `auto`
+//! the default batch-delta-where-derived choice.
 
 use dbtoaster::prelude::*;
 use dbtoaster::workloads::{self, Family};
@@ -21,6 +28,7 @@ struct Args {
     seed: u64,
     json: Option<String>,
     label: String,
+    strategy: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +40,7 @@ fn parse_args() -> Args {
         seed: 42,
         json: None,
         label: "run".to_string(),
+        strategy: None,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -61,6 +70,10 @@ fn parse_args() -> Args {
             }
             "--label" => {
                 args.label = argv.get(i + 1).cloned().unwrap_or(args.label);
+                i += 2;
+            }
+            "--strategy" => {
+                args.strategy = argv.get(i + 1).cloned();
                 i += 2;
             }
             other => {
@@ -162,6 +175,18 @@ fn fig11(config: &ExperimentConfig) {
 
 fn main() {
     let args = parse_args();
+    // `--strategy entry|statement|auto` pins the batch dispatch for every
+    // engine the harness builds, through the same environment override a
+    // deployment would use (`DBTOASTER_FORCE_BATCH_STRATEGY`, the batch
+    // twin of `DBTOASTER_FORCE_INTERPRETER`). `auto` (or any unrecognised
+    // value) keeps the compiler's dispatch: batch-delta where derived.
+    if let Some(name) = &args.strategy {
+        match dbtoaster::runtime::parse_batch_strategy(name) {
+            Some(s) => println!("forcing batch strategy: {s}"),
+            None => println!("batch strategy: automatic (batch-delta where derived)"),
+        }
+        std::env::set_var(dbtoaster::runtime::FORCE_BATCH_STRATEGY_ENV, name);
+    }
     let config = ExperimentConfig {
         events: args.events,
         time_budget: args.budget,

@@ -1,0 +1,359 @@
+//! Second-order **batch** delta derivation: compile whole-run trigger
+//! corrections so batch execution no longer depends on sequential per-entry
+//! application.
+//!
+//! ## The problem
+//!
+//! A trigger statement's right-hand side is the *single-tuple* delta of its
+//! target map, evaluated at the pre-event state. Driving it over a multi-entry
+//! [`RelationDelta`](dbtoaster_agca::RelationDelta) against the **pre-run**
+//! state drops the interaction between entries of the same run: for a map `M`
+//! quadratic in the updated relation `R`, the delta of a later entry depends
+//! on the earlier entries already being applied.
+//!
+//! ## The fix: differentiate once more
+//!
+//! Write the run's net delta as the GMR `Δ = Σₑ mₑ·tₑ` and expand `M` around
+//! the pre-run state `R`:
+//!
+//! ```text
+//! M(R + Δ) − M(R) = L(Δ) + B(Δ, Δ)
+//! ```
+//!
+//! with `L` the linear part at `R` and `B` the (state-free, by the gates
+//! below) bilinear part. The compiled per-tuple statement computes
+//! `rhs^s(x) = M(R ± x) − M(R) = ±L(x) + B(x, x)`, so firing it `|mₑ|` times
+//! per entry at the pre-run state accumulates
+//!
+//! ```text
+//! S1 = Σₑ |mₑ|·rhs^{sₑ}(tₑ) = L(Δ) + Σₑ |mₑ|·B(tₑ, tₑ)
+//! ```
+//!
+//! The missing piece is exactly
+//!
+//! ```text
+//! S2 = B(Δ, Δ) − Σₑ |mₑ|·B(tₑ, tₑ)
+//!    = ½·Σₑ,f mₑ·m_f·d²M(tₑ, t_f)  −  Σₑ |mₑ|·½·d²M(tₑ, tₑ)
+//! ```
+//!
+//! where `d²M(x, y) = δ_y δ_x M` is the **second delta of the map's
+//! definition** with two independent fresh tuples of trigger variables (so
+//! cross-entry join constraints — e.g. both tuples sharing a group key —
+//! survive; extracting `B` from the diagonal of `rhs` alone would lose them).
+//! This module compiles `S2` into ordinary increment statements whose atoms
+//! are the run's delta pseudo-relations [`@delta:R`] (signed net
+//! multiplicities `mₑ`) and [`@delta_abs:R`] (absolute multiplicities
+//! `|mₑ|`), joined with `d²M`; the engine resolves those atoms against the
+//! in-flight `RelationDelta` instead of the store.
+//!
+//! All identities above are exact in the GMR ring; over floating-point
+//! multiplicities they are exact whenever the stream arithmetic is (integer
+//! weights and aggregates below 2⁵³ reproduce per-event results bit for bit —
+//! the `½` factors are powers of two and lossless). When a run nets to a
+//! single firing, `S2` is identically zero and the engine skips it.
+//!
+//! ## Eligibility (per relation)
+//!
+//! Derivation succeeds — and [`BatchStrategy::BatchDelta`] is chosen — iff:
+//!
+//! 1. every statement of both sign triggers is an increment (`:=`
+//!    re-evaluation statements are bound to one specific event of the run and
+//!    have no delta form);
+//! 2. the statement order realizes pre-event reads: no statement reads its
+//!    own target or the target of an earlier statement in its trigger (this
+//!    is the topological order the compiler aims for; a cycle falls back to
+//!    an order whose per-event semantics a pre-state evaluation cannot
+//!    reproduce);
+//! 3. for every map the relation affects, the **third** delta of its
+//!    definition vanishes (the map is at most quadratic in `R`), and the
+//!    second delta reads no state other than static tables.
+//!
+//! Underivable relations keep the read-before-write analysis of
+//! [`TriggerProgram::batch_dispatch`]: statement-major where legal,
+//! entry-major as the exact per-event oracle.
+//!
+//! [`@delta:R`]: dbtoaster_agca::batch::delta_relation_name
+//! [`@delta_abs:R`]: dbtoaster_agca::batch::delta_abs_relation_name
+//! [`BatchStrategy::BatchDelta`]: crate::program::BatchStrategy::BatchDelta
+//! [`TriggerProgram::batch_dispatch`]: crate::program::TriggerProgram::batch_dispatch
+
+use crate::compile::reorder_products;
+use crate::program::{BatchCorrection, Catalog, MapDecl, Statement, StmtOp, Trigger};
+use dbtoaster_agca::batch::{delta_abs_relation_name, delta_relation_name};
+use dbtoaster_agca::{delta, simplify, AtomKind, Expr, TupleUpdate, UpdateSign};
+use dbtoaster_gmr::FastMap;
+use std::collections::BTreeSet;
+
+/// Derive the per-relation second-order batch corrections of a trigger
+/// program (see the module docs). Returns one [`BatchCorrection`] per
+/// eligible relation — possibly with zero statements, when every affected map
+/// is linear in it. Kernels are **not** lowered here; the caller lowers each
+/// statement alongside the trigger statements.
+pub fn derive_batch_corrections(
+    maps: &[MapDecl],
+    triggers: &[Trigger],
+    catalog: &Catalog,
+) -> Vec<BatchCorrection> {
+    let mut relations: Vec<&str> = Vec::new();
+    for t in triggers {
+        if !relations.contains(&t.relation.as_str()) {
+            relations.push(&t.relation);
+        }
+    }
+    relations
+        .into_iter()
+        .filter_map(|rel| derive_relation(rel, maps, triggers, catalog))
+        .collect()
+}
+
+fn derive_relation(
+    relation: &str,
+    maps: &[MapDecl],
+    triggers: &[Trigger],
+    catalog: &Catalog,
+) -> Option<BatchCorrection> {
+    let rel_triggers: Vec<&Trigger> = triggers.iter().filter(|t| t.relation == relation).collect();
+    // Gate 1: increments only.
+    if rel_triggers
+        .iter()
+        .any(|t| t.statements.iter().any(|s| s.op != StmtOp::Increment))
+    {
+        return None;
+    }
+    // Gate 2: every read of an in-trigger target precedes its write.
+    for t in &rel_triggers {
+        for (i, s) in t.statements.iter().enumerate() {
+            let reads = s.reads();
+            if t.statements[..=i].iter().any(|w| reads.contains(&w.target)) {
+                return None;
+            }
+        }
+    }
+
+    let meta = catalog.get(relation)?;
+    let u1 = TupleUpdate::new(relation, UpdateSign::Insert, &meta.columns);
+    let fresh = |n: u32| TupleUpdate {
+        relation: u1.relation.clone(),
+        sign: UpdateSign::Insert,
+        trigger_vars: u1.trigger_vars.iter().map(|v| format!("{v}@{n}")).collect(),
+    };
+    let (u2, u3) = (fresh(2), fresh(3));
+    let signed = delta_relation_name(relation);
+    let absolute = delta_abs_relation_name(relation);
+    let rename_y_to_x: FastMap<String, String> = u2
+        .trigger_vars
+        .iter()
+        .cloned()
+        .zip(u1.trigger_vars.iter().cloned())
+        .collect();
+
+    let mut statements = Vec::new();
+    for m in maps {
+        let d1 = simplify(&delta(&m.definition, &u1));
+        if d1.is_zero() {
+            continue; // map unaffected by this relation
+        }
+        let d2 = simplify(&delta(&d1, &u2));
+        if d2.is_zero() {
+            continue; // map linear in this relation: no interaction term
+        }
+        // Gate 3: at most quadratic, and the bilinear part is state-free
+        // (static tables excepted — they never change mid-run).
+        if !simplify(&delta(&d2, &u3)).is_zero() {
+            return None;
+        }
+        if d2.atoms().iter().any(|a| a.kind != AtomKind::Table) {
+            return None;
+        }
+
+        // ½·Σₑ,f mₑ·m_f·d²M(tₑ, t_f): join the signed delta with itself.
+        let pair = Expr::agg_sum(
+            m.out_vars.clone(),
+            Expr::product_of([
+                Expr::view(&signed, u1.trigger_vars.clone()),
+                Expr::view(&signed, u2.trigger_vars.clone()),
+                Expr::val(0.5),
+                d2.clone(),
+            ]),
+        );
+        // −Σₑ |mₑ|·½·d²M(tₑ, tₑ): the diagonal the first-order firings
+        // already accumulated.
+        let diag = Expr::agg_sum(
+            m.out_vars.clone(),
+            Expr::product_of([
+                Expr::view(&absolute, u1.trigger_vars.clone()),
+                Expr::val(-0.5),
+                d2.rename_vars(&rename_y_to_x),
+            ]),
+        );
+        for rhs in [pair, diag] {
+            let rhs = reorder_products(&simplify(&rhs), &BTreeSet::new());
+            if rhs.is_zero() {
+                continue;
+            }
+            statements.push(Statement {
+                target: m.name.clone(),
+                key_vars: m.out_vars.clone(),
+                loop_vars: m.out_vars.clone(),
+                op: StmtOp::Increment,
+                rhs,
+            });
+        }
+    }
+    Some(BatchCorrection {
+        relation: relation.to_string(),
+        statements,
+        compiled: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile::compile;
+    use crate::program::{
+        BatchStrategy, Catalog, CompileMode, CompileOptions, QuerySpec, RelationMeta,
+    };
+    use dbtoaster_agca::{CmpOp, Expr};
+
+    fn catalog() -> Catalog {
+        [
+            RelationMeta::stream("R", ["A", "B"]),
+            RelationMeta::stream("S", ["B", "C"]),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn selfj() -> QuerySpec {
+        QuerySpec {
+            name: "SELFJ".into(),
+            out_vars: vec![],
+            expr: Expr::agg_sum(
+                Vec::<String>::new(),
+                Expr::product_of([Expr::rel("R", ["a", "b"]), Expr::rel("R", ["a2", "b"])]),
+            ),
+        }
+    }
+
+    fn linear() -> QuerySpec {
+        QuerySpec {
+            name: "TOTAL".into(),
+            out_vars: vec![],
+            expr: Expr::agg_sum(
+                Vec::<String>::new(),
+                Expr::product_of([
+                    Expr::rel("R", ["a", "b"]),
+                    Expr::rel("S", ["b", "c"]),
+                    Expr::var("c"),
+                ]),
+            ),
+        }
+    }
+
+    #[test]
+    fn quadratic_query_gets_a_nonzero_correction_and_batch_delta_dispatch() {
+        let program = compile(
+            &[selfj()],
+            &catalog(),
+            &CompileOptions::for_mode(CompileMode::HigherOrder),
+        )
+        .unwrap();
+        let corr = program.batch_correction("R").expect("R eligible");
+        assert!(
+            !corr.statements.is_empty(),
+            "self-join must produce interaction terms"
+        );
+        for s in &corr.statements {
+            assert_eq!(s.op, crate::program::StmtOp::Increment);
+        }
+        assert_eq!(corr.compiled.len(), corr.statements.len());
+        let dispatch = program.batch_dispatch();
+        let r = dispatch.iter().find(|d| d.relation == "R").unwrap();
+        assert_eq!(r.strategy, BatchStrategy::BatchDelta);
+    }
+
+    #[test]
+    fn linear_query_is_eligible_with_empty_correction() {
+        let program = compile(
+            &[linear()],
+            &catalog(),
+            &CompileOptions::for_mode(CompileMode::HigherOrder),
+        )
+        .unwrap();
+        for rel in ["R", "S"] {
+            let corr = program.batch_correction(rel).expect("linear is eligible");
+            assert!(
+                corr.statements.is_empty(),
+                "{rel}: linear maps need no interaction terms: {:?}",
+                corr.statements
+            );
+            let dispatch = program.batch_dispatch();
+            let d = dispatch.iter().find(|d| d.relation == rel).unwrap();
+            assert_eq!(d.strategy, BatchStrategy::BatchDelta);
+        }
+    }
+
+    #[test]
+    fn replace_statements_disable_derivation() {
+        let program = compile(
+            &[linear()],
+            &catalog(),
+            &CompileOptions::for_mode(CompileMode::Reevaluate),
+        )
+        .unwrap();
+        assert!(program.batch_corrections.is_empty());
+        for d in program.batch_dispatch() {
+            assert_ne!(d.strategy, BatchStrategy::BatchDelta);
+        }
+    }
+
+    #[test]
+    fn nested_aggregate_shapes_fall_back() {
+        let inner = Expr::agg_sum(
+            Vec::<String>::new(),
+            Expr::product_of([Expr::rel("S", ["b2", "c"]), Expr::var("c")]),
+        );
+        let nested = QuerySpec {
+            name: "NESTED".into(),
+            out_vars: vec![],
+            expr: Expr::agg_sum(
+                Vec::<String>::new(),
+                Expr::product_of([
+                    Expr::rel("R", ["a", "b"]),
+                    Expr::lift("z", inner),
+                    Expr::cmp(CmpOp::Lt, Expr::var("b"), Expr::var("z")),
+                ]),
+            ),
+        };
+        let program = compile(
+            &[nested],
+            &catalog(),
+            &CompileOptions::for_mode(CompileMode::HigherOrder),
+        )
+        .unwrap();
+        // Whatever statement shapes the heuristic picked, no relation with a
+        // state-reading or replace-bearing trigger may claim batch-delta.
+        for d in program.batch_dispatch() {
+            if d.strategy == BatchStrategy::BatchDelta {
+                let corr = program.batch_correction(&d.relation).unwrap();
+                assert!(corr.statements.iter().all(|s| !s.rhs.is_zero()));
+            }
+        }
+    }
+
+    #[test]
+    fn forced_dispatch_downgrades() {
+        let program = compile(
+            &[selfj()],
+            &catalog(),
+            &CompileOptions::for_mode(CompileMode::HigherOrder),
+        )
+        .unwrap();
+        for d in program.batch_dispatch_forced(Some(BatchStrategy::EntryMajor)) {
+            assert_eq!(d.strategy, BatchStrategy::EntryMajor);
+        }
+        for d in program.batch_dispatch_forced(Some(BatchStrategy::StatementMajor)) {
+            assert_ne!(d.strategy, BatchStrategy::BatchDelta);
+        }
+    }
+}

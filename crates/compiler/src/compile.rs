@@ -239,6 +239,21 @@ pub fn compile(
         })
         .collect();
 
+    // Second-order batch corrections: per eligible relation, the statements
+    // completing pre-run-state batch execution (see `crate::batch_delta`).
+    // Lowered through the same kernel pipeline as trigger statements, with no
+    // trigger variables — a correction runs once per run, scanning the run's
+    // delta pseudo-relations.
+    let mut batch_corrections =
+        crate::batch_delta::derive_batch_corrections(&maps, &triggers, catalog);
+    for c in &mut batch_corrections {
+        c.compiled = c
+            .statements
+            .iter()
+            .map(|s| dbtoaster_agca::lower_statement(&[], &s.key_vars, &s.rhs))
+            .collect();
+    }
+
     Ok(TriggerProgram {
         maps,
         triggers,
@@ -246,6 +261,7 @@ pub fn compile(
         results,
         stored_relations,
         static_tables,
+        batch_corrections,
         report,
     })
 }
@@ -441,7 +457,7 @@ fn make_increment_statement(
 /// on products as multisets; this final pass restores an evaluable sideways-information-
 /// passing order before a statement is emitted. Factors whose inputs come from an
 /// enclosing scope are left in their original relative order.
-fn reorder_products(e: &Expr, bound: &BTreeSet<String>) -> Expr {
+pub(crate) fn reorder_products(e: &Expr, bound: &BTreeSet<String>) -> Expr {
     match e {
         Expr::Mul(fs) => {
             let fs: Vec<Expr> = fs.iter().map(|f| reorder_products(f, bound)).collect();

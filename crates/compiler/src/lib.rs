@@ -37,25 +37,27 @@
 //! assert!(program.trigger("O", UpdateSign::Insert).is_some());
 //! ```
 
+pub mod batch_delta;
 pub mod compile;
 pub mod materialize;
 pub mod program;
 
+pub use batch_delta::derive_batch_corrections;
 pub use compile::{compile, fix_atom_kinds, CompileError};
 pub use materialize::{MapRegistry, Materializer};
 pub use program::{
-    BatchStrategy, Catalog, CompileMode, CompileOptions, CompileReport, CompiledTrigger, MapDecl,
-    QueryResult, QuerySpec, RelationDispatch, RelationMeta, ResultAccess, Statement, StmtOp,
-    Trigger, TriggerProgram,
+    BatchCorrection, BatchStrategy, Catalog, CompileMode, CompileOptions, CompileReport,
+    CompiledTrigger, MapDecl, QueryResult, QuerySpec, RelationDispatch, RelationMeta, ResultAccess,
+    Statement, StmtOp, Trigger, TriggerProgram,
 };
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::compile::{compile, CompileError};
     pub use crate::program::{
-        BatchStrategy, Catalog, CompileMode, CompileOptions, CompileReport, CompiledTrigger,
-        MapDecl, QueryResult, QuerySpec, RelationDispatch, RelationMeta, ResultAccess, Statement,
-        StmtOp, Trigger, TriggerProgram,
+        BatchCorrection, BatchStrategy, Catalog, CompileMode, CompileOptions, CompileReport,
+        CompiledTrigger, MapDecl, QueryResult, QuerySpec, RelationDispatch, RelationMeta,
+        ResultAccess, Statement, StmtOp, Trigger, TriggerProgram,
     };
     pub use dbtoaster_agca::UpdateSign;
 }

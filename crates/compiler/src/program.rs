@@ -333,6 +333,11 @@ pub struct TriggerProgram {
     pub stored_relations: BTreeSet<String>,
     /// Static tables referenced by the program (always stored).
     pub static_tables: BTreeSet<String>,
+    /// Per-relation second-order batch corrections, for every relation whose
+    /// triggers are batch-delta eligible (see [`BatchStrategy::BatchDelta`]).
+    /// Derived data, like [`TriggerProgram::compiled`]: excluded from the
+    /// program fingerprint.
+    pub batch_corrections: Vec<BatchCorrection>,
     /// Compilation report (rule usage, counts).
     pub report: CompileReport,
 }
@@ -353,6 +358,51 @@ pub enum BatchStrategy {
     /// (`|mult|` times), exactly like event-at-a-time processing. The safe
     /// fallback for triggers that read what they write.
     EntryMajor,
+    /// Batch-delta: the whole run is one delta GMR. Every incremental
+    /// statement of both sign triggers is evaluated against the **pre-run**
+    /// state (all writes buffered and applied after the last read), and the
+    /// relation's [`BatchCorrection`] statements add the explicit second-order
+    /// terms that account for entries of the same run interacting. Chosen
+    /// whenever the correction derivation succeeds — see
+    /// [`crate::batch_delta`] for the derivation and its eligibility gates.
+    BatchDelta,
+}
+
+impl BatchStrategy {
+    /// Stable lowercase name (used in bench reports and the
+    /// `DBTOASTER_FORCE_BATCH_STRATEGY` override).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BatchStrategy::StatementMajor => "statement-major",
+            BatchStrategy::EntryMajor => "entry-major",
+            BatchStrategy::BatchDelta => "batch-delta",
+        }
+    }
+}
+
+impl fmt::Display for BatchStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The second-order batch correction program of one relation: statements whose
+/// right-hand sides join the run's delta pseudo-relations
+/// (`@delta:R` / `@delta_abs:R`, see [`dbtoaster_agca::batch`]) with the
+/// mode-independent second delta of each affected map's definition. Executing
+/// the relation's first-order statements against the pre-run state and then
+/// these corrections reproduces sequential per-event processing exactly (in
+/// the GMR ring).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchCorrection {
+    /// The stream relation whose runs this correction completes.
+    pub relation: String,
+    /// Correction statements (always [`StmtOp::Increment`]); may be empty when
+    /// every map affected by the relation is linear in it — the relation is
+    /// still batch-delta eligible, the interaction terms are just zero.
+    pub statements: Vec<Statement>,
+    /// Compiled kernels aligned with `statements` (`None` = interpret).
+    pub compiled: Vec<Option<CompiledStmt>>,
 }
 
 /// The per-relation trigger grouping used by batch execution: both sign
@@ -416,7 +466,26 @@ impl TriggerProgram {
     ///
     /// Anything else falls back to [`BatchStrategy::EntryMajor`], which is
     /// per-event processing inside the batch and therefore always exact.
+    ///
+    /// [`BatchStrategy::BatchDelta`] supersedes both whenever the relation has
+    /// a derived [`BatchCorrection`] (including an empty one): the first-order
+    /// statements run against the pre-run state with buffered writes, and the
+    /// correction statements add the intra-run interaction terms.
     pub fn batch_dispatch(&self) -> Vec<RelationDispatch> {
+        self.batch_dispatch_forced(None)
+    }
+
+    /// [`TriggerProgram::batch_dispatch`] with an optional forced strategy
+    /// (differential debugging; the `DBTOASTER_FORCE_BATCH_STRATEGY` engine
+    /// override resolves to this):
+    ///
+    /// * `Some(EntryMajor)` — every relation entry-major (the oracle);
+    /// * `Some(StatementMajor)` — disable batch-delta: each relation gets the
+    ///   read-before-write analysis result (statement-major where legal,
+    ///   entry-major otherwise), i.e. the pre-batch-delta dispatch;
+    /// * `Some(BatchDelta)` or `None` — the automatic choice (batch-delta
+    ///   cannot be forced onto underivable relations).
+    pub fn batch_dispatch_forced(&self, force: Option<BatchStrategy>) -> Vec<RelationDispatch> {
         let mut relations: Vec<&str> = Vec::new();
         for t in &self.triggers {
             if !relations.contains(&t.relation.as_str()) {
@@ -433,14 +502,35 @@ impl TriggerProgram {
                 };
                 let insert = idx_of(UpdateSign::Insert);
                 let delete = idx_of(UpdateSign::Delete);
+                let strategy = match force {
+                    Some(BatchStrategy::EntryMajor) => BatchStrategy::EntryMajor,
+                    Some(BatchStrategy::StatementMajor) => {
+                        self.relation_batch_strategy(rel, insert, delete)
+                    }
+                    Some(BatchStrategy::BatchDelta) | None => {
+                        if self.batch_correction(rel).is_some() {
+                            BatchStrategy::BatchDelta
+                        } else {
+                            self.relation_batch_strategy(rel, insert, delete)
+                        }
+                    }
+                };
                 RelationDispatch {
                     relation: rel.to_string(),
                     insert,
                     delete,
-                    strategy: self.relation_batch_strategy(rel, insert, delete),
+                    strategy,
                 }
             })
             .collect()
+    }
+
+    /// The second-order batch correction for `relation`, if its triggers are
+    /// batch-delta eligible.
+    pub fn batch_correction(&self, relation: &str) -> Option<&BatchCorrection> {
+        self.batch_corrections
+            .iter()
+            .find(|c| c.relation == relation)
     }
 
     fn relation_batch_strategy(

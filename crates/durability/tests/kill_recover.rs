@@ -304,7 +304,8 @@ fn a_poison_event_mid_batch_leaves_live_and_recovered_state_identical() {
         stream.len(),
         "the poison event must keep its WAL sequence slot"
     );
-    // Capture the live (degraded) state, then crash without a final checkpoint.
+    // Capture the live (degraded) state and the live strategy mix, then crash
+    // without a final checkpoint.
     let live: Vec<(String, Gmr)> = {
         let snap = server.reader().snapshot();
         snap.names()
@@ -312,6 +313,11 @@ fn a_poison_event_mid_batch_leaves_live_and_recovered_state_identical() {
             .collect()
     };
     assert!(live.len() >= 2, "expected several maintained maps");
+    let live_stats = server.stats();
+    assert!(
+        live_stats.batch_delta_runs > 0,
+        "this workload's relations should dispatch batch-delta"
+    );
     server.kill();
 
     let server = builder().open_or_create_with(config(&dir)).unwrap();
@@ -324,6 +330,23 @@ fn a_poison_event_mid_batch_leaves_live_and_recovered_state_identical() {
     assert!(
         server.durability_warning().is_some(),
         "replaying past a poison event is a degraded recovery and must say so"
+    );
+    // Replay rebuilds one delta batch per WAL record, so it must make the
+    // same per-run strategy choices the live writer made — counter for
+    // counter, poison batch included.
+    let stats = server.stats();
+    assert_eq!(
+        (
+            stats.batch_delta_runs,
+            stats.statement_major_runs,
+            stats.entry_major_runs
+        ),
+        (
+            live_stats.batch_delta_runs,
+            live_stats.statement_major_runs,
+            live_stats.entry_major_runs
+        ),
+        "replay must choose the same batch strategies as the live run"
     );
     let snap = server.reader().snapshot();
     for (name, g) in &live {
@@ -344,6 +367,106 @@ fn a_poison_event_mid_batch_leaves_live_and_recovered_state_identical() {
         }
     }
     drop(server);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_replay_chooses_the_same_batch_strategies_as_the_live_run() {
+    // Strategy equivalence under recovery, at run granularity: replay rebuilds
+    // one delta batch per WAL record and drives it through the same
+    // `process_batch` dispatch as the live writer, so the full sequence of
+    // (relation, strategy, events) run records — across uneven micro-batches,
+    // a mid-batch poison event, and any runtime batch-delta cost-gate
+    // fallback — must be identical. The aggregate-counter check in the poison
+    // test above could mask compensating swaps; this one cannot.
+    use dbtoaster::agca::DeltaBatch;
+    use dbtoaster::compiler::BatchStrategy;
+    use dbtoaster::runtime::{Engine, RunRecord};
+    use dbtoaster_durability::{program_fingerprint, WalReader, WalWriter};
+
+    let dir: PathBuf = std::env::temp_dir().join(format!("dbt-runrec-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+
+    let program = builder().build().unwrap().program().clone();
+    let ccat = dbtoaster::to_compiler_catalog(&catalog());
+    let fp = program_fingerprint(&program);
+
+    let mut stream: Vec<UpdateEvent> = events()[..2_000].to_vec();
+    // Arity-mismatched insert: poisons the middle of whatever micro-batch it
+    // lands in without stopping the stream.
+    stream.insert(700, UpdateEvent::insert("Lineitem", vec![Value::long(3)]));
+
+    // Live run: uneven micro-batches, one WAL record each (the live writer's
+    // contract: record boundaries == batch boundaries), run recording on.
+    let mut live = Engine::new(program.clone(), &ccat);
+    live.set_run_recording(true);
+    let mut wal = WalWriter::open(&dir, fp, 1, FsyncPolicy::Never, u64::MAX).unwrap();
+    let mut live_runs: Vec<RunRecord> = Vec::new();
+    let mut live_failed = 0u64;
+    let mut delta = DeltaBatch::new();
+    let mut rest: &[UpdateEvent] = &stream;
+    let mut size = 1usize;
+    while !rest.is_empty() {
+        let n = size.min(rest.len());
+        let (chunk, tail) = rest.split_at(n);
+        rest = tail;
+        size = (size * 3 + 1) % 257 + 1;
+        wal.append(chunk).unwrap();
+        delta.clear();
+        for ev in chunk {
+            delta.push(ev);
+        }
+        let report = live.process_batch(&delta);
+        live_failed += report.failed_events;
+        live_runs.extend(report.runs);
+    }
+    wal.sync().unwrap();
+    drop(wal);
+    assert_eq!(live_failed, 1, "exactly the poison event must fail");
+
+    // Replay: same records, same batches, same dispatch.
+    let reader = WalReader::open(&dir, fp).unwrap();
+    let mut replayed = Engine::new(program, &ccat);
+    replayed.set_run_recording(true);
+    let mut replay_runs: Vec<RunRecord> = Vec::new();
+    let mut delta = DeltaBatch::new();
+    reader
+        .replay_records(1, &mut |_first_seq, events| {
+            delta.clear();
+            for ev in events {
+                delta.push_owned(ev);
+            }
+            let report = replayed.process_batch(&delta);
+            replay_runs.extend(report.runs);
+            Ok(())
+        })
+        .unwrap();
+
+    assert!(!live_runs.is_empty(), "run recording produced nothing");
+    assert!(
+        live_runs
+            .iter()
+            .any(|r| r.strategy == BatchStrategy::BatchDelta),
+        "the revenue query's relations should dispatch batch-delta: {live_runs:?}"
+    );
+    assert_eq!(
+        live_runs, replay_runs,
+        "live and replayed run sequences must be identical"
+    );
+    // Identical runs must mean identical bits.
+    for m in &live.program().maps {
+        let (a, b) = (live.view(&m.name), replayed.view(&m.name));
+        match (a, b) {
+            (Some(ga), Some(gb)) => assert!(
+                ga.equivalent(&gb, 0.0),
+                "view {} diverges between live and replay",
+                m.name
+            ),
+            (None, None) => {}
+            _ => panic!("view {} present on only one side", m.name),
+        }
+    }
     let _ = fs::remove_dir_all(&dir);
 }
 

@@ -20,31 +20,59 @@
 //! How a multi-entry delta drives that sequence is chosen statically per relation by
 //! [`TriggerProgram::batch_dispatch`]:
 //!
-//! * **Statement-major** (the common case — triggers whose statements never read
-//!   anything the same run writes): each incremental statement is dispatched *once*
-//!   per batch and driven over all delta entries back-to-back — the kernel prelude
-//!   and loop-invariant fused scans run once, rows are buffered with entry
-//!   boundaries, and the target map is written in one pass (one change-log entry
-//!   resolution and one snapshot-cache bump per statement). Base updates follow in
-//!   one pass, and `:=` statements fire once, bound to the run's last event —
-//!   exactly the firing whose output survives event-at-a-time processing.
-//! * **Entry-major** (triggers that read their own writes, e.g. axfinder's
-//!   self-referencing map): each surviving entry fires the full per-event sequence
-//!   `|mult|` times. Always exact; amortizes only the per-batch dispatch.
+//! * **Batch-delta** (the preferred path; chosen whenever the compiler derived a
+//!   second-order batch program — see the derivation in the compiler's
+//!   `batch_delta` module): every incremental statement of both sign triggers is
+//!   evaluated against the *pre-run* state with its writes buffered, then the
+//!   compiled correction statements — which join the run's delta with itself
+//!   through the `@delta:R` / `@delta_abs:R` pseudo-relations — run once per run
+//!   to account for intra-batch interaction, and only then do all buffered
+//!   statement writes and the base update land. One target resolution, one
+//!   change-log entry and one version bump per statement per run. Any evaluation
+//!   error discards the (still unapplied) buffers and replays the whole run
+//!   entry-major, reproducing per-event poison semantics exactly.
+//! * **Statement-major** (legacy fallback — triggers whose statements never read
+//!   anything the same run writes, when no batch program was derived): each
+//!   incremental statement is dispatched *once* per batch and driven over all
+//!   delta entries back-to-back — the kernel prelude and loop-invariant fused
+//!   scans run once, rows are buffered with entry boundaries, and the target map
+//!   is written in one pass (one change-log entry resolution and one
+//!   snapshot-cache bump per statement). Base updates follow in one pass, and
+//!   `:=` statements fire once, bound to the run's last event — exactly the
+//!   firing whose output survives event-at-a-time processing.
+//! * **Entry-major** (the oracle and last-resort fallback — `:=` replace
+//!   semantics, increment chains that read their own targets such as the
+//!   brokerspread query's self-referencing `m_bsv` map, or shapes whose
+//!   second-order correction the compiler could not derive): each surviving
+//!   entry fires the full per-event sequence `|mult|` times. Always exact;
+//!   amortizes only the per-batch dispatch.
 //!
-//! Both paths are driven by the same loop for compiled kernels and the AST
+//! All paths are driven by the same loops for compiled kernels and the AST
 //! interpreter, so the interpreter remains the differential-testing oracle for batch
 //! execution too. See the ring-linearity argument in [`dbtoaster_agca::batch`] for
-//! why this reproduces per-event processing (bit-exactly on integer-weighted
-//! streams; to summation order on float aggregates).
+//! why statement-major reproduces per-event processing, and the compiler's
+//! `batch_delta` module for the Taylor-style first-plus-second-order argument
+//! behind batch-delta (both bit-exactly on integer-weighted streams; to summation
+//! order on float aggregates).
+//!
+//! When a program is increment-only, [`Engine::process_batch`] additionally
+//! *merges* same-relation runs of a batch before processing (ring addition of
+//! their entries): each run's processing is a pure state difference, so the
+//! telescoping sum over merged runs is exact, and interleaved streams (e.g.
+//! alternating bids/asks) collapse from many short runs into one per relation.
 
 use crate::store::{CachedSource, Database};
-use dbtoaster_agca::batch::{DeltaBatch, RelationDelta};
-use dbtoaster_agca::eval::{eval_with, eval_with_scratch, Bindings, EvalError, EvalScratch};
+use dbtoaster_agca::batch::{
+    delta_abs_relation_name, delta_relation_name, DeltaBatch, RelationDelta,
+};
+use dbtoaster_agca::eval::{
+    eval_with, eval_with_scratch, matches_pattern, Bindings, EvalError, EvalScratch, RelationSource,
+};
 use dbtoaster_agca::plan::{CompiledStmt, KernelState};
 use dbtoaster_agca::{UpdateEvent, UpdateSign};
 use dbtoaster_compiler::{
-    BatchStrategy, Catalog, ResultAccess, Statement, StmtOp, Trigger, TriggerProgram,
+    BatchCorrection, BatchStrategy, Catalog, ResultAccess, Statement, StmtOp, Trigger,
+    TriggerProgram,
 };
 use dbtoaster_gmr::{FastMap, Gmr, Tuple, Value};
 use std::fmt;
@@ -71,6 +99,39 @@ fn env_forces_interpreter() -> bool {
             !v.is_empty() && v != "0" && v != "false" && v != "no"
         })
         .unwrap_or(false)
+}
+
+/// Environment variable forcing a particular [`BatchStrategy`] for every
+/// relation, overriding the compiler's dispatch analysis at engine
+/// construction. The programmatic equivalent is
+/// [`Engine::set_force_batch_strategy`].
+///
+/// * `entry` / `entry-major` — the per-event oracle: every run fires the full
+///   single-tuple sequence per surviving entry.
+/// * `statement` / `statement-major` — the legacy analysis without batch-delta
+///   programs (relations the analysis deems unsafe still run entry-major).
+/// * `auto` / `batch-delta` / unset — the default dispatch: batch-delta where
+///   derived, legacy strategies elsewhere.
+///
+/// Useful for differential testing (all strategies must agree bit-exactly on
+/// integer-weighted streams) and as an escape hatch. Like
+/// [`FORCE_INTERPRETER_ENV`], a durable deployment should keep the same
+/// setting across restarts so float view state replays identically.
+pub const FORCE_BATCH_STRATEGY_ENV: &str = "DBTOASTER_FORCE_BATCH_STRATEGY";
+
+fn env_forced_batch_strategy() -> Option<BatchStrategy> {
+    let v = std::env::var(FORCE_BATCH_STRATEGY_ENV).unwrap_or_default();
+    parse_batch_strategy(&v)
+}
+
+/// Parse a strategy override name (see [`FORCE_BATCH_STRATEGY_ENV`]);
+/// unrecognised values mean "automatic".
+pub fn parse_batch_strategy(name: &str) -> Option<BatchStrategy> {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "entry" | "entry-major" | "entry_major" => Some(BatchStrategy::EntryMajor),
+        "statement" | "statement-major" | "statement_major" => Some(BatchStrategy::StatementMajor),
+        _ => None,
+    }
 }
 
 /// Kernel for statement `j`, when the trigger has one.
@@ -227,6 +288,29 @@ pub struct BatchReport {
     pub failed_events: u64,
     /// The first error encountered, if any.
     pub first_error: Option<RuntimeError>,
+    /// Which strategy actually executed each relation run, in processing
+    /// order (after any run merging and after any runtime fallback from
+    /// batch-delta to entry-major). Runs with no trigger under either sign —
+    /// base-relation-only updates — are not recorded. Deterministic for a
+    /// given program, override setting and batch boundaries, so a WAL replay
+    /// produces the same sequence as live processing. Empty unless
+    /// [`Engine::set_run_recording`] is on (recording costs one small
+    /// allocation per run, which the zero-allocation steady-state contract
+    /// of the batch-of-1 path cannot afford by default).
+    pub runs: Vec<RunRecord>,
+}
+
+/// One relation run's execution record inside a [`BatchReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// The run's relation name.
+    pub relation: String,
+    /// The strategy that actually executed (the dispatch choice, or
+    /// [`BatchStrategy::EntryMajor`] when a batch-delta run fell back at
+    /// runtime).
+    pub strategy: BatchStrategy,
+    /// Stream events the run covered.
+    pub events: u64,
 }
 
 /// Runtime statistics: event counts, processing time and memory footprint.
@@ -274,6 +358,15 @@ pub struct EngineStats {
     /// program carries no kernels or the engine was forced onto the
     /// interpreter path (see [`FORCE_INTERPRETER_ENV`]).
     pub compiled_triggers: u64,
+    /// Relation runs executed on the batch-delta path (pre-state evaluation
+    /// plus second-order corrections; see the module docs).
+    pub batch_delta_runs: u64,
+    /// Relation runs executed statement-major (the legacy buffered path).
+    pub statement_major_runs: u64,
+    /// Relation runs executed entry-major — per-event firing, either by
+    /// dispatch (replace semantics / self-referencing triggers) or as the
+    /// runtime fallback of a failed batch-delta run.
+    pub entry_major_runs: u64,
 }
 
 impl EngineStats {
@@ -292,6 +385,9 @@ impl EngineStats {
             checkpoints_taken: 0,
             recovery_replayed_events: 0,
             compiled_triggers: 0,
+            batch_delta_runs: 0,
+            statement_major_runs: 0,
+            entry_major_runs: 0,
         }
     }
 
@@ -340,6 +436,9 @@ struct DispatchEntry {
     insert: Option<u16>,
     delete: Option<u16>,
     strategy: BatchStrategy,
+    /// Index into [`TriggerProgram::batch_corrections`] when the strategy is
+    /// batch-delta (resolved once at dispatch-build time).
+    correction: Option<u16>,
 }
 
 /// One entry's emitted row range within the shared row buffer, plus how many
@@ -365,6 +464,160 @@ struct BatchScratch {
     bindings: Bindings,
 }
 
+/// One statement's deferred (buffered but not yet applied) rows on the
+/// batch-delta path: the evaluate phase fills one of these per executed
+/// statement, the apply phase walks them in order.
+#[derive(Debug, Default)]
+struct DeferredStmt {
+    /// Trigger index, or `u16::MAX` for a second-order correction statement.
+    tidx: u16,
+    /// Statement index within the trigger (or correction list).
+    stmt: u16,
+    /// Entry boundaries into `rows` with per-entry repetition counts.
+    segs: Vec<Seg>,
+    /// Buffered `(key, multiplicity)` rows.
+    rows: Vec<(Tuple, f64)>,
+}
+
+/// Pooled [`DeferredStmt`] buffers for batch-delta execution. `live` marks
+/// how many slots the current run has filled; discarding a run's work is just
+/// `live = 0` (buffers keep their capacity for the next run).
+#[derive(Debug, Default)]
+struct BdScratch {
+    stmts: Vec<DeferredStmt>,
+    live: usize,
+}
+
+impl BdScratch {
+    /// Acquire the next pooled buffer, cleared and tagged.
+    fn acquire(&mut self, tidx: u16, stmt: u16) -> &mut DeferredStmt {
+        if self.live == self.stmts.len() {
+            self.stmts.push(DeferredStmt::default());
+        }
+        let slot = &mut self.stmts[self.live];
+        self.live += 1;
+        slot.tidx = tidx;
+        slot.stmt = stmt;
+        slot.segs.clear();
+        slot.rows.clear();
+        slot
+    }
+}
+
+/// A [`RelationSource`] overlay resolving the compiler's `@delta:R` /
+/// `@delta_abs:R` pseudo-relations (see
+/// [`dbtoaster_agca::batch::delta_relation_name`]) against the in-flight
+/// [`RelationDelta`], delegating every real name to the wrapped source. The
+/// signed view streams each distinct surviving key with its net multiplicity;
+/// the absolute view streams `|net|` — exactly the Δ and |Δ| factors of the
+/// second-order correction statements.
+///
+/// The pair correction joins the delta with *itself*, so inner-side probes
+/// arrive with some columns bound (the join's equality constraints). A lazy
+/// per-bound-column-mask hash index keeps each probe proportional to its
+/// matches instead of the whole delta — the total correction cost is then the
+/// number of *real* interacting pairs, not `|Δ|²`.
+struct DeltaOverlay<'a, S: RelationSource + ?Sized> {
+    inner: &'a S,
+    run: &'a RelationDelta,
+    signed: &'a str,
+    absolute: &'a str,
+    /// mask of bound pattern columns → (bound values → entry indexes); built
+    /// on first probe with that mask.
+    index: std::cell::RefCell<FastMap<u32, FastMap<Tuple, Vec<u32>>>>,
+}
+
+impl<'a, S: RelationSource + ?Sized> DeltaOverlay<'a, S> {
+    fn new(inner: &'a S, run: &'a RelationDelta, signed: &'a str, absolute: &'a str) -> Self {
+        DeltaOverlay {
+            inner,
+            run,
+            signed,
+            absolute,
+            index: std::cell::RefCell::new(FastMap::default()),
+        }
+    }
+}
+
+impl<S: RelationSource + ?Sized> RelationSource for DeltaOverlay<'_, S> {
+    fn relation_arity(&self, name: &str) -> Option<usize> {
+        if name == self.signed || name == self.absolute {
+            Some(self.run.arity())
+        } else {
+            self.inner.relation_arity(name)
+        }
+    }
+
+    fn for_each_matching(
+        &self,
+        name: &str,
+        pattern: &[Option<Value>],
+        visit: &mut dyn FnMut(&[Value], f64),
+    ) -> Result<(), EvalError> {
+        let absolute = name == self.absolute;
+        if !absolute && name != self.signed {
+            return self.inner.for_each_matching(name, pattern, visit);
+        }
+        let entries = self.run.entries();
+        let mask: u32 =
+            pattern
+                .iter()
+                .enumerate()
+                .fold(0, |m, (i, p)| if p.is_some() { m | (1 << i) } else { m });
+        if mask == 0 || pattern.len() > 32 {
+            // Full scan (the outer side of the pair join, and the whole
+            // diagonal term); wide tuples also land here and filter inline.
+            for entry in entries {
+                let key = entry.key.as_slice();
+                if entry.mult != 0.0 && (mask == 0 || matches_pattern(key, pattern)) {
+                    visit(
+                        key,
+                        if absolute {
+                            entry.mult.abs()
+                        } else {
+                            entry.mult
+                        },
+                    );
+                }
+            }
+            return Ok(());
+        }
+        let mut index = self.index.borrow_mut();
+        let by_key = index.entry(mask).or_insert_with(|| {
+            let mut by_key: FastMap<Tuple, Vec<u32>> = FastMap::default();
+            for (i, entry) in entries.iter().enumerate() {
+                if entry.mult == 0.0 {
+                    continue;
+                }
+                let bound: Tuple = entry
+                    .key
+                    .iter()
+                    .enumerate()
+                    .filter(|(c, _)| mask & (1 << c) != 0)
+                    .map(|(_, v)| v.clone())
+                    .collect();
+                by_key.entry(bound).or_default().push(i as u32);
+            }
+            by_key
+        });
+        let probe: Tuple = pattern.iter().flatten().cloned().collect();
+        if let Some(hits) = by_key.get(&probe) {
+            for &i in hits {
+                let entry = &entries[i as usize];
+                visit(
+                    entry.key.as_slice(),
+                    if absolute {
+                        entry.mult.abs()
+                    } else {
+                        entry.mult
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The DBToaster runtime engine.
 pub struct Engine {
     program: Arc<TriggerProgram>,
@@ -382,14 +635,31 @@ pub struct Engine {
     scratch: EvalScratch,
     /// Statement-major batch execution buffers.
     batch: BatchScratch,
+    /// Batch-delta deferred-statement buffers (pooled across runs).
+    bd: BdScratch,
     /// Recycled batch-of-1 for [`Engine::process`] (zero-allocation wrapper).
     single: DeltaBatch,
+    /// Recycled merged-run batch for [`Engine::process_batch`]'s run merging.
+    merged: DeltaBatch,
+    /// May same-relation runs of one batch be merged before processing? True
+    /// when every statement of the program is an increment (`+=`): each run's
+    /// processing is then a pure state difference, so the telescoping sum
+    /// over merged runs is exact. `:=` statements bind to a run's *last*
+    /// event, which merging could change, so replace-bearing programs keep
+    /// their original run boundaries.
+    merge_runs: bool,
     /// Per-relation batch dispatch, resolved from
-    /// [`TriggerProgram::batch_dispatch`] at construction.
+    /// [`TriggerProgram::batch_dispatch_forced`] at construction (and on
+    /// [`Engine::set_force_batch_strategy`]).
     dispatch: FastMap<String, DispatchEntry>,
     /// Ignore compiled kernels and interpret every statement (differential
     /// testing / escape hatch; see [`FORCE_INTERPRETER_ENV`]).
     force_interpreter: bool,
+    /// Strategy override in effect (`None` = the compiler's dispatch).
+    forced_strategy: Option<BatchStrategy>,
+    /// Fill [`BatchReport::runs`] with per-run strategy records (off by
+    /// default; see [`Engine::set_run_recording`]).
+    record_runs: bool,
 }
 
 impl Engine {
@@ -414,20 +684,10 @@ impl Engine {
                 .unwrap_or_default();
             db.declare(rel.clone(), columns);
         }
-        let dispatch = program
-            .batch_dispatch()
-            .into_iter()
-            .map(|d| {
-                (
-                    d.relation,
-                    DispatchEntry {
-                        insert: d.insert.map(|i| i as u16),
-                        delete: d.delete.map(|i| i as u16),
-                        strategy: d.strategy,
-                    },
-                )
-            })
-            .collect();
+        let merge_runs = program
+            .triggers
+            .iter()
+            .all(|t| t.statements.iter().all(|s| s.op == StmtOp::Increment));
         let mut engine = Engine {
             program: Arc::new(program),
             db,
@@ -436,12 +696,62 @@ impl Engine {
             kernel: KernelState::new(),
             scratch: EvalScratch::default(),
             batch: BatchScratch::default(),
+            bd: BdScratch::default(),
             single: DeltaBatch::new(),
-            dispatch,
+            merged: DeltaBatch::new(),
+            merge_runs,
+            dispatch: FastMap::default(),
             force_interpreter: false,
+            forced_strategy: None,
+            record_runs: false,
         };
+        engine.set_force_batch_strategy(env_forced_batch_strategy());
         engine.set_force_interpreter(env_forces_interpreter());
         engine
+    }
+
+    /// Force (or with `None` un-force) one [`BatchStrategy`] for every
+    /// relation, rebuilding the dispatch table through
+    /// [`TriggerProgram::batch_dispatch_forced`]. Used by differential tests
+    /// and as an escape hatch; also settable via the
+    /// [`FORCE_BATCH_STRATEGY_ENV`] environment variable at construction.
+    pub fn set_force_batch_strategy(&mut self, force: Option<BatchStrategy>) {
+        self.forced_strategy = force;
+        self.dispatch = self
+            .program
+            .batch_dispatch_forced(force)
+            .into_iter()
+            .map(|d| {
+                let correction = self
+                    .program
+                    .batch_corrections
+                    .iter()
+                    .position(|c| c.relation == d.relation)
+                    .map(|i| i as u16);
+                (
+                    d.relation,
+                    DispatchEntry {
+                        insert: d.insert.map(|i| i as u16),
+                        delete: d.delete.map(|i| i as u16),
+                        strategy: d.strategy,
+                        correction,
+                    },
+                )
+            })
+            .collect();
+    }
+
+    /// The strategy override in effect (`None` = automatic dispatch).
+    pub fn forced_batch_strategy(&self) -> Option<BatchStrategy> {
+        self.forced_strategy
+    }
+
+    /// Enable or disable per-run strategy records in [`BatchReport::runs`]
+    /// (off by default — recording allocates per run, which the batch-of-1
+    /// hot path keeps at zero). The strategy-run *counters* in
+    /// [`EngineStats`] are always maintained.
+    pub fn set_run_recording(&mut self, enabled: bool) {
+        self.record_runs = enabled;
     }
 
     /// Force (or un-force) the AST-interpreter path for every statement,
@@ -614,12 +924,25 @@ impl Engine {
             events: batch.events(),
             ..BatchReport::default()
         };
-        for run in batch.runs() {
+        // Increment-only programs: fold same-relation runs together first so
+        // interleaved streams process one run per relation (ring addition may
+        // also cancel entries across runs; see the module docs for legality).
+        let mut merged: Option<DeltaBatch> = None;
+        if self.merge_runs && batch.has_repeated_relation() {
+            let mut scratch = std::mem::take(&mut self.merged);
+            batch.merge_runs_into(&mut scratch);
+            merged = Some(scratch);
+        }
+        let source: &DeltaBatch = merged.as_ref().unwrap_or(batch);
+        for run in source.runs() {
             self.process_run(&program, run, &mut report);
+        }
+        self.stats.batch_events_collapsed += source.collapsed_events();
+        if let Some(m) = merged {
+            self.merged = m;
         }
         self.stats.events += report.events - report.failed_events;
         self.stats.delta_batches += 1;
-        self.stats.batch_events_collapsed += batch.collapsed_events();
         self.stats.busy += t0.elapsed();
         report
     }
@@ -672,9 +995,28 @@ impl Engine {
                 return;
             }
         }
-        match disp.strategy {
-            BatchStrategy::StatementMajor => self.run_statement_major(program, disp, run, report),
-            BatchStrategy::EntryMajor => self.run_entry_major(program, disp, run, report),
+        let executed = match disp.strategy {
+            BatchStrategy::StatementMajor => {
+                self.run_statement_major(program, disp, run, report);
+                BatchStrategy::StatementMajor
+            }
+            BatchStrategy::EntryMajor => {
+                self.run_entry_major(program, disp, run, report);
+                BatchStrategy::EntryMajor
+            }
+            BatchStrategy::BatchDelta => self.run_batch_delta(program, disp, run, report),
+        };
+        match executed {
+            BatchStrategy::BatchDelta => self.stats.batch_delta_runs += 1,
+            BatchStrategy::StatementMajor => self.stats.statement_major_runs += 1,
+            BatchStrategy::EntryMajor => self.stats.entry_major_runs += 1,
+        }
+        if self.record_runs {
+            report.runs.push(RunRecord {
+                relation: run.relation().to_string(),
+                strategy: executed,
+                events: run.events(),
+            });
         }
     }
 
@@ -847,6 +1189,305 @@ impl Engine {
         }
     }
 
+    /// Batch-delta execution of one run (see the module docs): phase one
+    /// evaluates every incremental statement over the run's entries against
+    /// the pre-run state and the second-order correction statements once
+    /// against the run's delta, buffering all rows; phase two applies the
+    /// buffers in statement order followed by the base update. Returns the
+    /// strategy that actually executed: any phase-one error discards the
+    /// (still unapplied) buffers — the database is untouched at that point —
+    /// and replays the whole run entry-major, which reproduces per-event
+    /// poison semantics exactly and does its own failure accounting.
+    fn run_batch_delta(
+        &mut self,
+        program: &TriggerProgram,
+        disp: DispatchEntry,
+        run: &RelationDelta,
+        report: &mut BatchReport,
+    ) -> BatchStrategy {
+        let corr = disp
+            .correction
+            .map(|i| &program.batch_corrections[i as usize]);
+        // Cost gate for quadratic queries: the pair correction joins the run's
+        // delta with itself, so its work grows as O(firings²) while per-event
+        // processing pays O(firings) reading the maintained maps. Past this
+        // (deterministic, so WAL replay agrees) firing count the correction
+        // can no longer win against cheap per-event statements — fire the run
+        // entry-major instead. Relations whose maps are all linear in the
+        // relation (empty correction set) never hit the gate.
+        const MAX_CORRECTION_FIRINGS: u64 = 3;
+        if corr.is_some_and(|c| !c.statements.is_empty()) {
+            let firings: u64 = run.entries().iter().map(|e| e.firings() as u64).sum();
+            if firings > MAX_CORRECTION_FIRINGS {
+                self.run_entry_major(program, disp, run, report);
+                return BatchStrategy::EntryMajor;
+            }
+        }
+        if self.collect_batch_delta(program, disp, corr, run).is_err() {
+            self.bd.live = 0;
+            self.run_entry_major(program, disp, run, report);
+            return BatchStrategy::EntryMajor;
+        }
+        // Apply phase. Targets were verified during collection, so these
+        // applies cannot fail; surface a defensive error anyway.
+        let mut first_err: Option<RuntimeError> = None;
+        {
+            let Engine {
+                db, changes, bd, ..
+            } = self;
+            for ds in &bd.stmts[..bd.live] {
+                let target = if ds.tidx == u16::MAX {
+                    let corr = corr.expect("correction rows imply a correction set");
+                    &corr.statements[ds.stmt as usize].target
+                } else {
+                    &program.triggers[ds.tidx as usize].statements[ds.stmt as usize].target
+                };
+                if let Err(e) = apply_buffered_statement(db, changes, target, &ds.segs, &ds.rows) {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        self.bd.live = 0;
+        self.apply_base_run(run, false);
+        if let Some(e) = first_err {
+            report.failed_events += run.events();
+            report.first_error.get_or_insert(e);
+        }
+        BatchStrategy::BatchDelta
+    }
+
+    /// Phase one of [`Engine::run_batch_delta`]: buffer every incremental
+    /// statement's rows (evaluated against the pre-run state) and then the
+    /// correction statements' rows (evaluated once against the run's delta
+    /// through a [`DeltaOverlay`]), touching no view. On `Err` the database
+    /// is guaranteed untouched so the caller can fall back wholesale.
+    fn collect_batch_delta(
+        &mut self,
+        program: &TriggerProgram,
+        disp: DispatchEntry,
+        corr: Option<&BatchCorrection>,
+        run: &RelationDelta,
+    ) -> Result<(), RuntimeError> {
+        self.bd.live = 0;
+        for (sign, tidx) in [
+            (UpdateSign::Insert, disp.insert),
+            (UpdateSign::Delete, disp.delete),
+        ] {
+            let Some(tidx) = tidx else { continue };
+            if !run.entries().iter().any(|e| e.sign() == Some(sign)) {
+                continue;
+            }
+            let trigger = &program.triggers[tidx as usize];
+            let kernels = self.kernels_for(program, tidx);
+            for (j, stmt) in trigger.statements.iter().enumerate() {
+                debug_assert_eq!(
+                    stmt.op,
+                    StmtOp::Increment,
+                    "batch-delta dispatch requires increment-only triggers"
+                );
+                if !self.db.contains(&stmt.target) {
+                    return Err(RuntimeError::UnknownView(stmt.target.clone()));
+                }
+                match flat_get(kernels, j) {
+                    Some(k) => self.collect_compiled_over(k, run, sign, tidx, j as u16)?,
+                    None => self.collect_interp_over(stmt, trigger, run, sign, tidx, j as u16)?,
+                }
+            }
+        }
+        let Some(corr) = corr else { return Ok(()) };
+        if corr.statements.is_empty() {
+            return Ok(());
+        }
+        // With at most one total firing there is no intra-batch interaction:
+        // the second-order term is exactly zero (its pair and diagonal parts
+        // cancel), so it is skipped — this also keeps the batch-of-1 path
+        // free of overlay setup.
+        let firings: u64 = run.entries().iter().map(|e| e.firings() as u64).sum();
+        if firings <= 1 {
+            return Ok(());
+        }
+        let signed = delta_relation_name(run.relation());
+        let absolute = delta_abs_relation_name(run.relation());
+        let aligned = corr.compiled.len() == corr.statements.len();
+        for (j, stmt) in corr.statements.iter().enumerate() {
+            if !self.db.contains(&stmt.target) {
+                return Err(RuntimeError::UnknownView(stmt.target.clone()));
+            }
+            let kernel = if self.force_interpreter || !aligned {
+                None
+            } else {
+                flat_get(&corr.compiled, j)
+            };
+            match kernel {
+                Some(k) => {
+                    self.collect_correction_compiled(k, run, &signed, &absolute, j as u16)?
+                }
+                None => self.collect_correction_interp(stmt, run, &signed, &absolute, j as u16)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Buffer one compiled incremental statement's rows over all of a run's
+    /// entries of one sign without applying them — the batch-delta twin of
+    /// [`Engine::increment_compiled_over`]. Any kernel error aborts the whole
+    /// collection (the caller falls back entry-major).
+    fn collect_compiled_over(
+        &mut self,
+        kernel: &CompiledStmt,
+        run: &RelationDelta,
+        sign: UpdateSign,
+        tidx: u16,
+        stmt_j: u16,
+    ) -> Result<(), RuntimeError> {
+        let Engine {
+            db,
+            kernel: state,
+            bd,
+            stats,
+            ..
+        } = self;
+        let slot = bd.acquire(tidx, stmt_j);
+        state.prepare(kernel);
+        state.set_run_entries(run.entries().len());
+        let src = CachedSource::new(db);
+        let mut first = true;
+        for entry in run.entries() {
+            if entry.sign() != Some(sign) {
+                continue;
+            }
+            stats.statements += 1;
+            let start = state.out.len();
+            for &s in &kernel.used_trigger_slots {
+                state.frame[s as usize] = entry.key[s as usize].clone();
+            }
+            match kernel.execute_batch_entry(&src, state, first) {
+                Ok(()) => {
+                    first = false;
+                    slot.segs.push(Seg {
+                        start,
+                        end: state.out.len(),
+                        reps: entry.firings(),
+                    });
+                }
+                Err(e) => {
+                    state.out.clear();
+                    return Err(RuntimeError::Eval(e));
+                }
+            }
+        }
+        // Hand the collected rows to the deferred slot; the (cleared) old
+        // slot buffer becomes the kernel's next row buffer.
+        std::mem::swap(&mut slot.rows, &mut state.out);
+        Ok(())
+    }
+
+    /// The interpreter twin of [`Engine::collect_compiled_over`].
+    fn collect_interp_over(
+        &mut self,
+        stmt: &Statement,
+        trigger: &Trigger,
+        run: &RelationDelta,
+        sign: UpdateSign,
+        tidx: u16,
+        stmt_j: u16,
+    ) -> Result<(), RuntimeError> {
+        let Engine {
+            db,
+            scratch,
+            batch,
+            bd,
+            stats,
+            ..
+        } = self;
+        let slot = bd.acquire(tidx, stmt_j);
+        batch.bindings.clear();
+        for entry in run.entries() {
+            if entry.sign() != Some(sign) {
+                continue;
+            }
+            stats.statements += 1;
+            for (var, value) in trigger.trigger_vars.iter().zip(entry.key.iter()) {
+                batch.bindings.set(var, value.clone());
+            }
+            let start = slot.rows.len();
+            interp_statement_rows(&*db, scratch, &mut batch.bindings, stmt, &mut slot.rows)?;
+            slot.segs.push(Seg {
+                start,
+                end: slot.rows.len(),
+                reps: entry.firings(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Buffer one compiled second-order correction statement's rows: the
+    /// kernel runs once per run (corrections carry no trigger variables) with
+    /// the delta pseudo-relations resolved by a [`DeltaOverlay`] over the
+    /// same snapshot-cached source the first-order pass reads.
+    fn collect_correction_compiled(
+        &mut self,
+        kernel: &CompiledStmt,
+        run: &RelationDelta,
+        signed: &str,
+        absolute: &str,
+        stmt_j: u16,
+    ) -> Result<(), RuntimeError> {
+        let Engine {
+            db,
+            kernel: state,
+            bd,
+            stats,
+            ..
+        } = self;
+        let slot = bd.acquire(u16::MAX, stmt_j);
+        stats.statements += 1;
+        state.prepare(kernel);
+        let cached = CachedSource::new(db);
+        let overlay = DeltaOverlay::new(&cached, run, signed, absolute);
+        if let Err(e) = kernel.execute(&overlay, state) {
+            state.out.clear();
+            return Err(RuntimeError::Eval(e));
+        }
+        slot.segs.push(Seg {
+            start: 0,
+            end: state.out.len(),
+            reps: 1,
+        });
+        std::mem::swap(&mut slot.rows, &mut state.out);
+        Ok(())
+    }
+
+    /// The interpreter twin of [`Engine::collect_correction_compiled`].
+    fn collect_correction_interp(
+        &mut self,
+        stmt: &Statement,
+        run: &RelationDelta,
+        signed: &str,
+        absolute: &str,
+        stmt_j: u16,
+    ) -> Result<(), RuntimeError> {
+        let Engine {
+            db,
+            scratch,
+            batch,
+            bd,
+            stats,
+            ..
+        } = self;
+        let slot = bd.acquire(u16::MAX, stmt_j);
+        stats.statements += 1;
+        batch.bindings.clear();
+        let overlay = DeltaOverlay::new(&*db, run, signed, absolute);
+        interp_statement_rows(&overlay, scratch, &mut batch.bindings, stmt, &mut slot.rows)?;
+        slot.segs.push(Seg {
+            start: 0,
+            end: slot.rows.len(),
+            reps: 1,
+        });
+        Ok(())
+    }
+
     /// The compiled kernels for a trigger, when present, aligned with its
     /// statement list and not overridden by the interpreter escape hatch.
     fn kernels_for<'p>(
@@ -888,6 +1529,7 @@ impl Engine {
         } = self;
         batch.segs.clear();
         state.prepare(kernel);
+        state.set_run_entries(run.entries().len());
         // The whole entries pass is read-only (rows are buffered), so probe
         // and scan targets can be resolved once per name for the batch.
         let src = CachedSource::new(db);
@@ -960,7 +1602,7 @@ impl Engine {
             }
             let start = batch.rows.len();
             let res =
-                interp_statement_rows(db, scratch, &mut batch.bindings, stmt, &mut batch.rows);
+                interp_statement_rows(&*db, scratch, &mut batch.bindings, stmt, &mut batch.rows);
             match res {
                 Ok(()) => batch.segs.push(Seg {
                     start,
@@ -1283,17 +1925,19 @@ impl<'a, I: Iterator<Item = (&'a Tuple, f64)>> Iterator for Coalesce<'a, I> {
     }
 }
 
-/// Evaluate one incremental statement for the interpreter batch path,
+/// Evaluate one incremental statement for the interpreter batch paths,
 /// appending `(key, multiplicity)` rows to `out` instead of touching the
-/// target map (the caller applies them buffered).
+/// target map (the caller applies them buffered). Generic over the relation
+/// source so the batch-delta correction path can substitute a
+/// [`DeltaOverlay`] for the plain database.
 fn interp_statement_rows(
-    db: &Database,
+    src: &dyn RelationSource,
     scratch: &mut EvalScratch,
     bindings: &mut Bindings,
     stmt: &Statement,
     out: &mut Vec<(Tuple, f64)>,
 ) -> Result<(), RuntimeError> {
-    let result = eval_with_scratch(&stmt.rhs, db, bindings, scratch)?;
+    let result = eval_with_scratch(&stmt.rhs, src, bindings, scratch)?;
     if result.is_empty() {
         return Ok(());
     }

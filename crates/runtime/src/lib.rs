@@ -41,14 +41,16 @@ pub mod engine;
 pub mod store;
 
 pub use engine::{
-    BatchReport, ChangeSet, Engine, EngineStats, RuntimeError, TraceSample, ViewChange,
+    parse_batch_strategy, BatchReport, ChangeSet, Engine, EngineStats, RunRecord, RuntimeError,
+    TraceSample, ViewChange, FORCE_BATCH_STRATEGY_ENV, FORCE_INTERPRETER_ENV,
 };
 pub use store::{CachedSource, Database, ViewMap};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::engine::{
-        BatchReport, ChangeSet, Engine, EngineStats, RuntimeError, TraceSample, ViewChange,
+        parse_batch_strategy, BatchReport, ChangeSet, Engine, EngineStats, RunRecord, RuntimeError,
+        TraceSample, ViewChange, FORCE_BATCH_STRATEGY_ENV, FORCE_INTERPRETER_ENV,
     };
     pub use crate::store::{CachedSource, Database, ViewMap};
 }

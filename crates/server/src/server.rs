@@ -286,6 +286,11 @@ struct StatsCell {
     /// Static per-program count (trigger statements running as compiled
     /// kernels); mirrored so readers see it without touching the engine.
     compiled_triggers: AtomicU64,
+    /// Per-strategy relation-run counters (batch-delta / statement-major /
+    /// entry-major), mirrored from the engine after each drained batch.
+    batch_delta_runs: AtomicU64,
+    statement_major_runs: AtomicU64,
+    entry_major_runs: AtomicU64,
     started: Instant,
 }
 
@@ -349,6 +354,9 @@ impl ViewServer {
                 checkpoints_taken: AtomicU64::new(0),
                 recovery_replayed_events: AtomicU64::new(engine.stats().recovery_replayed_events),
                 compiled_triggers: AtomicU64::new(engine.stats().compiled_triggers),
+                batch_delta_runs: AtomicU64::new(engine.stats().batch_delta_runs),
+                statement_major_runs: AtomicU64::new(engine.stats().statement_major_runs),
+                entry_major_runs: AtomicU64::new(engine.stats().entry_major_runs),
                 started: Instant::now(),
             },
             queries: queries.into_iter().map(|q| (q.name.clone(), q)).collect(),
@@ -500,6 +508,9 @@ impl ViewServer {
             checkpoints_taken: s.checkpoints_taken.load(Relaxed),
             recovery_replayed_events: s.recovery_replayed_events.load(Relaxed),
             compiled_triggers: s.compiled_triggers.load(Relaxed),
+            batch_delta_runs: s.batch_delta_runs.load(Relaxed),
+            statement_major_runs: s.statement_major_runs.load(Relaxed),
+            entry_major_runs: s.entry_major_runs.load(Relaxed),
         }
     }
 
@@ -1240,6 +1251,18 @@ fn writer_loop(
             .stats
             .batch_events_collapsed
             .store(s.batch_events_collapsed, Relaxed);
+        shared
+            .stats
+            .batch_delta_runs
+            .store(s.batch_delta_runs, Relaxed);
+        shared
+            .stats
+            .statement_major_runs
+            .store(s.statement_major_runs, Relaxed);
+        shared
+            .stats
+            .entry_major_runs
+            .store(s.entry_major_runs, Relaxed);
         shared
             .stats
             .busy_nanos

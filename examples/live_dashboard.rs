@@ -78,6 +78,10 @@ fn main() -> Result<(), DbToasterError> {
         stats.checkpoints_taken,
         stats.wal_bytes_written
     );
+    println!(
+        "[act 1] batch strategies: {} batch-delta runs, {} statement-major, {} entry-major",
+        stats.batch_delta_runs, stats.statement_major_runs, stats.entry_major_runs
+    );
     println!("[act 1] killing the server: no flush, no final checkpoint");
     server.kill();
 
@@ -142,6 +146,11 @@ fn main() -> Result<(), DbToasterError> {
     println!(
         "[act 2] {} events total, {} snapshots published, {} checkpoints, {} WAL bytes",
         stats.events, stats.snapshots_published, stats.checkpoints_taken, stats.wal_bytes_written
+    );
+    println!(
+        "[act 2] batch strategies (incl. recovery replay): {} batch-delta runs, \
+         {} statement-major, {} entry-major",
+        stats.batch_delta_runs, stats.statement_major_runs, stats.entry_major_runs
     );
 
     // The served result must be bit-identical to a never-crashed run of the

@@ -5,14 +5,19 @@
 //! batches, `Engine::process_batch` over the partition produces final view
 //! maps **bit-exactly** equal to `Engine::process` over the events one at a
 //! time — in all four compile modes, on the compiled-kernel path and with the
-//! interpreter forced. Streams are integer-weighted (all arithmetic exact in
-//! f64), which is exactly the regime where the ring-linearity argument of
+//! interpreter forced, and under every forced batch strategy (the batch-delta
+//! default, the pre-batch-delta statement-major dispatch, and the entry-major
+//! oracle). Streams are integer-weighted (all arithmetic exact in f64), which
+//! is exactly the regime where the ring-linearity argument of
 //! `dbtoaster_agca::batch` promises bit equality; duplicate keys and
 //! insert/delete cancellations inside one batch are generated on purpose.
 //!
-//! The query set spans both batch strategies: linear aggregates and group-bys
-//! (statement-major) and a self-join whose trigger reads a map it also writes
-//! (entry-major fallback), plus a nested-aggregate shape.
+//! The query set spans all three batch strategies: linear aggregates and
+//! group-bys (batch-delta with empty corrections, statement-major when
+//! batch-delta is disabled), a quadratic self-join whose intra-batch
+//! interaction is carried by the derived pair correction, and a stream-scaled
+//! self-join whose second delta keeps a live stream atom, defeating the
+//! derivation (entry-major fallback), plus a nested-aggregate shape.
 
 use dbtoaster::agca::{CmpOp, DeltaBatch, Expr, UpdateEvent};
 use dbtoaster::compiler::{
@@ -34,7 +39,7 @@ fn catalog() -> Catalog {
 /// The query shapes under test (see module docs).
 fn queries() -> Vec<QuerySpec> {
     vec![
-        // Linear scalar join aggregate (statement-major in HO mode).
+        // Linear scalar join aggregate (batch-delta in HO mode).
         QuerySpec {
             name: "TOTAL".into(),
             out_vars: vec![],
@@ -60,14 +65,33 @@ fn queries() -> Vec<QuerySpec> {
                 ]),
             ),
         },
-        // Self-join: the R-trigger reads the partial-sum map it also writes,
-        // forcing the entry-major fallback.
+        // Self-join: quadratic in R. The pair correction (second delta) covers
+        // intra-batch interaction exactly, so this is batch-delta eligible —
+        // the query the second-order derivation exists for.
         QuerySpec {
             name: "SELFJ".into(),
             out_vars: vec![],
             expr: Expr::agg_sum(
                 Vec::<String>::new(),
                 Expr::product_of([Expr::rel("R", ["a", "b"]), Expr::rel("R", ["a2", "b"])]),
+            ),
+        },
+        // Self-join scaled by a second stream: quadratic in R, but the second
+        // delta w.r.t. R keeps a live S atom — a *stream*, not a static
+        // table — so the pair correction would read mid-run S state and the
+        // derivation bails. The R trigger also reads partial-sum maps the
+        // relation's own statements write, so statement-major is illegal
+        // too: the entry-major fallback.
+        QuerySpec {
+            name: "SCALED".into(),
+            out_vars: vec![],
+            expr: Expr::agg_sum(
+                Vec::<String>::new(),
+                Expr::product_of([
+                    Expr::rel("R", ["a", "b"]),
+                    Expr::rel("R", ["a2", "b"]),
+                    Expr::rel("S", ["b", "c"]),
+                ]),
             ),
         },
     ]
@@ -179,7 +203,13 @@ fn assert_engines_identical(a: &Engine, b: &Engine, ctx: &str) {
     }
 }
 
-fn check_case(specs: &[QuerySpec], mode: CompileMode, force_interp: bool, seed: u64) {
+fn check_case(
+    specs: &[QuerySpec],
+    mode: CompileMode,
+    force_interp: bool,
+    force_strategy: Option<BatchStrategy>,
+    seed: u64,
+) {
     let program = compile(specs, &catalog(), &CompileOptions::for_mode(mode))
         .unwrap_or_else(|e| panic!("compile [{mode}]: {e}"));
     let events = random_stream(seed, 300);
@@ -193,6 +223,7 @@ fn check_case(specs: &[QuerySpec], mode: CompileMode, force_interp: bool, seed: 
 
     let mut batched = Engine::new(program, &catalog());
     batched.set_force_interpreter(force_interp);
+    batched.set_force_batch_strategy(force_strategy);
     let mut covered = 0u64;
     for b in &batches {
         let report = batched.process_batch(b);
@@ -205,18 +236,34 @@ fn check_case(specs: &[QuerySpec], mode: CompileMode, force_interp: bool, seed: 
     }
     assert_eq!(covered, events.len() as u64);
     assert_eq!(batched.stats().events, reference.stats().events);
+
+    // Forcing must actually disable the disallowed strategies.
+    let stats = batched.stats();
+    match force_strategy {
+        Some(BatchStrategy::EntryMajor) => {
+            assert_eq!(stats.batch_delta_runs, 0, "[{mode}] forced entry-major");
+            assert_eq!(stats.statement_major_runs, 0, "[{mode}] forced entry-major");
+        }
+        Some(BatchStrategy::StatementMajor) => {
+            assert_eq!(stats.batch_delta_runs, 0, "[{mode}] batch-delta disabled");
+        }
+        Some(BatchStrategy::BatchDelta) | None => {}
+    }
+
     let path = if force_interp { "interp" } else { "compiled" };
+    let strat = force_strategy.map_or("auto", |s| s.as_str());
     assert_engines_identical(
         &reference,
         &batched,
-        &format!("seed {seed} [{mode}/{path}]"),
+        &format!("seed {seed} [{mode}/{path}/{strat}]"),
     );
 }
 
+/// Guard the suite's own premise: the HO-compiled query set must exercise
+/// batch-delta *and* the entry-major fallback, and disabling batch-delta must
+/// reveal the legacy statement-major dispatch.
 #[test]
-fn query_set_spans_both_batch_strategies() {
-    // Guard the test's own premise: the HO-compiled query set must exercise
-    // statement-major *and* entry-major dispatch.
+fn query_set_spans_all_batch_strategies() {
     let program = compile(
         &queries(),
         &catalog(),
@@ -227,15 +274,66 @@ fn query_set_spans_both_batch_strategies() {
     assert!(
         dispatch
             .iter()
-            .any(|d| d.strategy == BatchStrategy::EntryMajor),
-        "self-join should force entry-major somewhere: {dispatch:?}"
+            .any(|d| d.strategy == BatchStrategy::BatchDelta),
+        "linear queries should derive batch-delta corrections somewhere: {dispatch:?}"
     );
     assert!(
         dispatch
             .iter()
-            .any(|d| d.strategy == BatchStrategy::StatementMajor),
-        "linear queries should allow statement-major somewhere: {dispatch:?}"
+            .any(|d| d.strategy == BatchStrategy::EntryMajor),
+        "the stream-scaled self-join should force entry-major somewhere: {dispatch:?}"
     );
+    // Forcing statement-major recovers the pre-batch-delta dispatch.
+    let legacy = program.batch_dispatch_forced(Some(BatchStrategy::StatementMajor));
+    assert!(
+        legacy
+            .iter()
+            .all(|d| d.strategy != BatchStrategy::BatchDelta),
+        "forced statement-major must disable batch-delta: {legacy:?}"
+    );
+    assert!(
+        legacy
+            .iter()
+            .any(|d| d.strategy == BatchStrategy::StatementMajor),
+        "linear queries should allow statement-major somewhere: {legacy:?}"
+    );
+    // Forcing entry-major is the oracle: everything entry-major.
+    let oracle = program.batch_dispatch_forced(Some(BatchStrategy::EntryMajor));
+    assert!(
+        oracle
+            .iter()
+            .all(|d| d.strategy == BatchStrategy::EntryMajor),
+        "forced entry-major must cover every relation: {oracle:?}"
+    );
+}
+
+/// Coverage guard for the batch benchmark sweep: every query it measures must
+/// dispatch batch-delta on all of its stream relations in higher-order mode —
+/// if one regresses to a fallback strategy, the sweep silently stops
+/// measuring the second-order path. (Other workload queries — e.g. the
+/// EXISTS-correlated TPC-H q4 — legitimately stay on the fallbacks.)
+#[test]
+fn batch_sweep_queries_dispatch_batch_delta() {
+    use dbtoaster::prelude::*;
+    for name in ["q1", "q3", "q6", "axf", "bsv"] {
+        let q = dbtoaster::workloads::query(name).unwrap();
+        let engine = QueryEngineBuilder::new(dbtoaster::workloads::full_catalog())
+            .add_query(q.name, q.sql)
+            .mode(CompileMode::HigherOrder)
+            .build()
+            .unwrap_or_else(|e| panic!("compile workload {}: {e}", q.name));
+        let dispatch = engine.program().batch_dispatch();
+        assert!(!dispatch.is_empty(), "{}: no stream relations", q.name);
+        for d in &dispatch {
+            assert_eq!(
+                d.strategy,
+                BatchStrategy::BatchDelta,
+                "workload {} relation {} lost batch-delta dispatch",
+                q.name,
+                d.relation
+            );
+        }
+    }
 }
 
 proptest! {
@@ -251,7 +349,7 @@ proptest! {
             CompileMode::Reevaluate,
         ] {
             for force_interp in [false, true] {
-                check_case(&queries(), mode, force_interp, seed);
+                check_case(&queries(), mode, force_interp, None, seed);
             }
         }
     }
@@ -266,7 +364,36 @@ proptest! {
             CompileMode::Reevaluate,
         ] {
             for force_interp in [false, true] {
-                check_case(std::slice::from_ref(&nested_query()), mode, force_interp, seed);
+                check_case(std::slice::from_ref(&nested_query()), mode, force_interp, None, seed);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Same property under every forced batch strategy: the entry-major
+    /// oracle, the legacy statement-major dispatch, and explicit batch-delta
+    /// (which equals the automatic choice) must all stay bit-exact with
+    /// per-event processing.
+    #[test]
+    fn forced_strategies_are_bit_exact(seed32 in 0u32..1_000_000u32) {
+        let seed = seed32 as u64;
+        for force in [
+            Some(BatchStrategy::EntryMajor),
+            Some(BatchStrategy::StatementMajor),
+            Some(BatchStrategy::BatchDelta),
+        ] {
+            for mode in [
+                CompileMode::HigherOrder,
+                CompileMode::FirstOrder,
+                CompileMode::NaiveViewlet,
+                CompileMode::Reevaluate,
+            ] {
+                for force_interp in [false, true] {
+                    check_case(&queries(), mode, force_interp, force, seed);
+                }
             }
         }
     }
