@@ -60,7 +60,7 @@ pub use delta::{delta, higher_order_delta, TupleUpdate, UpdateEvent, UpdateSign}
 pub use eval::{eval, eval_scalar, Bindings, EvalError, EvalScratch, MemSource, RelationSource};
 pub use expr::{AtomKind, CmpOp, Expr, RelRef, ScalarFn};
 pub use opt::{canonical_key, decorrelate, expand, simplify, Monomial, Polynomial};
-pub use plan::{lower_statement, CompiledStmt, KernelState};
+pub use plan::{lower_statement, CompiledStmt, KernelCounters, KernelState, KernelWork};
 pub use scope::{input_vars, output_vars, var_info, VarInfo};
 
 /// Convenience re-exports for downstream crates.
@@ -70,7 +70,7 @@ pub mod prelude {
     pub use crate::eval::{eval, eval_scalar, Bindings, EvalError, MemSource, RelationSource};
     pub use crate::expr::{AtomKind, CmpOp, Expr, RelRef, ScalarFn};
     pub use crate::opt::{canonical_key, decorrelate, expand, simplify, Monomial, Polynomial};
-    pub use crate::plan::{lower_statement, CompiledStmt, KernelState};
+    pub use crate::plan::{lower_statement, CompiledStmt, KernelCounters, KernelState, KernelWork};
     pub use crate::scope::{input_vars, output_vars, var_info, VarInfo};
     pub use dbtoaster_gmr::prelude::*;
 }

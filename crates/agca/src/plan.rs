@@ -1321,6 +1321,58 @@ fn hoist_invariant_subsums(stmt: &mut CompiledStmt) {
 // Execution
 // ---------------------------------------------------------------------------
 
+/// Work counters for one attribution slot (one target view, in the engine's
+/// use). Increments are plain `Cell` adds on L1-resident lines — about a
+/// cycle each, cheap enough to run unconditionally on the kernel hot paths —
+/// and the owner drains them with [`KernelCounters::take`] at its own
+/// (amortized) cadence.
+#[derive(Debug, Default)]
+pub struct KernelCounters {
+    /// Full scans executed ([`Op::Scan`] plus fused-prelude traversals).
+    pub scans: Cell<u64>,
+    /// Entries visited by those scans.
+    pub entries_scanned: Cell<u64>,
+    /// Fused prelude traversals (one bucket walk answering every member).
+    pub fused_scans: Cell<u64>,
+    /// Banded prelude lookups answered from the sorted prefix-sum cache.
+    pub banded_hits: Cell<u64>,
+    /// Banded prelude lookups that bailed to a full traversal.
+    pub banded_bails: Cell<u64>,
+}
+
+/// A drained, plain-integer copy of one [`KernelCounters`] block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelWork {
+    /// See [`KernelCounters::scans`].
+    pub scans: u64,
+    /// See [`KernelCounters::entries_scanned`].
+    pub entries_scanned: u64,
+    /// See [`KernelCounters::fused_scans`].
+    pub fused_scans: u64,
+    /// See [`KernelCounters::banded_hits`].
+    pub banded_hits: u64,
+    /// See [`KernelCounters::banded_bails`].
+    pub banded_bails: u64,
+}
+
+impl KernelCounters {
+    /// Copy the counters out and reset them.
+    pub fn take(&self) -> KernelWork {
+        KernelWork {
+            scans: self.scans.take(),
+            entries_scanned: self.entries_scanned.take(),
+            fused_scans: self.fused_scans.take(),
+            banded_hits: self.banded_hits.take(),
+            banded_bails: self.banded_bails.take(),
+        }
+    }
+}
+
+#[inline]
+fn bump(c: &Cell<u64>) {
+    c.set(c.get() + 1);
+}
+
 /// Reusable per-engine kernel execution state: the slot frame, one pattern
 /// buffer per atom, scratch group maps for `Exists`, and the buffered output
 /// rows. Steady-state execution allocates nothing — every buffer is sized on
@@ -1343,6 +1395,14 @@ pub struct KernelState {
     run_entries: u32,
     /// Buffered `(key, multiplicity)` emissions of the last execution.
     pub out: Vec<(Tuple, f64)>,
+    /// Work-counter blocks, one per attribution slot (the engine maps slots
+    /// to target views). Slot 0 always exists and doubles as the discard
+    /// block when no finer attribution is configured.
+    pub counter_slots: Vec<KernelCounters>,
+    /// The block the next execution's counters land in. Set by the engine
+    /// before [`CompiledStmt::execute`]; out-of-range values clamp to the
+    /// last block.
+    pub counter_slot: usize,
 }
 
 impl KernelState {
@@ -1390,6 +1450,13 @@ impl KernelState {
     pub fn set_run_entries(&mut self, n: usize) {
         self.run_entries = n.min(u32::MAX as usize) as u32;
     }
+
+    /// Make sure at least `n` counter blocks exist (never shrinks).
+    pub fn ensure_counter_slots(&mut self, n: usize) {
+        while self.counter_slots.len() < n.max(1) {
+            self.counter_slots.push(KernelCounters::default());
+        }
+    }
 }
 
 /// Minimum delta-run entries before a banded prelude pays for its sort.
@@ -1436,6 +1503,7 @@ struct Exec<'a> {
     accs: &'a [Cell<f64>],
     bands: &'a mut FastMap<(u16, Tuple), BandCache>,
     run_entries: u32,
+    counters: &'a KernelCounters,
     out: &'a mut Vec<(Tuple, f64)>,
     /// Rows below this index belong to earlier batch entries: the sink's
     /// consecutive-same-key collapse must never merge across them (each
@@ -1467,6 +1535,7 @@ impl Exec<'_> {
         binds: &[(u16, Slot)],
         on_match: &mut dyn FnMut(&mut Self, f64),
     ) {
+        bump(&self.counters.scans);
         let mut pattern = std::mem::take(&mut self.patterns[buf as usize]);
         for (p, t) in pattern.iter_mut().zip(template.iter()) {
             *p = t.map(|slot| self.frame[slot as usize].clone());
@@ -1474,6 +1543,7 @@ impl Exec<'_> {
         let arity = template.len();
         let src = self.src;
         let result = src.for_each_matching(rel, &pattern, &mut |t, m| {
+            bump(&self.counters.entries_scanned);
             if self.error.is_some() || m == 0.0 {
                 return;
             }
@@ -1692,10 +1762,13 @@ impl Exec<'_> {
         if self.run_entries >= BAND_MIN_RUN_ENTRIES {
             if let Some(pos) = fs.band_pos {
                 if self.run_banded(idx, fs, pos) || self.error.is_some() {
+                    bump(&self.counters.banded_hits);
                     return;
                 }
+                bump(&self.counters.banded_bails);
             }
         }
+        bump(&self.counters.fused_scans);
         let accs = self.accs;
         for c in &accs[..fs.members.len()] {
             c.set(0.0);
@@ -1973,6 +2046,10 @@ impl CompiledStmt {
     ) -> Result<(), EvalError> {
         debug_assert!(state.frame.len() >= self.frame_size as usize);
         let merge_floor = state.out.len();
+        if state.counter_slots.is_empty() {
+            state.counter_slots.push(KernelCounters::default());
+        }
+        let counter_slot = state.counter_slot.min(state.counter_slots.len() - 1);
         let mut exec = Exec {
             src,
             frame: &mut state.frame,
@@ -1981,6 +2058,7 @@ impl CompiledStmt {
             accs: &state.fused_accs,
             bands: &mut state.bands,
             run_entries: state.run_entries,
+            counters: &state.counter_slots[counter_slot],
             out: &mut state.out,
             merge_floor,
             key_slots: &self.key_slots,

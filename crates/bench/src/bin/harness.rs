@@ -91,8 +91,19 @@ fn micro(config: &ExperimentConfig, label: &str, json: Option<&str>) {
     println!("{}", format_micro(&results));
     if let Some(path) = json {
         let payload = micro_json(label, config, &results);
-        std::fs::write(path, &payload).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
-        println!("wrote {path}");
+        if bench_telemetry_off() {
+            std::fs::write(path, &payload)
+                .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+            println!("wrote {path} (telemetry off: no latency blocks)");
+        } else {
+            // The fig6 runs carry telemetry percentiles; refuse to write a
+            // JSON that lost them (CI greps for this line in the smoke run).
+            let blocks = validate_latency_json(&payload)
+                .unwrap_or_else(|e| panic!("micro JSON missing/invalid latency blocks: {e}"));
+            std::fs::write(path, &payload)
+                .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+            println!("wrote {path} ({blocks} latency blocks validated)");
+        }
     }
 }
 
@@ -124,8 +135,17 @@ fn batch(config: &ExperimentConfig, label: &str, json: Option<&str>) {
     println!("{}", format_micro(&results));
     if let Some(path) = json {
         let payload = micro_json(label, config, &results);
-        std::fs::write(path, &payload).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
-        println!("wrote {path}");
+        if bench_telemetry_off() {
+            std::fs::write(path, &payload)
+                .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+            println!("wrote {path} (telemetry off: no latency blocks)");
+        } else {
+            let blocks = validate_latency_json(&payload)
+                .unwrap_or_else(|e| panic!("batch JSON missing/invalid latency blocks: {e}"));
+            std::fs::write(path, &payload)
+                .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+            println!("wrote {path} ({blocks} latency blocks validated)");
+        }
     }
 }
 

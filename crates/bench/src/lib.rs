@@ -67,6 +67,10 @@ pub struct RunStats {
     pub memory_mb: f64,
     /// Processing time in seconds.
     pub elapsed: f64,
+    /// Per-batch latency percentiles from the run's telemetry handle (each
+    /// `process` call is a batch of one, so for the per-event figures these
+    /// are per-event latencies).
+    pub latency: Option<HistogramSummary>,
 }
 
 /// A point of a trace figure (Figures 8–10 and 13–18).
@@ -159,6 +163,13 @@ pub fn run_stream_opts(
     force_interpreter: bool,
 ) -> RunStats {
     let mut engine = build_engine_opts(q, mode, data, force_interpreter);
+    // Measure with telemetry ENABLED: the published figures carry its (small)
+    // cost, and the latency percentiles come from the same run. Slow-batch
+    // tracing is parked with an unreachable threshold so no trace ever
+    // assembles mid-measurement. `DBTOASTER_BENCH_TELEMETRY=off` swaps in a
+    // disabled handle for A/B-ing the instrumentation cost on one machine.
+    let tel = bench_telemetry();
+    engine.set_telemetry(tel.clone());
     let start = Instant::now();
     let mut processed = 0usize;
     for event in &data.events {
@@ -171,16 +182,47 @@ pub fn run_stream_opts(
             break;
         }
     }
+    engine.flush_telemetry();
+    let snap = tel.snapshot();
+    // The reported operation count is the telemetry/engine event counter, not
+    // the loop's own tally: throughput math and `stats()` draw from one
+    // source and can never disagree.
+    debug_assert!(!snap.enabled || snap.events == processed as u64);
     let stats = engine.stats();
     RunStats {
         query: q.name.to_string(),
         mode,
-        processed,
+        processed: if snap.enabled {
+            snap.events as usize
+        } else {
+            processed
+        },
         total: data.events.len(),
         refresh_rate: stats.refresh_rate(),
         memory_mb: engine.memory_bytes() as f64 / (1024.0 * 1024.0),
         elapsed: stats.busy.as_secs_f64(),
+        latency: snap.enabled.then_some(snap.batch_latency),
     }
+}
+
+/// The telemetry handle benchmark runs attach: enabled by default (published
+/// figures carry the instrumentation cost), disabled when
+/// `DBTOASTER_BENCH_TELEMETRY=off` — the switch behind same-machine A/B
+/// measurements of telemetry overhead.
+fn bench_telemetry() -> Telemetry {
+    if bench_telemetry_off() {
+        Telemetry::disabled()
+    } else {
+        Telemetry::with_config(TelemetryConfig {
+            slow_batch_threshold: Duration::from_secs(3600),
+            ..TelemetryConfig::default()
+        })
+    }
+}
+
+/// True when `DBTOASTER_BENCH_TELEMETRY=off` requests uninstrumented runs.
+pub fn bench_telemetry_off() -> bool {
+    std::env::var("DBTOASTER_BENCH_TELEMETRY").is_ok_and(|v| v == "off")
 }
 
 // ---------------------------------------------------------------------------
@@ -392,6 +434,8 @@ pub struct MicroResult {
     pub strategy: Option<String>,
     /// Events cancelled by in-batch/run coalescing (batch sweep only).
     pub collapsed: Option<u64>,
+    /// Per-batch latency percentiles from the run's telemetry handle.
+    pub latency: Option<HistogramSummary>,
 }
 
 fn time_ops(name: &str, ops: usize, f: impl FnOnce()) -> MicroResult {
@@ -482,6 +526,7 @@ pub fn micro_benchmarks(config: &ExperimentConfig) -> Vec<MicroResult> {
                 ops_per_sec: stats.refresh_rate,
                 ops: stats.processed,
                 elapsed_secs: stats.elapsed,
+                latency: stats.latency,
                 ..Default::default()
             });
         }
@@ -517,6 +562,8 @@ fn batch_run(
         CompileMode::NaiveViewlet => "_naive",
     };
     let mut engine = build_engine(q, mode, data);
+    let tel = bench_telemetry();
+    engine.set_telemetry(tel.clone());
     let mut delta = DeltaBatch::new();
     // Pre-chunk an owned copy of the stream before the clock starts: a real
     // producer (the serving writer draining its queue, WAL replay decoding a
@@ -546,6 +593,15 @@ fn batch_run(
         }
     }
     let elapsed = start.elapsed().as_secs_f64();
+    engine.flush_telemetry();
+    let snap = tel.snapshot();
+    debug_assert!(!snap.enabled || snap.events == processed as u64);
+    // Single source of truth (see run_stream_opts).
+    let processed = if snap.enabled {
+        snap.events as usize
+    } else {
+        processed
+    };
     // Report which strategies the dispatch actually chose (a query whose
     // relations split across strategies reports all of them), plus how many
     // events in-batch coalescing cancelled outright.
@@ -571,6 +627,7 @@ fn batch_run(
         elapsed_secs: elapsed,
         strategy: Some(used.join("+")),
         collapsed: Some(stats.batch_events_collapsed),
+        latency: snap.enabled.then_some(snap.batch_latency),
     }
 }
 
@@ -965,6 +1022,13 @@ pub fn micro_json(label: &str, config: &ExperimentConfig, results: &[MicroResult
         if let Some(c) = r.collapsed {
             extra.push_str(&format!(", \"collapsed\": {c}"));
         }
+        if let Some(l) = &r.latency {
+            extra.push_str(&format!(
+                ", \"latency\": {{\"count\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \
+                 \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                l.count, l.mean_nanos, l.p50_nanos, l.p90_nanos, l.p99_nanos, l.max_nanos
+            ));
+        }
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"ops_per_sec\": {:.1}, \"ops\": {}, \"elapsed_secs\": {:.4}{}}}{}\n",
             json_escape(&r.name),
@@ -977,6 +1041,55 @@ pub fn micro_json(label: &str, config: &ExperimentConfig, results: &[MicroResult
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Validate the `latency` blocks of a [`micro_json`] document: every block
+/// must carry all six fields with numeric values, and at least one block must
+/// be present. Returns the number of blocks checked. The CI release-harness
+/// smoke runs this against the emitted JSON so a refactor that silently drops
+/// the percentile block fails the build instead of degrading dashboards.
+pub fn validate_latency_json(json: &str) -> Result<usize, String> {
+    const KEYS: [&str; 6] = [
+        "\"count\"",
+        "\"mean_ns\"",
+        "\"p50_ns\"",
+        "\"p90_ns\"",
+        "\"p99_ns\"",
+        "\"max_ns\"",
+    ];
+    let mut found = 0usize;
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"latency\":") {
+        let after = &rest[pos + "\"latency\":".len()..];
+        let Some(open) = after.find('{') else {
+            return Err("latency key without an object".into());
+        };
+        let Some(close) = after[open..].find('}') else {
+            return Err("unterminated latency object".into());
+        };
+        let body = &after[open..=open + close];
+        for key in KEYS {
+            let Some(kpos) = body.find(key) else {
+                return Err(format!("latency block missing {key}: {body}"));
+            };
+            let val = body[kpos + key.len()..]
+                .trim_start_matches(':')
+                .trim_start();
+            let num: String = val
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            if num.parse::<f64>().is_err() {
+                return Err(format!("latency field {key} is not numeric: {body}"));
+            }
+        }
+        found += 1;
+        rest = &after[open + close..];
+    }
+    if found == 0 {
+        return Err("no latency block found in JSON output".into());
+    }
+    Ok(found)
 }
 
 /// Render micro-benchmark results as an aligned text table.
@@ -993,6 +1106,12 @@ pub fn format_micro(results: &[MicroResult]) -> String {
         }
         if let Some(c) = r.collapsed {
             out.push_str(&format!(" ({c} collapsed)"));
+        }
+        if let Some(l) = &r.latency {
+            out.push_str(&format!(
+                "  p50={}ns p99={}ns max={}ns",
+                l.p50_nanos, l.p99_nanos, l.max_nanos
+            ));
         }
         out.push('\n');
     }
@@ -1098,6 +1217,46 @@ mod tests {
         assert_eq!(stats.processed, data.events.len());
         assert!(stats.refresh_rate > 0.0);
         assert!(stats.memory_mb >= 0.0);
+        // The run carries its own latency percentiles, one sample per event.
+        let lat = stats.latency.expect("run_stream attaches telemetry");
+        assert_eq!(lat.count, data.events.len() as u64);
+        assert!(lat.p50_nanos > 0 && lat.p50_nanos <= lat.p99_nanos);
+        assert!(lat.p99_nanos <= lat.max_nanos.max(lat.p99_nanos));
+    }
+
+    #[test]
+    fn micro_json_latency_blocks_validate() {
+        let results = vec![
+            MicroResult {
+                name: "with_latency".into(),
+                ops_per_sec: 10.0,
+                ops: 10,
+                elapsed_secs: 1.0,
+                latency: Some(HistogramSummary {
+                    count: 10,
+                    sum_nanos: 1000,
+                    max_nanos: 200,
+                    mean_nanos: 100.0,
+                    p50_nanos: 90,
+                    p90_nanos: 150,
+                    p99_nanos: 190,
+                }),
+                ..Default::default()
+            },
+            MicroResult {
+                name: "without".into(),
+                ..Default::default()
+            },
+        ];
+        let config = ExperimentConfig::default();
+        let json = micro_json("test", &config, &results);
+        assert_eq!(validate_latency_json(&json), Ok(1));
+        // A document with no latency block at all must be rejected.
+        let none = micro_json("test", &config, &results[1..]);
+        assert!(validate_latency_json(&none).is_err());
+        // A mangled block (missing field) must be rejected too.
+        let broken = json.replace("\"p99_ns\"", "\"p99\"");
+        assert!(validate_latency_json(&broken).is_err());
     }
 
     #[test]

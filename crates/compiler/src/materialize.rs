@@ -112,10 +112,35 @@ impl MapRegistry {
         }
         self.counter += 1;
         let name = format!("m_{}_{}", name_hint.to_lowercase(), self.counter);
+        // Alpha-rename key columns inherited from trigger variables (they contain
+        // `@`). A map keyed by a literal trigger-variable name — e.g.
+        // `m[r@b] := Sum[r@b](S(r@b, c) * R(c, d))` from a ΔR term — is a capture
+        // hazard: deriving *this map's* maintenance statements w.r.t. a later
+        // update of the same relation re-introduces the trigger variable `r@b`
+        // as a bound runtime value, silently pinning what should be a `foreach`
+        // loop column to the updated tuple. Renaming to a per-map key name at
+        // registration makes the definition's free variables disjoint from every
+        // possible trigger variable (`<rel>@<col>` never contains `@@`). View
+        // references are positional, so callers keep their own argument names.
+        let (stored_out_vars, definition) = if out_vars.iter().any(|v| v.contains('@')) {
+            let subst: dbtoaster_gmr::FastMap<String, String> = out_vars
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.contains('@'))
+                .map(|(i, v)| (v.clone(), format!("{name}@@k{i}")))
+                .collect();
+            let renamed: Vec<String> = out_vars
+                .iter()
+                .map(|v| subst.get(v).cloned().unwrap_or_else(|| v.clone()))
+                .collect();
+            (renamed, definition.rename_vars(&subst))
+        } else {
+            (out_vars.clone(), definition)
+        };
         let init_from_tables = !definition.contains_atom_kind(AtomKind::Stream);
         self.maps.push(MapDecl {
             name: name.clone(),
-            out_vars: out_vars.clone(),
+            out_vars: stored_out_vars,
             definition,
             is_query_result: false,
             init_from_tables,

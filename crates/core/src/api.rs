@@ -318,9 +318,18 @@ impl QueryEngine {
         // instead of after it).
         let lock = dbtoaster_durability::acquire_dir_lock(&dcfg.dir)
             .map_err(|e| DbToasterError::Serve(ServeError::Durability(e)))?;
-        let recovered =
+        // The recovery replay (checkpoint load + WAL re-application) is timed
+        // into the telemetry handle the server will adopt, so startup cost
+        // shows up next to the serving-stage timings in `metrics()`.
+        let tel = match self.engine.telemetry() {
+            Some(t) if t.is_enabled() => t.clone(),
+            _ => dbtoaster_telemetry::Telemetry::with_config(config.telemetry.clone()),
+        };
+        let recovered = {
+            let _t = tel.stage_guard(dbtoaster_telemetry::Stage::RecoveryReplay);
             dbtoaster_durability::recover(&dcfg.dir, self.engine.program().clone(), &self.catalog)
-                .map_err(|e| DbToasterError::Serve(ServeError::Durability(e)))?;
+                .map_err(|e| DbToasterError::Serve(ServeError::Durability(e)))?
+        };
         // Released before serving: the writer thread re-acquires it in spawn.
         // The gap can only produce a clean `Locked` refusal there, never a
         // mutation race — every directory mutation happens under the lock.
@@ -352,6 +361,9 @@ impl QueryEngine {
             }
             None => self.init()?, // fresh start: initialize static views
         }
+        // Hand the (possibly recovery-stamped) telemetry handle to the engine;
+        // `ViewServer::spawn` reuses an already-enabled handle.
+        self.engine.set_telemetry(tel);
         let server = self.serve_with(config)?;
         if let Some(detail) = degraded {
             server.record_durability_warning(
@@ -378,6 +390,26 @@ impl QueryEngine {
     /// Runtime statistics (events processed, refresh rate).
     pub fn stats(&self) -> &EngineStats {
         self.engine.stats()
+    }
+
+    /// Attach a [`Telemetry`](dbtoaster_telemetry::Telemetry) handle: batch
+    /// latency histograms, per-stage timings, per-view counters and slow-batch
+    /// traces. An enabled handle costs a few nanoseconds per batch; the
+    /// default disabled handle keeps the hot path untouched.
+    pub fn set_telemetry(&mut self, tel: dbtoaster_telemetry::Telemetry) {
+        self.engine.set_telemetry(tel);
+    }
+
+    /// The attached telemetry handle, if any.
+    pub fn telemetry(&self) -> Option<&dbtoaster_telemetry::Telemetry> {
+        self.engine.telemetry()
+    }
+
+    /// Fold the engine's thread-local telemetry buffers into the shared
+    /// registry so a subsequent `Telemetry::snapshot` covers every processed
+    /// event (the engine otherwise flushes every few dozen batches).
+    pub fn flush_telemetry(&mut self) {
+        self.engine.flush_telemetry();
     }
 
     /// Approximate memory footprint of all maintained state, in bytes.

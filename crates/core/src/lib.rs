@@ -57,6 +57,7 @@ pub use dbtoaster_gmr as gmr;
 pub use dbtoaster_runtime as runtime;
 pub use dbtoaster_server as server;
 pub use dbtoaster_sql as sql;
+pub use dbtoaster_telemetry as telemetry;
 pub use dbtoaster_workloads as workloads;
 
 /// Everything needed for typical use.
@@ -72,4 +73,7 @@ pub mod prelude {
         ServerConfig, Snapshot, Subscription, ViewServer,
     };
     pub use dbtoaster_sql::{SqlCatalog, TableDef};
+    pub use dbtoaster_telemetry::{
+        HistogramSummary, MetricsSnapshot, SlowBatchTrace, Stage, Telemetry, TelemetryConfig,
+    };
 }

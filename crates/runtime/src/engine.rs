@@ -75,6 +75,9 @@ use dbtoaster_compiler::{
     TriggerProgram,
 };
 use dbtoaster_gmr::{FastMap, Gmr, Tuple, Value};
+use dbtoaster_telemetry::{
+    LocalHistogram, RunSpan, SlowBatchTrace, Stage, StmtSpan, Telemetry, ViewCounters,
+};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -660,6 +663,171 @@ pub struct Engine {
     /// Fill [`BatchReport::runs`] with per-run strategy records (off by
     /// default; see [`Engine::set_run_recording`]).
     record_runs: bool,
+    /// Telemetry buffers, present only after [`Engine::set_telemetry`] with
+    /// an enabled handle. `None` keeps the hot path at one predictable
+    /// branch per batch.
+    tel: Option<Box<TelemetryState>>,
+}
+
+/// How many delta batches between automatic telemetry flushes (local
+/// histogram buffers and per-view pendings folded into the shared atomics).
+const TELEMETRY_FLUSH_BATCHES: u64 = 64;
+
+/// Reused scratch for one statement span of an armed batch (strings and
+/// vectors recycled — assembling an owned [`SlowBatchTrace`] only happens on
+/// the slow path).
+#[derive(Debug, Default)]
+struct StmtScratch {
+    target: String,
+    nanos: u64,
+    rows: u64,
+}
+
+/// Reused scratch for one relation run of an armed batch.
+#[derive(Debug, Default)]
+struct RunScratch {
+    relation: String,
+    strategy: &'static str,
+    events: u64,
+    entries: u64,
+    nanos: u64,
+    corrections: u64,
+    stmts: Vec<StmtScratch>,
+    stmts_live: usize,
+}
+
+/// Engine-side telemetry buffers. Everything recorded per event or per batch
+/// lands in plain-integer locals (no atomics, no extra clock reads on the
+/// batch-of-1 path beyond the pre-existing busy-time pair); the shared
+/// [`Telemetry`] atomics are touched only by [`Engine::flush_telemetry`],
+/// which runs automatically every [`TELEMETRY_FLUSH_BATCHES`] batches.
+struct TelemetryState {
+    tel: Telemetry,
+    /// Whole-batch latency (the existing busy-time `Instant` pair re-used).
+    batch_hist: LocalHistogram,
+    /// Kernel-execute latency split by executed strategy:
+    /// `[batch-delta, statement-major, entry-major]`.
+    stage_hists: [LocalHistogram; 3],
+    /// Shared per-view counter blocks, index-aligned with `map_names` and
+    /// with the kernel's [`dbtoaster_agca::KernelCounters`] slots.
+    views: Vec<Arc<ViewCounters>>,
+    map_names: Vec<String>,
+    /// Un-flushed per-view deltas (plain adds on the hot path).
+    pending_rows: Vec<u64>,
+    pending_corrections: Vec<u64>,
+    /// `[tidx][stmt]` → view slot of the trigger statement's target.
+    stmt_slot: Vec<Vec<u32>>,
+    /// `[correction idx][stmt]` → view slot of the correction's target.
+    corr_slot: Vec<Vec<u32>>,
+    /// Events/batches already folded into the telemetry counters.
+    flushed_events: u64,
+    flushed_batches: u64,
+    slow_threshold_nanos: u64,
+    arm_min_events: u64,
+    /// Span timing armed for the current batch (big enough to amortize the
+    /// per-run/per-statement clock reads; never the batch-of-1 path).
+    armed: bool,
+    runs: Vec<RunScratch>,
+    runs_live: usize,
+}
+
+impl TelemetryState {
+    fn stage_index(strategy: BatchStrategy) -> usize {
+        match strategy {
+            BatchStrategy::BatchDelta => 0,
+            BatchStrategy::StatementMajor => 1,
+            BatchStrategy::EntryMajor => 2,
+        }
+    }
+
+    fn stage_of(idx: usize) -> Stage {
+        match idx {
+            0 => Stage::KernelBatchDelta,
+            1 => Stage::KernelStatementMajor,
+            _ => Stage::KernelEntryMajor,
+        }
+    }
+
+    /// Start a run span (armed batches only). Strings are recycled.
+    fn begin_run(&mut self, relation: &str, events: u64, entries: usize) {
+        if self.runs_live == self.runs.len() {
+            self.runs.push(RunScratch::default());
+        }
+        let r = &mut self.runs[self.runs_live];
+        r.relation.clear();
+        r.relation.push_str(relation);
+        r.strategy = "";
+        r.events = events;
+        r.entries = entries as u64;
+        r.nanos = 0;
+        r.corrections = 0;
+        r.stmts_live = 0;
+        self.runs_live += 1;
+    }
+
+    /// Close the current run span.
+    fn end_run(&mut self, strategy: Option<BatchStrategy>, nanos: u64) {
+        let r = &mut self.runs[self.runs_live - 1];
+        r.strategy = strategy.map_or("base-only", |s| s.as_str());
+        r.nanos = nanos;
+        if let Some(s) = strategy {
+            self.stage_hists[Self::stage_index(s)].record(nanos);
+        }
+    }
+
+    /// Record one statement span under the current run.
+    fn stmt_span(&mut self, target: &str, nanos: u64, rows: u64) {
+        if self.runs_live == 0 {
+            return;
+        }
+        let r = &mut self.runs[self.runs_live - 1];
+        if r.stmts_live == r.stmts.len() {
+            r.stmts.push(StmtScratch::default());
+        }
+        let s = &mut r.stmts[r.stmts_live];
+        s.target.clear();
+        s.target.push_str(target);
+        s.nanos = nanos;
+        s.rows = rows;
+        r.stmts_live += 1;
+    }
+
+    /// Build an owned trace from the scratch spans (slow path; allocates).
+    fn assemble_trace(&self, elapsed_nanos: u64, events: u64) -> SlowBatchTrace {
+        SlowBatchTrace {
+            seq: 0, // assigned by the ring
+            elapsed_nanos,
+            threshold_nanos: self.slow_threshold_nanos,
+            events,
+            runs: self.runs[..self.runs_live]
+                .iter()
+                .map(|r| RunSpan {
+                    relation: r.relation.clone(),
+                    strategy: r.strategy.to_string(),
+                    events: r.events,
+                    entries: r.entries,
+                    nanos: r.nanos,
+                    correction_firings: r.corrections,
+                    statements: r.stmts[..r.stmts_live]
+                        .iter()
+                        .map(|s| StmtSpan {
+                            target: s.target.clone(),
+                            nanos: s.nanos,
+                            rows: s.rows,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Total rows one buffered statement will apply: emitted rows times the
+/// per-entry repetition count.
+fn segs_rows(segs: &[Seg]) -> u64 {
+    segs.iter()
+        .map(|s| (s.end - s.start) as u64 * s.reps as u64)
+        .sum()
 }
 
 impl Engine {
@@ -704,6 +872,7 @@ impl Engine {
             force_interpreter: false,
             forced_strategy: None,
             record_runs: false,
+            tel: None,
         };
         engine.set_force_batch_strategy(env_forced_batch_strategy());
         engine.set_force_interpreter(env_forces_interpreter());
@@ -934,8 +1103,38 @@ impl Engine {
             merged = Some(scratch);
         }
         let source: &DeltaBatch = merged.as_ref().unwrap_or(batch);
+        // Arm per-run/per-statement span timing only for batches big enough
+        // to amortize the extra clock reads — never the batch-of-1 path.
+        let armed = match self.tel.as_deref_mut() {
+            Some(ts) => {
+                ts.runs_live = 0;
+                ts.armed = report.events >= ts.arm_min_events;
+                ts.armed
+            }
+            None => false,
+        };
+        let mut run_count = 0u32;
+        let mut last_strategy: Option<BatchStrategy> = None;
         for run in source.runs() {
-            self.process_run(&program, run, &mut report);
+            let rt0 = if armed {
+                self.tel
+                    .as_deref_mut()
+                    .expect("armed implies tel")
+                    .begin_run(run.relation(), run.events(), run.entries().len());
+                Some(Instant::now())
+            } else {
+                None
+            };
+            let strat = self.process_run(&program, run, &mut report);
+            run_count += 1;
+            last_strategy = strat;
+            if let Some(rt0) = rt0 {
+                let nanos = rt0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                self.tel
+                    .as_deref_mut()
+                    .expect("armed implies tel")
+                    .end_run(strat, nanos);
+            }
         }
         self.stats.batch_events_collapsed += source.collapsed_events();
         if let Some(m) = merged {
@@ -943,7 +1142,34 @@ impl Engine {
         }
         self.stats.events += report.events - report.failed_events;
         self.stats.delta_batches += 1;
-        self.stats.busy += t0.elapsed();
+        let elapsed = t0.elapsed();
+        self.stats.busy += elapsed;
+        if let Some(ts) = self.tel.as_deref_mut() {
+            let nanos = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+            ts.batch_hist.record(nanos);
+            // Strategy attribution without extra clock reads: a single-run
+            // batch (the overwhelmingly common case, and always the
+            // batch-of-1 path) is its one run, so the whole batch
+            // measurement is the run's kernel-execute time. Multi-run
+            // batches were attributed per run above when armed.
+            if run_count == 1 && !armed {
+                if let Some(s) = last_strategy {
+                    ts.stage_hists[TelemetryState::stage_index(s)].record(nanos);
+                }
+            }
+            if ts.slow_threshold_nanos > 0 && nanos >= ts.slow_threshold_nanos {
+                let trace = ts.assemble_trace(nanos, report.events);
+                ts.tel.push_trace(trace);
+            }
+            ts.armed = false;
+            if self
+                .stats
+                .delta_batches
+                .is_multiple_of(TELEMETRY_FLUSH_BATCHES)
+            {
+                self.flush_telemetry();
+            }
+        }
         report
     }
 
@@ -964,19 +1190,21 @@ impl Engine {
     // Batch execution
     // -----------------------------------------------------------------------
 
-    /// Dispatch one relation run.
+    /// Dispatch one relation run. Returns the strategy that actually
+    /// executed (`None` when the run applied only a base update or failed
+    /// its arity gate).
     fn process_run(
         &mut self,
         program: &TriggerProgram,
         run: &RelationDelta,
         report: &mut BatchReport,
-    ) {
+    ) -> Option<BatchStrategy> {
         let Some(&disp) = self.dispatch.get(run.relation()) else {
             // No trigger for this relation under either sign (e.g. an update
             // to a relation no query depends on): still keep the stored base
             // relation consistent.
             self.apply_base_run(run, false);
-            return;
+            return None;
         };
         // Arity gate, per run (runs are arity-uniform by construction): a
         // mismatched event applies nothing — not even the base update — just
@@ -992,7 +1220,7 @@ impl Engine {
                         expected: trigger.trigger_vars.len(),
                         actual: run.arity(),
                     });
-                return;
+                return None;
             }
         }
         let executed = match disp.strategy {
@@ -1017,6 +1245,54 @@ impl Engine {
                 strategy: executed,
                 events: run.events(),
             });
+        }
+        Some(executed)
+    }
+
+    /// Route the kernel's work counters at the view slot of a trigger
+    /// statement's target (no-op without telemetry).
+    #[inline]
+    fn set_counter_slot(&mut self, tidx: u16, j: usize) {
+        if let Some(ts) = self.tel.as_deref() {
+            if let Some(&slot) = ts.stmt_slot.get(tidx as usize).and_then(|v| v.get(j)) {
+                if slot != u32::MAX {
+                    self.kernel.counter_slot = slot as usize;
+                }
+            }
+        }
+    }
+
+    /// A statement-span start time, taken only when the current batch armed
+    /// span timing (see [`TelemetryState::armed`]).
+    #[inline]
+    fn armed_instant(&self) -> Option<Instant> {
+        match self.tel.as_deref() {
+            Some(ts) if ts.armed => Some(Instant::now()),
+            _ => None,
+        }
+    }
+
+    /// Close a statement span opened by [`Engine::armed_instant`].
+    fn note_stmt(&mut self, st0: Option<Instant>, target: &str, rows: u64) {
+        if let Some(t0) = st0 {
+            let nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            if let Some(ts) = self.tel.as_deref_mut() {
+                ts.stmt_span(target, nanos, rows);
+            }
+        }
+    }
+
+    /// Credit rows written to the current counter slot's view (no-op without
+    /// telemetry).
+    #[inline]
+    fn note_rows(&mut self, rows: u64) {
+        if rows == 0 {
+            return;
+        }
+        if let Some(ts) = self.tel.as_deref_mut() {
+            if let Some(r) = ts.pending_rows.get_mut(self.kernel.counter_slot) {
+                *r += rows;
+            }
         }
     }
 
@@ -1068,6 +1344,7 @@ impl Engine {
         // Phase 1: incremental statements read the old state.
         for (j, stmt) in trigger.statements.iter().enumerate() {
             if stmt.op == StmtOp::Increment {
+                self.set_counter_slot(tidx, j);
                 self.exec_dispatch(
                     stmt,
                     flat_get(kernels, j),
@@ -1082,6 +1359,7 @@ impl Engine {
         // Phase 3: re-evaluation statements read the new state.
         for (j, stmt) in trigger.statements.iter().enumerate() {
             if stmt.op == StmtOp::Replace {
+                self.set_counter_slot(tidx, j);
                 self.exec_dispatch(
                     stmt,
                     flat_get(kernels, j),
@@ -1122,10 +1400,19 @@ impl Engine {
                 if stmt.op != StmtOp::Increment {
                     continue;
                 }
+                self.set_counter_slot(tidx, j);
+                let st0 = self.armed_instant();
                 let res = match flat_get(kernels, j) {
                     Some(k) => self.increment_compiled_over(stmt, k, run, sign, report),
                     None => self.increment_interp_over(stmt, trigger, run, sign, report),
                 };
+                if self.tel.is_some() && res.is_ok() {
+                    // `batch.segs` still holds this statement's entry
+                    // boundaries after the buffered apply.
+                    let rows = segs_rows(&self.batch.segs);
+                    self.note_rows(rows);
+                    self.note_stmt(st0, &stmt.target, rows);
+                }
                 if let Err(e) = res {
                     // Statement-level failure (missing target view): program
                     // corruption rather than a poison event. The buffered
@@ -1173,6 +1460,7 @@ impl Engine {
             if stmt.op != StmtOp::Replace {
                 continue;
             }
+            self.set_counter_slot(tidx, j);
             if let Err(e) = self.exec_dispatch(
                 stmt,
                 flat_get(kernels, j),
@@ -1233,7 +1521,11 @@ impl Engine {
         let mut first_err: Option<RuntimeError> = None;
         {
             let Engine {
-                db, changes, bd, ..
+                db,
+                changes,
+                bd,
+                tel,
+                ..
             } = self;
             for ds in &bd.stmts[..bd.live] {
                 let target = if ds.tidx == u16::MAX {
@@ -1244,6 +1536,27 @@ impl Engine {
                 };
                 if let Err(e) = apply_buffered_statement(db, changes, target, &ds.segs, &ds.rows) {
                     first_err.get_or_insert(e);
+                } else if let Some(ts) = tel.as_deref_mut() {
+                    // Rows are credited at apply time (not collection), so a
+                    // run that falls back entry-major never double-counts.
+                    let slot = if ds.tidx == u16::MAX {
+                        disp.correction.and_then(|ci| {
+                            ts.corr_slot
+                                .get(ci as usize)
+                                .and_then(|v| v.get(ds.stmt as usize))
+                                .copied()
+                        })
+                    } else {
+                        ts.stmt_slot
+                            .get(ds.tidx as usize)
+                            .and_then(|v| v.get(ds.stmt as usize))
+                            .copied()
+                    };
+                    if let Some(slot) = slot {
+                        if let Some(r) = ts.pending_rows.get_mut(slot as usize) {
+                            *r += segs_rows(&ds.segs);
+                        }
+                    }
                 }
             }
         }
@@ -1288,9 +1601,19 @@ impl Engine {
                 if !self.db.contains(&stmt.target) {
                     return Err(RuntimeError::UnknownView(stmt.target.clone()));
                 }
+                self.set_counter_slot(tidx, j);
+                let st0 = self.armed_instant();
                 match flat_get(kernels, j) {
                     Some(k) => self.collect_compiled_over(k, run, sign, tidx, j as u16)?,
                     None => self.collect_interp_over(stmt, trigger, run, sign, tidx, j as u16)?,
+                }
+                if st0.is_some() {
+                    let rows = self
+                        .bd
+                        .stmts
+                        .get(self.bd.live.wrapping_sub(1))
+                        .map_or(0, |ds| segs_rows(&ds.segs));
+                    self.note_stmt(st0, &stmt.target, rows);
                 }
             }
         }
@@ -1318,11 +1641,39 @@ impl Engine {
             } else {
                 flat_get(&corr.compiled, j)
             };
+            if let (Some(ts), Some(ci)) = (self.tel.as_deref(), disp.correction) {
+                if let Some(&slot) = ts.corr_slot.get(ci as usize).and_then(|v| v.get(j)) {
+                    if slot != u32::MAX {
+                        self.kernel.counter_slot = slot as usize;
+                    }
+                }
+            }
+            let st0 = self.armed_instant();
             match kernel {
                 Some(k) => {
                     self.collect_correction_compiled(k, run, &signed, &absolute, j as u16)?
                 }
                 None => self.collect_correction_interp(stmt, run, &signed, &absolute, j as u16)?,
+            }
+            if let Some(ts) = self.tel.as_deref_mut() {
+                if ts.armed && ts.runs_live > 0 {
+                    ts.runs[ts.runs_live - 1].corrections += 1;
+                }
+                if let Some(ci) = disp.correction {
+                    if let Some(&slot) = ts.corr_slot.get(ci as usize).and_then(|v| v.get(j)) {
+                        if let Some(c) = ts.pending_corrections.get_mut(slot as usize) {
+                            *c += 1;
+                        }
+                    }
+                }
+            }
+            if st0.is_some() {
+                let rows = self
+                    .bd
+                    .stmts
+                    .get(self.bd.live.wrapping_sub(1))
+                    .map_or(0, |ds| segs_rows(&ds.segs));
+                self.note_stmt(st0, &stmt.target, rows);
             }
         }
         Ok(())
@@ -1709,8 +2060,14 @@ impl Engine {
             db,
             kernel: state,
             changes,
+            tel,
             ..
         } = self;
+        if let Some(ts) = tel.as_deref_mut() {
+            if let Some(r) = ts.pending_rows.get_mut(state.counter_slot) {
+                *r += state.out.len() as u64;
+            }
+        }
         let target = db
             .view_mut(&stmt.target)
             .ok_or_else(|| RuntimeError::UnknownView(stmt.target.clone()))?;
@@ -1757,6 +2114,11 @@ impl Engine {
         }
         if result.is_empty() {
             return Ok(());
+        }
+        if let Some(ts) = self.tel.as_deref_mut() {
+            if let Some(r) = ts.pending_rows.get_mut(self.kernel.counter_slot) {
+                *r += result.len() as u64;
+            }
         }
         let key_sources = resolve_key_sources(stmt, bindings, result.schema())?;
         for (row, mult) in result.iter() {
@@ -1816,6 +2178,138 @@ impl Engine {
     /// Runtime statistics.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Attach a [`Telemetry`] handle. With an enabled handle the engine
+    /// records whole-batch latency, per-strategy kernel timings, per-view
+    /// work counters and slow-batch traces into it — all buffered in plain
+    /// integers and folded into the shared atomics every
+    /// `TELEMETRY_FLUSH_BATCHES` (64) batches (or on
+    /// [`Engine::flush_telemetry`]).
+    /// A disabled handle detaches: the hot path goes back to one predictable
+    /// branch per batch, allocation-free as before.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        if !tel.is_enabled() {
+            self.tel = None;
+            self.kernel.counter_slot = 0;
+            return;
+        }
+        let map_names: Vec<String> = self.db.names().map(|n| n.to_string()).collect();
+        let views: Vec<Arc<ViewCounters>> = map_names
+            .iter()
+            .map(|n| tel.view(n).expect("enabled handle"))
+            .collect();
+        let slot_of = |name: &str| -> u32 {
+            map_names
+                .iter()
+                .position(|n| n == name)
+                .map_or(u32::MAX, |i| i as u32)
+        };
+        let stmt_slot: Vec<Vec<u32>> = self
+            .program
+            .triggers
+            .iter()
+            .map(|t| t.statements.iter().map(|s| slot_of(&s.target)).collect())
+            .collect();
+        let corr_slot: Vec<Vec<u32>> = self
+            .program
+            .batch_corrections
+            .iter()
+            .map(|c| c.statements.iter().map(|s| slot_of(&s.target)).collect())
+            .collect();
+        let (slow_threshold_nanos, arm_min_events) = {
+            let c = tel.config().expect("enabled handle");
+            (
+                c.slow_batch_threshold.as_nanos().min(u64::MAX as u128) as u64,
+                c.trace_arm_min_events,
+            )
+        };
+        // One kernel counter block per view; reset anything a previous
+        // attachment left behind so counts start from zero.
+        self.kernel.ensure_counter_slots(map_names.len());
+        for c in &self.kernel.counter_slots {
+            let _ = c.take();
+        }
+        self.kernel.counter_slot = 0;
+        let n = map_names.len();
+        self.tel = Some(Box::new(TelemetryState {
+            tel,
+            batch_hist: LocalHistogram::new(),
+            stage_hists: [
+                LocalHistogram::new(),
+                LocalHistogram::new(),
+                LocalHistogram::new(),
+            ],
+            views,
+            map_names,
+            pending_rows: vec![0; n],
+            pending_corrections: vec![0; n],
+            stmt_slot,
+            corr_slot,
+            flushed_events: self.stats.events,
+            flushed_batches: self.stats.delta_batches,
+            slow_threshold_nanos,
+            arm_min_events,
+            armed: false,
+            runs: Vec::new(),
+            runs_live: 0,
+        }));
+    }
+
+    /// The attached telemetry handle, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.tel.as_ref().map(|t| &t.tel)
+    }
+
+    /// Fold all locally buffered telemetry (latency histograms, per-view
+    /// counters, kernel work counters, observed map sizes, event totals)
+    /// into the shared [`Telemetry`] atomics. Allocation-free; runs
+    /// automatically every `TELEMETRY_FLUSH_BATCHES` (64) batches, and callers
+    /// (the serving writer, the bench harness) invoke it before reading a
+    /// snapshot.
+    pub fn flush_telemetry(&mut self) {
+        let Some(ts) = self.tel.as_deref_mut() else {
+            return;
+        };
+        use std::sync::atomic::Ordering::Relaxed;
+        ts.batch_hist
+            .flush_into(ts.tel.batch_hist().expect("enabled handle"));
+        for (i, h) in ts.stage_hists.iter_mut().enumerate() {
+            h.flush_into(
+                ts.tel
+                    .stage_hist(TelemetryState::stage_of(i))
+                    .expect("enabled handle"),
+            );
+        }
+        for (i, view) in ts.views.iter().enumerate() {
+            if let Some(c) = self.kernel.counter_slots.get(i) {
+                let w = c.take();
+                if w.scans | w.entries_scanned | w.fused_scans | w.banded_hits | w.banded_bails != 0
+                {
+                    view.entries_scanned.fetch_add(w.entries_scanned, Relaxed);
+                    view.fused_scans.fetch_add(w.fused_scans, Relaxed);
+                    view.banded_hits.fetch_add(w.banded_hits, Relaxed);
+                    view.banded_bails.fetch_add(w.banded_bails, Relaxed);
+                }
+            }
+            let rows = std::mem::take(&mut ts.pending_rows[i]);
+            if rows != 0 {
+                view.rows_written.fetch_add(rows, Relaxed);
+            }
+            let corr = std::mem::take(&mut ts.pending_corrections[i]);
+            if corr != 0 {
+                view.correction_firings.fetch_add(corr, Relaxed);
+            }
+            if let Some(v) = self.db.view(&ts.map_names[i]) {
+                view.map_size.store(v.len() as u64, Relaxed);
+            }
+        }
+        ts.tel.add_events(
+            self.stats.events - ts.flushed_events,
+            self.stats.delta_batches - ts.flushed_batches,
+        );
+        ts.flushed_events = self.stats.events;
+        ts.flushed_batches = self.stats.delta_batches;
     }
 
     /// Build a trace sample at the given stream fraction.

@@ -46,6 +46,10 @@ pub use engine::{
 };
 pub use store::{CachedSource, Database, ViewMap};
 
+pub use dbtoaster_telemetry::{
+    HistogramSummary, MetricsSnapshot, SlowBatchTrace, Stage, Telemetry, TelemetryConfig,
+};
+
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::engine::{
@@ -53,4 +57,7 @@ pub mod prelude {
         TraceSample, ViewChange, FORCE_BATCH_STRATEGY_ENV, FORCE_INTERPRETER_ENV,
     };
     pub use crate::store::{CachedSource, Database, ViewMap};
+    pub use dbtoaster_telemetry::{
+        HistogramSummary, MetricsSnapshot, SlowBatchTrace, Stage, Telemetry, TelemetryConfig,
+    };
 }

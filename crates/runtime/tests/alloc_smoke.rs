@@ -138,6 +138,42 @@ fn compiled_path_allocates_nothing_in_steady_state() {
     );
 }
 
+/// Telemetry must not cost the hot path its zero-allocation property: with an
+/// enabled handle attached, the steady-state compiled path still allocates
+/// nothing. Histogram recording goes into engine-owned plain-integer buffers,
+/// the periodic flush folds them with atomic adds, and the slow-batch tracer
+/// only allocates when it assembles a trace (parked here via an unreachable
+/// threshold, as a latency-sensitive deployment would configure it).
+#[test]
+fn compiled_path_with_telemetry_allocates_nothing_in_steady_state() {
+    use dbtoaster_runtime::{Telemetry, TelemetryConfig};
+    let mut engine = build_engine();
+    let tel = Telemetry::with_config(TelemetryConfig {
+        slow_batch_threshold: std::time::Duration::from_secs(3600),
+        ..TelemetryConfig::default()
+    });
+    engine.set_telemetry(tel.clone());
+    let batch = churn_events(64);
+    engine.process_all(&batch).unwrap();
+    engine.process_all(&batch).unwrap();
+
+    let before = alloc_count();
+    engine.process_all(&batch).unwrap();
+    let allocs = alloc_count() - before;
+    assert_eq!(
+        allocs,
+        0,
+        "telemetry-enabled compiled path allocated {allocs} times over {} steady-state events",
+        batch.len()
+    );
+    // And the samples actually landed: one per event (each process() call is
+    // a batch of one), visible after an explicit flush.
+    engine.flush_telemetry();
+    let snap = tel.snapshot();
+    assert_eq!(snap.batch_latency.count, 3 * batch.len() as u64);
+    assert_eq!(snap.events, 3 * batch.len() as u64);
+}
+
 #[test]
 fn per_event_allocations_are_small_and_constant() {
     let mut engine = build_engine();

@@ -49,6 +49,7 @@ use dbtoaster_durability::{
 use dbtoaster_gmr::{FastMap, Gmr, Tuple, Value};
 use dbtoaster_runtime::{ChangeSet, Engine, EngineStats, RuntimeError};
 use dbtoaster_sql::OutputColumn;
+use dbtoaster_telemetry::{MetricsSnapshot, SlowBatchTrace, Stage, Telemetry, TelemetryConfig};
 use std::fmt;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
@@ -77,6 +78,13 @@ pub struct ServerConfig {
     /// the hot path; a crashed or killed server then reopens warm through
     /// `dbtoaster_durability::recover` (or `QueryEngineBuilder::open_or_create`).
     pub durability: Option<DurabilityConfig>,
+    /// Telemetry knobs (slow-batch threshold, trace ring capacity). The server
+    /// always runs with telemetry enabled — stage timings and per-view counters
+    /// are how [`ViewServer::metrics`] and [`ViewServer::render_prometheus`]
+    /// see inside the writer thread. If the engine already carries an enabled
+    /// [`Telemetry`] handle (attached before `spawn`), that handle is reused
+    /// and this config is ignored.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +94,7 @@ impl Default for ServerConfig {
             max_batch: 512,
             publish_interval: Duration::from_millis(1),
             durability: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -307,6 +316,9 @@ struct Shared {
     /// Crash simulation / hard abort: the writer stops at the next loop
     /// iteration without draining the queue or taking a final checkpoint.
     killed: AtomicBool,
+    /// The telemetry registry shared by the writer thread, the checkpoint
+    /// thread and metric readers. Reading a snapshot never blocks the writer.
+    tel: Telemetry,
 }
 
 /// A concurrent serving wrapper around a compiled engine: one writer thread,
@@ -333,6 +345,15 @@ impl ViewServer {
         // snapshot-only serving pays nothing for the changed-key log.
         engine.set_change_tracking(false);
         engine.take_changes(); // drop changes from any pre-serve processing
+
+        // Reuse a telemetry handle the caller already attached (so their
+        // counters keep accumulating); otherwise start a fresh enabled one.
+        let tel = match engine.telemetry() {
+            Some(t) if t.is_enabled() => t.clone(),
+            _ => Telemetry::with_config(config.telemetry.clone()),
+        };
+        engine.set_telemetry(tel.clone());
+
         let initial = Arc::new(Snapshot {
             epoch: 0,
             events_applied: engine.stats().events,
@@ -365,6 +386,7 @@ impl ViewServer {
             durability_error: Mutex::new(None),
             durability_warning: Mutex::new(None),
             killed: AtomicBool::new(false),
+            tel,
         });
         let durable = match &config.durability {
             Some(cfg) => Some(DurableState::open(cfg, &engine, &shared)?),
@@ -512,6 +534,39 @@ impl ViewServer {
             statement_major_runs: s.statement_major_runs.load(Relaxed),
             entry_major_runs: s.entry_major_runs.load(Relaxed),
         }
+    }
+
+    /// A point-in-time telemetry snapshot: batch-latency percentiles,
+    /// per-stage timings (ingest wait, WAL append, kernel execute by strategy,
+    /// snapshot publish, fan-out, checkpoint write), per-view counters and
+    /// observed map sizes. Taking a snapshot never blocks the writer thread —
+    /// histograms and counters are read with relaxed atomic loads.
+    ///
+    /// The writer folds its thread-local buffers into the shared registry
+    /// every few dozen batches (and at every publish), so a snapshot taken
+    /// right after [`ViewServer::flush`] covers all applied events.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.tel.snapshot()
+    }
+
+    /// [`ViewServer::metrics`] rendered in the Prometheus text exposition
+    /// format (`dbtoaster_*` metric families), ready to serve from a
+    /// `/metrics` endpoint.
+    pub fn render_prometheus(&self) -> String {
+        self.metrics().render_prometheus()
+    }
+
+    /// Drain the slow-batch trace ring: structured span trees (relation,
+    /// strategy, per-statement timings) for every batch that exceeded
+    /// [`TelemetryConfig::slow_batch_threshold`] since the last drain.
+    pub fn drain_slow_traces(&self) -> Vec<SlowBatchTrace> {
+        self.shared.tel.drain_traces()
+    }
+
+    /// The server's shared [`Telemetry`] handle, for custom counters or
+    /// JSON-line trace export.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.tel
     }
 
     /// The first runtime error the writer hit, if any. The writer keeps
@@ -962,6 +1017,7 @@ impl DurableState {
                 .name("dbtoaster-ckpt".into())
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
+                        let _t = shared.tel.stage_guard(Stage::CheckpointWrite);
                         let res = checkpoint::write_checkpoint(
                             &dir,
                             fingerprint,
@@ -1004,6 +1060,7 @@ impl DurableState {
         if batch.is_empty() {
             return true;
         }
+        let _t = shared.tel.stage_guard(Stage::WalAppend);
         match self
             .wal
             .append(batch)
@@ -1113,24 +1170,29 @@ fn writer_loop(
         }
         // Wait for work; with unpublished events, wait at most until the
         // publish deadline so idle periods cannot leave stale snapshots.
-        let first = if pending_events == 0 {
-            match rx.recv() {
-                Ok(m) => Some(m),
-                Err(_) => {
-                    disconnected = true; // every producer handle is gone
-                    None
+        // The wait itself is a telemetry stage: high ingest-queue wait with
+        // low kernel time means the server is starved, not slow.
+        let first = {
+            let _t = shared.tel.stage_guard(Stage::IngestWait);
+            if pending_events == 0 {
+                match rx.recv() {
+                    Ok(m) => Some(m),
+                    Err(_) => {
+                        disconnected = true; // every producer handle is gone
+                        None
+                    }
                 }
-            }
-        } else {
-            let wait = config
-                .publish_interval
-                .saturating_sub(last_publish.elapsed());
-            match rx.recv_timeout(wait) {
-                Ok(m) => Some(m),
-                Err(RecvTimeoutError::Timeout) => None,
-                Err(RecvTimeoutError::Disconnected) => {
-                    disconnected = true;
-                    None
+            } else {
+                let wait = config
+                    .publish_interval
+                    .saturating_sub(last_publish.elapsed());
+                match rx.recv_timeout(wait) {
+                    Ok(m) => Some(m),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        disconnected = true;
+                        None
+                    }
                 }
             }
         };
@@ -1212,16 +1274,27 @@ fn writer_loop(
                 || last_publish.elapsed() >= config.publish_interval);
         if due {
             epoch += 1;
+            let t_pub = Instant::now();
             let snap = Arc::new(Snapshot {
                 epoch,
                 events_applied: engine.stats().events,
                 degraded,
                 views: engine.snapshot(),
             });
+            let snap_cost = t_pub.elapsed();
             let changes = std::mem::take(&mut pending);
             pending_events = 0;
-            let fanned = fan_out(&mut subscribers, &changes, &last, &snap, epoch, &shared);
+            let fanned = {
+                let _t = shared.tel.stage_guard(Stage::Fanout);
+                fan_out(&mut subscribers, &changes, &last, &snap, epoch, &shared)
+            };
+            let t_swap = Instant::now();
             shared.cell.publish(snap.clone());
+            // Snapshot construction (the O(#views) copy-on-write clone) plus
+            // the epoch swap; fan-out is timed separately above.
+            shared
+                .tel
+                .record_stage(Stage::SnapshotPublish, snap_cost + t_swap.elapsed());
             last = snap;
             last_publish = Instant::now();
 
@@ -1230,6 +1303,10 @@ fn writer_loop(
             stats.subscriber_deltas += fanned;
             shared.stats.snapshots_published.fetch_add(1, Relaxed);
             shared.stats.subscriber_deltas.fetch_add(fanned, Relaxed);
+            // Fold the engine's thread-local telemetry buffers into the shared
+            // registry at every publish, so a barrier-acked reader's
+            // `metrics()` covers all its events.
+            engine.flush_telemetry();
         }
         // Checkpoint accounting rides the batch boundary: the O(#views)
         // snapshot handoff happens here, the serialization in the checkpoint
@@ -1292,6 +1369,7 @@ fn writer_loop(
             tracking = want_tracking;
         }
     }
+    engine.flush_telemetry(); // final fold so post-shutdown metrics are complete
     let crashed = shared.killed.load(Relaxed);
     if let Some(d) = durable.take() {
         d.shutdown(&engine, !crashed, &shared);

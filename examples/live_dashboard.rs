@@ -153,6 +153,35 @@ fn main() -> Result<(), DbToasterError> {
         stats.batch_delta_runs, stats.statement_major_runs, stats.entry_major_runs
     );
 
+    // Telemetry: the server carries latency histograms and per-stage timings
+    // the whole time — percentiles for the batch path, plus where each
+    // microsecond went (queue wait, WAL, kernels, publish, checkpoints).
+    let m = server.metrics();
+    let b = &m.batch_latency;
+    println!(
+        "[telemetry] {} batches: batch latency p50={}ns p90={}ns p99={}ns max={}ns",
+        m.batches, b.p50_nanos, b.p90_nanos, b.p99_nanos, b.max_nanos
+    );
+    for (stage, h) in &m.stages {
+        if h.count > 0 {
+            println!(
+                "[telemetry] stage {:<22} {:>8} samples  p50={}ns p99={}ns",
+                stage.name(),
+                h.count,
+                h.p50_nanos,
+                h.p99_nanos
+            );
+        }
+    }
+    for v in &m.views {
+        if v.rows_written > 0 {
+            println!(
+                "[telemetry] view {:<28} {:>6} rows written, map size {}",
+                v.name, v.rows_written, v.map_size
+            );
+        }
+    }
+
     // The served result must be bit-identical to a never-crashed run of the
     // full stream, crash and all.
     let mut served = server.reader().query("revenue")?.rows;

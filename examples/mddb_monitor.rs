@@ -19,6 +19,11 @@ fn main() -> Result<(), DbToasterError> {
         .mode(CompileMode::HigherOrder)
         .build()?;
 
+    // Attach a telemetry handle: every refresh lands in a latency histogram,
+    // kernel time is split by batch strategy, and each view counts its writes.
+    let tel = Telemetry::with_config(TelemetryConfig::default());
+    engine.set_telemetry(tel.clone());
+
     let data = workloads::mddb::generate(&MddbConfig {
         atoms: 80,
         steps: 100,
@@ -60,5 +65,32 @@ fn main() -> Result<(), DbToasterError> {
         stats.refresh_rate(),
         engine.memory_bytes() as f64 / (1024.0 * 1024.0)
     );
+
+    // A monitoring deployment cares about tail latency, not just throughput:
+    // the histogram answers "how stale can a refresh get" directly.
+    engine.flush_telemetry();
+    let m = tel.snapshot();
+    let b = &m.batch_latency;
+    println!(
+        "refresh latency over {} updates: p50={}ns p90={}ns p99={}ns max={}ns",
+        b.count, b.p50_nanos, b.p90_nanos, b.p99_nanos, b.max_nanos
+    );
+    for (stage, h) in &m.stages {
+        if h.count > 0 {
+            println!(
+                "  stage {:<22} {:>8} samples  p50={}ns p99={}ns",
+                stage.name(),
+                h.count,
+                h.p50_nanos,
+                h.p99_nanos
+            );
+        }
+    }
+    for v in &m.views {
+        println!(
+            "  view {:<24} {:>8} rows written, map size {}",
+            v.name, v.rows_written, v.map_size
+        );
+    }
     Ok(())
 }

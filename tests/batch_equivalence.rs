@@ -210,9 +210,20 @@ fn check_case(
     force_strategy: Option<BatchStrategy>,
     seed: u64,
 ) {
+    check_case_n(specs, mode, force_interp, force_strategy, seed, 300);
+}
+
+fn check_case_n(
+    specs: &[QuerySpec],
+    mode: CompileMode,
+    force_interp: bool,
+    force_strategy: Option<BatchStrategy>,
+    seed: u64,
+    len: usize,
+) {
     let program = compile(specs, &catalog(), &CompileOptions::for_mode(mode))
         .unwrap_or_else(|e| panic!("compile [{mode}]: {e}"));
-    let events = random_stream(seed, 300);
+    let events = random_stream(seed, len);
     let batches = random_partition(&events, seed ^ 0xabcdef);
 
     let mut reference = Engine::new(program.clone(), &catalog());
@@ -331,6 +342,76 @@ fn batch_sweep_queries_dispatch_batch_delta() {
                 "workload {} relation {} lost batch-delta dispatch",
                 q.name,
                 d.relation
+            );
+        }
+    }
+}
+
+/// Regression twin of the trigger-variable-capture tests in
+/// `plan_equivalence.rs`: self-join chains whose auxiliary maps are keyed by
+/// trigger variables (the alpha-renamed `{map}@@k{i}` columns). The R×R×R
+/// cubic chain used to panic at compile time and the R·S·R path chain used to
+/// diverge; here they must additionally stay bit-exact under every batch
+/// partition and every forced batch strategy. Streams are short — the cubic
+/// query is cubic in |R| and runs under Reevaluate + interpreter too.
+fn chain_queries() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec {
+            name: "PATH".into(),
+            out_vars: vec![],
+            expr: Expr::agg_sum(
+                Vec::<String>::new(),
+                Expr::product_of([
+                    Expr::rel("R", ["a", "b"]),
+                    Expr::rel("S", ["b", "c"]),
+                    Expr::rel("R", ["c", "d"]),
+                ]),
+            ),
+        },
+        QuerySpec {
+            name: "CUBIC".into(),
+            out_vars: vec![],
+            expr: Expr::agg_sum(
+                Vec::<String>::new(),
+                Expr::product_of([
+                    Expr::rel("R", ["a", "b"]),
+                    Expr::rel("R", ["b", "c"]),
+                    Expr::rel("R", ["c", "d"]),
+                ]),
+            ),
+        },
+    ]
+}
+
+#[test]
+fn trigger_variable_chains_batch_bit_exact_all_modes() {
+    for mode in [
+        CompileMode::HigherOrder,
+        CompileMode::FirstOrder,
+        CompileMode::NaiveViewlet,
+        CompileMode::Reevaluate,
+    ] {
+        for force_interp in [false, true] {
+            check_case_n(&chain_queries(), mode, force_interp, None, 7, 80);
+        }
+    }
+}
+
+#[test]
+fn trigger_variable_chains_batch_bit_exact_forced_strategies() {
+    for force in [
+        Some(BatchStrategy::EntryMajor),
+        Some(BatchStrategy::StatementMajor),
+        Some(BatchStrategy::BatchDelta),
+    ] {
+        for force_interp in [false, true] {
+            check_case_n(
+                &chain_queries(),
+                CompileMode::HigherOrder,
+                force_interp,
+                force,
+                3,
+                80,
             );
         }
     }

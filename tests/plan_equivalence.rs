@@ -414,3 +414,162 @@ mod random_programs {
         }
     }
 }
+
+// -------------------------------------- trigger-variable capture regression
+
+/// Self-join chains whose auxiliary maps are keyed by *trigger variables*
+/// (`R@0`-style columns of the firing tuple). Before `MapRegistry::register`
+/// alpha-renamed those columns per map, two different chains could land on the
+/// same map name with clashing schemas: the cubic R×R×R query panicked at
+/// compile time ("cannot union schemas") and the R·S·R path join compiled but
+/// silently diverged from ground truth on mixed insert/delete streams. Both
+/// are pinned here against a from-scratch re-evaluation oracle, across every
+/// compile mode, on the compiled-kernel path and with the interpreter forced.
+mod trigger_variable_capture {
+    use dbtoaster::agca::{DeltaBatch, Expr, UpdateEvent};
+    use dbtoaster::compiler::{
+        compile, Catalog, CompileMode, CompileOptions, QuerySpec, RelationMeta,
+    };
+    use dbtoaster::gmr::{Gmr, Value};
+    use dbtoaster::runtime::Engine;
+
+    fn catalog() -> Catalog {
+        [
+            RelationMeta::stream("R", ["A", "B"]),
+            RelationMeta::stream("S", ["B", "C"]),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn cubic() -> QuerySpec {
+        QuerySpec {
+            name: "CUBIC".into(),
+            out_vars: vec![],
+            expr: Expr::agg_sum(
+                Vec::<String>::new(),
+                Expr::product_of([
+                    Expr::rel("R", ["a", "b"]),
+                    Expr::rel("R", ["b", "c"]),
+                    Expr::rel("R", ["c", "d"]),
+                ]),
+            ),
+        }
+    }
+
+    fn path() -> QuerySpec {
+        QuerySpec {
+            name: "PATH".into(),
+            out_vars: vec![],
+            expr: Expr::agg_sum(
+                Vec::<String>::new(),
+                Expr::product_of([
+                    Expr::rel("R", ["a", "b"]),
+                    Expr::rel("S", ["b", "c"]),
+                    Expr::rel("R", ["c", "d"]),
+                ]),
+            ),
+        }
+    }
+
+    /// Mixed insert/delete stream over tiny integer domains (0..4), so chain
+    /// joins hit many matches and deletions retract non-trivial state.
+    fn stream(seed: u64, len: usize) -> Vec<UpdateEvent> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = move |bound: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        let mut live_r: Vec<Vec<Value>> = Vec::new();
+        let mut live_s: Vec<Vec<Value>> = Vec::new();
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            let relation_r = next(2) == 0;
+            let (live, rel) = if relation_r {
+                (&mut live_r, "R")
+            } else {
+                (&mut live_s, "S")
+            };
+            let delete = !live.is_empty() && next(100) < 35;
+            if delete {
+                let i = next(live.len() as u64) as usize;
+                let tuple = live.swap_remove(i);
+                out.push(UpdateEvent::delete(rel, tuple));
+            } else {
+                let tuple: Vec<Value> = (0..2).map(|_| Value::long(next(4) as i64)).collect();
+                live.push(tuple.clone());
+                out.push(UpdateEvent::insert(rel, tuple));
+            }
+        }
+        out
+    }
+
+    /// Ground truth independent of the incremental machinery: one big
+    /// re-evaluation batch on the interpreter recomputes the query from the
+    /// final relation state.
+    fn recompute(q: &QuerySpec, events: &[UpdateEvent]) -> Gmr {
+        let program = compile(
+            std::slice::from_ref(q),
+            &catalog(),
+            &CompileOptions::for_mode(CompileMode::Reevaluate),
+        )
+        .unwrap();
+        let mut engine = Engine::new(program, &catalog());
+        engine.set_force_interpreter(true);
+        let mut batch = DeltaBatch::new();
+        for e in events {
+            batch.push(e);
+        }
+        let report = engine.process_batch(&batch);
+        assert!(report.first_error.is_none(), "{:?}", report.first_error);
+        engine.view(&q.name).unwrap()
+    }
+
+    fn check_against_oracle(q: &QuerySpec, seed: u64, len: usize) {
+        let events = stream(seed, len);
+        let truth = recompute(q, &events);
+        for mode in [
+            CompileMode::HigherOrder,
+            CompileMode::FirstOrder,
+            CompileMode::NaiveViewlet,
+            CompileMode::Reevaluate,
+        ] {
+            for force_interp in [false, true] {
+                let program = compile(
+                    std::slice::from_ref(q),
+                    &catalog(),
+                    &CompileOptions::for_mode(mode),
+                )
+                .unwrap_or_else(|e| panic!("compile {} [{mode}]: {e}", q.name));
+                let mut engine = Engine::new(program, &catalog());
+                engine.set_force_interpreter(force_interp);
+                engine
+                    .process_all(&events)
+                    .unwrap_or_else(|e| panic!("{} [{mode}/interp={force_interp}]: {e}", q.name));
+                let got = engine.view(&q.name).unwrap();
+                assert!(
+                    got.equivalent(&truth, 1e-6),
+                    "{} [{mode}/interp={force_interp}] diverges from recompute oracle\n\
+                     got:\n{got}\ntruth:\n{truth}",
+                    q.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cubic_self_join_matches_recompute_oracle() {
+        // Pre-fix: compile panicked in HigherOrder mode before any event ran.
+        check_against_oracle(&cubic(), 7, 60);
+        check_against_oracle(&cubic(), 19, 60);
+    }
+
+    #[test]
+    fn path_join_matches_recompute_oracle() {
+        // Pre-fix: compiled fine but drifted from ground truth per event.
+        check_against_oracle(&path(), 3, 80);
+        check_against_oracle(&path(), 23, 80);
+    }
+}
