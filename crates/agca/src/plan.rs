@@ -1328,6 +1328,8 @@ fn hoist_invariant_subsums(stmt: &mut CompiledStmt) {
 /// (amortized) cadence.
 #[derive(Debug, Default)]
 pub struct KernelCounters {
+    /// Fully bound index probes executed ([`Op::Probe`]).
+    pub probes: Cell<u64>,
     /// Full scans executed ([`Op::Scan`] plus fused-prelude traversals).
     pub scans: Cell<u64>,
     /// Entries visited by those scans.
@@ -1343,6 +1345,8 @@ pub struct KernelCounters {
 /// A drained, plain-integer copy of one [`KernelCounters`] block.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KernelWork {
+    /// See [`KernelCounters::probes`].
+    pub probes: u64,
     /// See [`KernelCounters::scans`].
     pub scans: u64,
     /// See [`KernelCounters::entries_scanned`].
@@ -1359,6 +1363,7 @@ impl KernelCounters {
     /// Copy the counters out and reset them.
     pub fn take(&self) -> KernelWork {
         KernelWork {
+            probes: self.probes.take(),
             scans: self.scans.take(),
             entries_scanned: self.entries_scanned.take(),
             fused_scans: self.fused_scans.take(),
@@ -1644,6 +1649,7 @@ impl Exec<'_> {
                 Err(e) => self.fail(e),
             },
             Op::Probe { rel, buf, template } => {
+                bump(&self.counters.probes);
                 let mut pattern = std::mem::take(&mut self.patterns[*buf as usize]);
                 for (p, &slot) in pattern.iter_mut().zip(template.iter()) {
                     *p = Some(self.frame[slot as usize].clone());

@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Subcommands: `micro`, `serve`, `recover`, `batch`, `fig2`, `fig6` (also covers Figure 7),
-//! `fig8`, `fig9`, `fig10`, `fig11`, `traces` (Figures 13–18), `all`.
+//! `fig8`, `fig9`, `fig10`, `fig11`, `traces` (Figures 13–18), `explain`,
+//! `export`, `all`.
 //!
 //! Flags: `--events N`, `--budget SECS`, `--seed N`, `--label NAME`,
 //! `--json PATH`, and `--strategy entry|statement|auto` — which pins the
@@ -15,11 +16,26 @@
 //! override (the batch twin of `DBTOASTER_FORCE_INTERPRETER`): `entry` is the
 //! per-event oracle, `statement` the legacy pre-batch-delta dispatch, `auto`
 //! the default batch-delta-where-derived choice.
+//!
+//! Observability:
+//!
+//! * `harness explain [--query NAME]` (or the `--explain` flag on any
+//!   invocation) runs each workload stream and prints EXPLAIN ANALYZE for the
+//!   compiled trigger program — operator trees, batch-dispatch decisions with
+//!   reasons, and live counters; `--json PATH` writes the JSON forms.
+//! * `harness export [--addr HOST:PORT] [--hold SECS]` opens a durable
+//!   serving instance with the HTTP exporter enabled, ingests a finance
+//!   stream while a 1 Hz scraper polls `/metrics`, reports throughput, then
+//!   optionally holds the endpoints up for external scrapers (CI curls them).
 
 use dbtoaster::prelude::*;
 use dbtoaster::workloads::{self, Family};
 use dbtoaster_bench::*;
-use std::time::Duration;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct Args {
     command: String,
@@ -29,6 +45,9 @@ struct Args {
     json: Option<String>,
     label: String,
     strategy: Option<String>,
+    query: Option<String>,
+    addr: String,
+    hold: Duration,
 }
 
 fn parse_args() -> Args {
@@ -41,6 +60,9 @@ fn parse_args() -> Args {
         json: None,
         label: "run".to_string(),
         strategy: None,
+        query: None,
+        addr: "127.0.0.1:0".to_string(),
+        hold: Duration::from_secs(0),
     };
     let mut i = 1;
     while i < argv.len() {
@@ -75,6 +97,23 @@ fn parse_args() -> Args {
             "--strategy" => {
                 args.strategy = argv.get(i + 1).cloned();
                 i += 2;
+            }
+            "--query" => {
+                args.query = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--addr" => {
+                args.addr = argv.get(i + 1).cloned().unwrap_or(args.addr);
+                i += 2;
+            }
+            "--hold" => {
+                let secs: u64 = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(0);
+                args.hold = Duration::from_secs(secs);
+                i += 2;
+            }
+            "--explain" => {
+                args.command = "explain".to_string();
+                i += 1;
             }
             other => {
                 eprintln!("ignoring unknown argument {other}");
@@ -193,6 +232,155 @@ fn fig11(config: &ExperimentConfig) {
     println!("{}", format_figure11(&rows));
 }
 
+fn explain_cmd(config: &ExperimentConfig, only: Option<&str>, json: Option<&str>) {
+    println!("=== explain: EXPLAIN ANALYZE for compiled trigger programs ===");
+    println!(
+        "(each query replayed over up to {} events / {}s before rendering)\n",
+        config.events,
+        config.time_budget.as_secs()
+    );
+    let mut docs = Vec::new();
+    for q in workloads::all_queries() {
+        if only.is_some_and(|want| want != q.name) {
+            continue;
+        }
+        let data = dataset_for(q.family, config.events, config.seed);
+        let mut engine = build_engine(&q, CompileMode::HigherOrder, &data);
+        engine.set_telemetry(Telemetry::with_config(TelemetryConfig::default()));
+        let start = Instant::now();
+        let mut processed = 0usize;
+        for event in &data.events {
+            engine
+                .process(event)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.name));
+            processed += 1;
+            if processed.is_multiple_of(64) && start.elapsed() > config.time_budget {
+                break;
+            }
+        }
+        println!("{}", engine.explain_text());
+        docs.push(engine.explain_json());
+    }
+    if docs.is_empty() {
+        eprintln!(
+            "no workload query named {}",
+            only.unwrap_or("<none requested>")
+        );
+        std::process::exit(2);
+    }
+    if let Some(path) = json {
+        let payload = format!("[{}]", docs.join(","));
+        std::fs::write(path, &payload).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+        println!("wrote {path} ({} explain documents)", docs.len());
+    }
+}
+
+/// Minimal HTTP GET against the exporter (std-only, mirroring what a scraper
+/// does): returns the raw response (status line + headers + body).
+fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: dbtoaster\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut out = String::new();
+    stream.read_to_string(&mut out)?;
+    Ok(out)
+}
+
+fn export(config: &ExperimentConfig, addr: &str, hold: Duration) {
+    println!("=== export: durable serving behind the HTTP observability endpoints ===");
+    let q = workloads::query("axf").expect("axf workload present");
+    let data = dataset_for(q.family, config.events, config.seed);
+    let catalog = workloads::full_catalog();
+    let mut engine = QueryEngineBuilder::new(catalog)
+        .add_query(q.name, q.sql)
+        .mode(CompileMode::HigherOrder)
+        .build()
+        .unwrap_or_else(|e| panic!("{}: {e}", q.name));
+    for (table, rows) in &data.tables {
+        engine.load_table(table, rows.clone()).unwrap();
+    }
+    let dir = std::env::temp_dir().join(format!("dbtoaster-export-{}", std::process::id()));
+    let server_config = ServerConfig {
+        durability: Some(DurabilityConfig::new(dir.clone())),
+        http: Some(HttpConfig {
+            addr: addr.to_string(),
+            ..HttpConfig::default()
+        }),
+        ..ServerConfig::default()
+    };
+    let server = engine
+        .open_or_create_with(server_config)
+        .unwrap_or_else(|e| panic!("export serve failed: {e}"));
+    let http = server.http_addr().expect("exporter running");
+    println!("exporter listening on http://{http}/ (endpoints: /metrics /healthz /views /explain /traces)");
+
+    // A scraper polling /metrics at 1 Hz for the whole ingest run: the
+    // throughput printed below carries whatever cost scraping imposes, so
+    // comparing it against a scraper-free `serve` run (same events, same seed)
+    // A/Bs the exporter's hot-path overhead on one machine.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrapes = Arc::new(AtomicU64::new(0));
+    let scraper = {
+        let stop = stop.clone();
+        let scrapes = scrapes.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Relaxed) {
+                if http_get(http, "/metrics").is_ok() {
+                    scrapes.fetch_add(1, Relaxed);
+                }
+                std::thread::sleep(Duration::from_secs(1));
+            }
+        })
+    };
+
+    let ingest = server.handle();
+    let start = Instant::now();
+    let mut sent = 0usize;
+    for event in &data.events {
+        ingest
+            .send(event.clone())
+            .unwrap_or_else(|e| panic!("ingest failed: {e}"));
+        sent += 1;
+        if sent.is_multiple_of(64) && start.elapsed() > config.time_budget {
+            break;
+        }
+    }
+    server
+        .flush()
+        .unwrap_or_else(|e| panic!("flush failed: {e}"));
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "ingested {sent} events in {secs:.2}s ({:.0} events/s) with {} scrape(s) of /metrics",
+        sent as f64 / secs.max(1e-9),
+        scrapes.load(Relaxed)
+    );
+    for path in ["/metrics", "/healthz", "/views", "/explain", "/traces"] {
+        match http_get(http, path) {
+            Ok(resp) => {
+                let status = resp.lines().next().unwrap_or("").to_string();
+                let body_len = resp.split("\r\n\r\n").nth(1).map_or(0, |b| b.len());
+                println!("GET {path}: {status} ({body_len} body bytes)");
+            }
+            Err(e) => println!("GET {path}: error {e}"),
+        }
+    }
+    if !hold.is_zero() {
+        println!("holding endpoints up for {}s (scrape away)", hold.as_secs());
+        std::thread::sleep(hold);
+    }
+    stop.store(true, Relaxed);
+    let _ = scraper.join();
+    drop(ingest);
+    server
+        .shutdown()
+        .unwrap_or_else(|e| panic!("shutdown failed: {e}"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let args = parse_args();
     // `--strategy entry|statement|auto` pins the batch dispatch for every
@@ -224,6 +412,8 @@ fn main() {
         "fig9" => traces_for(&["q17a", "q18a", "q22a", "q4"], "Figure 9", &config),
         "fig10" => traces_for(&["axf", "mst", "psp", "vwap"], "Figure 10", &config),
         "fig11" => fig11(&config),
+        "explain" => explain_cmd(&config, args.query.as_deref(), args.json.as_deref()),
+        "export" => export(&config, &args.addr, args.hold),
         "traces" => traces_for(
             &[
                 "q1", "q3", "q4", "q5", "q6", "q10", "q11a", "q12", "q17a", "q18a", "q22a", "ssb4",
@@ -242,7 +432,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other}; expected micro|serve|recover|batch|fig2|fig6|fig8|fig9|fig10|fig11|traces|all"
+                "unknown command {other}; expected micro|serve|recover|batch|fig2|fig6|fig8|fig9|fig10|fig11|traces|explain|export|all"
             );
             std::process::exit(2);
         }

@@ -78,7 +78,10 @@
 //! [`TriggerProgram::batch_dispatch`]: crate::program::TriggerProgram::batch_dispatch
 
 use crate::compile::reorder_products;
-use crate::program::{BatchCorrection, Catalog, MapDecl, Statement, StmtOp, Trigger};
+use crate::program::{
+    BatchCorrection, BatchDeltaBail, BatchDeltaOutcome, Catalog, MapDecl, Statement, StmtOp,
+    Trigger,
+};
 use dbtoaster_agca::batch::{delta_abs_relation_name, delta_relation_name};
 use dbtoaster_agca::{delta, simplify, AtomKind, Expr, TupleUpdate, UpdateSign};
 use dbtoaster_gmr::FastMap;
@@ -94,16 +97,39 @@ pub fn derive_batch_corrections(
     triggers: &[Trigger],
     catalog: &Catalog,
 ) -> Vec<BatchCorrection> {
+    derive_batch_corrections_with_reasons(maps, triggers, catalog).0
+}
+
+/// [`derive_batch_corrections`] plus the per-relation outcome record: for each
+/// relation, either eligibility or the first bail gate that fired (the data
+/// behind EXPLAIN's strategy reasons).
+pub fn derive_batch_corrections_with_reasons(
+    maps: &[MapDecl],
+    triggers: &[Trigger],
+    catalog: &Catalog,
+) -> (Vec<BatchCorrection>, Vec<BatchDeltaOutcome>) {
     let mut relations: Vec<&str> = Vec::new();
     for t in triggers {
         if !relations.contains(&t.relation.as_str()) {
             relations.push(&t.relation);
         }
     }
-    relations
-        .into_iter()
-        .filter_map(|rel| derive_relation(rel, maps, triggers, catalog))
-        .collect()
+    let mut corrections = Vec::new();
+    let mut outcomes = Vec::new();
+    for rel in relations {
+        let bail = match derive_relation(rel, maps, triggers, catalog) {
+            Ok(c) => {
+                corrections.push(c);
+                None
+            }
+            Err(bail) => Some(bail),
+        };
+        outcomes.push(BatchDeltaOutcome {
+            relation: rel.to_string(),
+            bail,
+        });
+    }
+    (corrections, outcomes)
 }
 
 fn derive_relation(
@@ -111,26 +137,33 @@ fn derive_relation(
     maps: &[MapDecl],
     triggers: &[Trigger],
     catalog: &Catalog,
-) -> Option<BatchCorrection> {
+) -> Result<BatchCorrection, BatchDeltaBail> {
     let rel_triggers: Vec<&Trigger> = triggers.iter().filter(|t| t.relation == relation).collect();
     // Gate 1: increments only.
     if rel_triggers
         .iter()
         .any(|t| t.statements.iter().any(|s| s.op != StmtOp::Increment))
     {
-        return None;
+        return Err(BatchDeltaBail::ReplaceStatement);
     }
     // Gate 2: every read of an in-trigger target precedes its write.
     for t in &rel_triggers {
         for (i, s) in t.statements.iter().enumerate() {
             let reads = s.reads();
-            if t.statements[..=i].iter().any(|w| reads.contains(&w.target)) {
-                return None;
+            if let Some(w) = t.statements[..=i]
+                .iter()
+                .find(|w| reads.contains(&w.target))
+            {
+                return Err(BatchDeltaBail::ReadAfterWrite {
+                    target: w.target.clone(),
+                });
             }
         }
     }
 
-    let meta = catalog.get(relation)?;
+    let meta = catalog
+        .get(relation)
+        .ok_or(BatchDeltaBail::UnknownRelation)?;
     let u1 = TupleUpdate::new(relation, UpdateSign::Insert, &meta.columns);
     let fresh = |n: u32| TupleUpdate {
         relation: u1.relation.clone(),
@@ -160,10 +193,14 @@ fn derive_relation(
         // Gate 3: at most quadratic, and the bilinear part is state-free
         // (static tables excepted — they never change mid-run).
         if !simplify(&delta(&d2, &u3)).is_zero() {
-            return None;
+            return Err(BatchDeltaBail::NonzeroThirdDelta {
+                map: m.name.clone(),
+            });
         }
         if d2.atoms().iter().any(|a| a.kind != AtomKind::Table) {
-            return None;
+            return Err(BatchDeltaBail::SurvivingStreamAtom {
+                map: m.name.clone(),
+            });
         }
 
         // ½·Σₑ,f mₑ·m_f·d²M(tₑ, t_f): join the signed delta with itself.
@@ -200,7 +237,7 @@ fn derive_relation(
             });
         }
     }
-    Some(BatchCorrection {
+    Ok(BatchCorrection {
         relation: relation.to_string(),
         statements,
         compiled: Vec::new(),

@@ -244,8 +244,8 @@ pub fn compile(
     // Lowered through the same kernel pipeline as trigger statements, with no
     // trigger variables — a correction runs once per run, scanning the run's
     // delta pseudo-relations.
-    let mut batch_corrections =
-        crate::batch_delta::derive_batch_corrections(&maps, &triggers, catalog);
+    let (mut batch_corrections, batch_delta_reasons) =
+        crate::batch_delta::derive_batch_corrections_with_reasons(&maps, &triggers, catalog);
     for c in &mut batch_corrections {
         c.compiled = c
             .statements
@@ -262,6 +262,7 @@ pub fn compile(
         stored_relations,
         static_tables,
         batch_corrections,
+        batch_delta_reasons,
         report,
     })
 }

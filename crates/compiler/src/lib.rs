@@ -39,25 +39,30 @@
 
 pub mod batch_delta;
 pub mod compile;
+pub mod explain;
 pub mod materialize;
 pub mod program;
 
-pub use batch_delta::derive_batch_corrections;
+pub use batch_delta::{derive_batch_corrections, derive_batch_corrections_with_reasons};
 pub use compile::{compile, fix_atom_kinds, CompileError};
+pub use explain::{explain, ProgramExplain, RelationExplain, StmtExplain, ViewStats};
 pub use materialize::{MapRegistry, Materializer};
 pub use program::{
-    BatchCorrection, BatchStrategy, Catalog, CompileMode, CompileOptions, CompileReport,
-    CompiledTrigger, MapDecl, QueryResult, QuerySpec, RelationDispatch, RelationMeta, ResultAccess,
-    Statement, StmtOp, Trigger, TriggerProgram,
+    BatchCorrection, BatchDeltaBail, BatchDeltaOutcome, BatchStrategy, Catalog, CompileMode,
+    CompileOptions, CompileReport, CompiledTrigger, MapDecl, QueryResult, QuerySpec,
+    RelationDispatch, RelationMeta, ResultAccess, Statement, StatementMajorBlock, StmtOp, Trigger,
+    TriggerProgram,
 };
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::compile::{compile, CompileError};
+    pub use crate::explain::{explain, ProgramExplain, ViewStats};
     pub use crate::program::{
-        BatchCorrection, BatchStrategy, Catalog, CompileMode, CompileOptions, CompileReport,
-        CompiledTrigger, MapDecl, QueryResult, QuerySpec, RelationDispatch, RelationMeta,
-        ResultAccess, Statement, StmtOp, Trigger, TriggerProgram,
+        BatchCorrection, BatchDeltaBail, BatchDeltaOutcome, BatchStrategy, Catalog, CompileMode,
+        CompileOptions, CompileReport, CompiledTrigger, MapDecl, QueryResult, QuerySpec,
+        RelationDispatch, RelationMeta, ResultAccess, Statement, StatementMajorBlock, StmtOp,
+        Trigger, TriggerProgram,
     };
     pub use dbtoaster_agca::UpdateSign;
 }

@@ -338,6 +338,10 @@ pub struct TriggerProgram {
     /// Derived data, like [`TriggerProgram::compiled`]: excluded from the
     /// program fingerprint.
     pub batch_corrections: Vec<BatchCorrection>,
+    /// Per-relation batch-delta derivation outcomes: eligible, or which gate
+    /// bailed. Derived data like [`TriggerProgram::compiled`]: excluded from
+    /// the program fingerprint and empty for hand-assembled programs.
+    pub batch_delta_reasons: Vec<BatchDeltaOutcome>,
     /// Compilation report (rule usage, counts).
     pub report: CompileReport,
 }
@@ -403,6 +407,123 @@ pub struct BatchCorrection {
     pub statements: Vec<Statement>,
     /// Compiled kernels aligned with `statements` (`None` = interpret).
     pub compiled: Vec<Option<CompiledStmt>>,
+}
+
+/// Which eligibility gate stopped second-order batch-delta derivation for a
+/// relation (see [`crate::batch_delta`] for the gates themselves). Recorded at
+/// compile time so EXPLAIN can name the exact condition instead of a generic
+/// "not eligible".
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchDeltaBail {
+    /// Gate 1: a trigger of the relation contains a `:=` (re-evaluation)
+    /// statement, which is bound to one specific event and has no delta form.
+    ReplaceStatement,
+    /// Gate 2: a statement reads `target` at or after the point its own
+    /// trigger writes it, so pre-run-state evaluation cannot reproduce the
+    /// per-event order.
+    ReadAfterWrite {
+        /// The map read before (or at) its own write.
+        target: String,
+    },
+    /// The updated relation has no catalog entry to mint fresh trigger
+    /// variables from.
+    UnknownRelation,
+    /// Gate 3a: `map`'s definition is more than quadratic in the relation —
+    /// its third delta does not vanish.
+    NonzeroThirdDelta {
+        /// The offending map.
+        map: String,
+    },
+    /// Gate 3b: a stream atom survives into `map`'s second delta, which must
+    /// read no state that changes mid-run.
+    SurvivingStreamAtom {
+        /// The offending map.
+        map: String,
+    },
+}
+
+impl BatchDeltaBail {
+    /// Stable human-readable description (used by EXPLAIN; golden-tested).
+    pub fn describe(&self) -> String {
+        match self {
+            BatchDeltaBail::ReplaceStatement => "replace (`:=`) statement in trigger".to_string(),
+            BatchDeltaBail::ReadAfterWrite { target } => {
+                format!("statement reads `{target}` at or after its own write")
+            }
+            BatchDeltaBail::UnknownRelation => "relation missing from the catalog".to_string(),
+            BatchDeltaBail::NonzeroThirdDelta { map } => {
+                format!("`{map}` has a nonzero third delta (more than quadratic)")
+            }
+            BatchDeltaBail::SurvivingStreamAtom { map } => {
+                format!("a stream atom survives into `{map}`'s second delta")
+            }
+        }
+    }
+}
+
+/// The recorded outcome of batch-delta derivation for one relation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchDeltaOutcome {
+    /// The stream relation.
+    pub relation: String,
+    /// `None` — derivation succeeded (the relation has a [`BatchCorrection`]);
+    /// `Some` — the first gate that fired.
+    pub bail: Option<BatchDeltaBail>,
+}
+
+/// Which statement-major eligibility rule failed for a relation's triggers
+/// (the rules are documented on [`TriggerProgram::batch_dispatch`]). `None`
+/// from [`TriggerProgram::statement_major_block`] means statement-major
+/// execution is legal.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StatementMajorBlock {
+    /// Rule 1: an incremental statement reads `read`, which some statement of
+    /// the relation writes mid-batch (or `read` is the stored updated
+    /// relation itself).
+    IncrementReadsBatchWrite {
+        /// The batch-variant map or stored relation being read.
+        read: String,
+    },
+    /// Rule 2: two incremental statements of one trigger share `target`, so
+    /// per-key write order would diverge from per-event order.
+    DuplicateIncrementTarget {
+        /// The repeated target map.
+        target: String,
+    },
+    /// Rule 2: an incremental statement follows a re-evaluation statement.
+    IncrementAfterReplace {
+        /// The increment's target map.
+        target: String,
+    },
+    /// Rule 3: the insert and delete triggers re-evaluate different target
+    /// sets, so only per-event interleaving is exact.
+    UnmirroredReplace,
+    /// Rule 3: a re-evaluation statement exists but one update sign has no
+    /// trigger to mirror it.
+    OneSidedReplace,
+}
+
+impl StatementMajorBlock {
+    /// Stable human-readable description (used by EXPLAIN; golden-tested).
+    pub fn describe(&self) -> String {
+        match self {
+            StatementMajorBlock::IncrementReadsBatchWrite { read } => {
+                format!("an increment reads batch-written `{read}`")
+            }
+            StatementMajorBlock::DuplicateIncrementTarget { target } => {
+                format!("two increments share target `{target}`")
+            }
+            StatementMajorBlock::IncrementAfterReplace { target } => {
+                format!("increment of `{target}` follows a replace")
+            }
+            StatementMajorBlock::UnmirroredReplace => {
+                "insert and delete triggers replace different targets".to_string()
+            }
+            StatementMajorBlock::OneSidedReplace => {
+                "a replace statement lacks a mirroring trigger for the other sign".to_string()
+            }
+        }
+    }
 }
 
 /// The per-relation trigger grouping used by batch execution: both sign
@@ -533,12 +654,49 @@ impl TriggerProgram {
             .find(|c| c.relation == relation)
     }
 
+    /// The recorded batch-delta derivation outcome for `relation`, if the
+    /// program was compiled with reasons (hand-assembled programs have none).
+    pub fn batch_delta_reason(&self, relation: &str) -> Option<&BatchDeltaOutcome> {
+        self.batch_delta_reasons
+            .iter()
+            .find(|o| o.relation == relation)
+    }
+
     fn relation_batch_strategy(
         &self,
         relation: &str,
         insert: Option<usize>,
         delete: Option<usize>,
     ) -> BatchStrategy {
+        match self.statement_major_block_for(relation, insert, delete) {
+            Some(_) => BatchStrategy::EntryMajor,
+            None => BatchStrategy::StatementMajor,
+        }
+    }
+
+    /// Why statement-major batch execution is illegal for `relation`'s
+    /// triggers — the first of rules 1–3 (see
+    /// [`TriggerProgram::batch_dispatch`]) that fails — or `None` when the
+    /// read-before-write analysis passes and statement-major is exact.
+    pub fn statement_major_block(&self, relation: &str) -> Option<StatementMajorBlock> {
+        let idx_of = |sign: UpdateSign| {
+            self.triggers
+                .iter()
+                .position(|t| t.relation == relation && t.sign == sign)
+        };
+        self.statement_major_block_for(
+            relation,
+            idx_of(UpdateSign::Insert),
+            idx_of(UpdateSign::Delete),
+        )
+    }
+
+    fn statement_major_block_for(
+        &self,
+        relation: &str,
+        insert: Option<usize>,
+        delete: Option<usize>,
+    ) -> Option<StatementMajorBlock> {
         let triggers: Vec<&Trigger> = insert
             .into_iter()
             .chain(delete)
@@ -553,17 +711,19 @@ impl TriggerProgram {
             // The base update writes the stored relation mid-batch.
             writes.insert(relation);
         }
-        let incr_reads_writes = triggers.iter().any(|t| {
-            t.statements
-                .iter()
-                .filter(|s| s.op == StmtOp::Increment)
-                .any(|s| {
-                    s.reads().iter().any(|r| writes.contains(r.as_str()))
-                        || s.base_reads().iter().any(|r| writes.contains(r.as_str()))
-                })
-        });
-        if incr_reads_writes {
-            return BatchStrategy::EntryMajor;
+        for t in &triggers {
+            for s in t.statements.iter().filter(|s| s.op == StmtOp::Increment) {
+                if let Some(read) = s
+                    .reads()
+                    .iter()
+                    .chain(s.base_reads().iter())
+                    .find(|r| writes.contains(r.as_str()))
+                {
+                    return Some(StatementMajorBlock::IncrementReadsBatchWrite {
+                        read: read.clone(),
+                    });
+                }
+            }
         }
         // Rule 2: distinct increment targets, increments before replaces.
         for t in &triggers {
@@ -572,8 +732,15 @@ impl TriggerProgram {
             for s in &t.statements {
                 match s.op {
                     StmtOp::Increment => {
-                        if saw_replace || !seen.insert(&s.target) {
-                            return BatchStrategy::EntryMajor;
+                        if saw_replace {
+                            return Some(StatementMajorBlock::IncrementAfterReplace {
+                                target: s.target.clone(),
+                            });
+                        }
+                        if !seen.insert(&s.target) {
+                            return Some(StatementMajorBlock::DuplicateIncrementTarget {
+                                target: s.target.clone(),
+                            });
                         }
                     }
                     StmtOp::Replace => saw_replace = true,
@@ -595,15 +762,15 @@ impl TriggerProgram {
             match (insert, delete) {
                 (Some(i), Some(d)) => {
                     if replace_targets(&self.triggers[i]) != replace_targets(&self.triggers[d]) {
-                        return BatchStrategy::EntryMajor;
+                        return Some(StatementMajorBlock::UnmirroredReplace);
                     }
                 }
                 // A sign without a trigger would skip the re-evaluation its
                 // counterpart relies on; per-event and batch orders diverge.
-                _ => return BatchStrategy::EntryMajor,
+                _ => return Some(StatementMajorBlock::OneSidedReplace),
             }
         }
-        BatchStrategy::StatementMajor
+        None
     }
 }
 

@@ -257,6 +257,14 @@ impl QueryEngine {
         Ok(())
     }
 
+    /// Record per-relation run execution into
+    /// [`BatchReport::runs`](dbtoaster_runtime::BatchReport::runs) (which
+    /// strategy actually executed, after any runtime fallback). Off by
+    /// default: recording costs one small allocation per run.
+    pub fn set_run_recording(&mut self, on: bool) {
+        self.engine.set_run_recording(on);
+    }
+
     /// Process a [`DeltaBatch`](dbtoaster_agca::DeltaBatch) of per-relation
     /// GMR deltas — the engine's native unit since the batch-first refactor.
     /// Processing never stops at a failed event (it keeps its stream slot);
@@ -390,6 +398,30 @@ impl QueryEngine {
     /// Runtime statistics (events processed, refresh rate).
     pub fn stats(&self) -> &EngineStats {
         self.engine.stats()
+    }
+
+    /// EXPLAIN / EXPLAIN ANALYZE of the compiled trigger program: one operator
+    /// tree per statement (probes vs scans, product order, fused preludes,
+    /// band specs), the batch-dispatch decision per relation with the reason
+    /// it was taken, and — when telemetry is attached — live per-operator
+    /// counters joined in, so the same tree doubles as EXPLAIN ANALYZE.
+    /// Render with [`ProgramExplain::render_text`] or
+    /// [`ProgramExplain::render_json`].
+    ///
+    /// [`ProgramExplain::render_text`]: dbtoaster_compiler::ProgramExplain::render_text
+    /// [`ProgramExplain::render_json`]: dbtoaster_compiler::ProgramExplain::render_json
+    pub fn explain(&mut self) -> dbtoaster_compiler::ProgramExplain {
+        self.engine.explain()
+    }
+
+    /// [`QueryEngine::explain`] rendered as indented text.
+    pub fn explain_text(&mut self) -> String {
+        self.engine.explain().render_text()
+    }
+
+    /// [`QueryEngine::explain`] rendered as a JSON document.
+    pub fn explain_json(&mut self) -> String {
+        self.engine.explain().render_json()
     }
 
     /// Attach a [`Telemetry`](dbtoaster_telemetry::Telemetry) handle: batch

@@ -64,13 +64,13 @@ pub use dbtoaster_workloads as workloads;
 pub mod prelude {
     pub use crate::api::{DbToasterError, QueryEngine, QueryEngineBuilder, ResultRow, ResultTable};
     pub use dbtoaster_agca::{DeltaBatch, DeltaEntry, RelationDelta, UpdateEvent, UpdateSign};
-    pub use dbtoaster_compiler::{BatchStrategy, CompileMode, CompileOptions};
+    pub use dbtoaster_compiler::{BatchStrategy, CompileMode, CompileOptions, ProgramExplain};
     pub use dbtoaster_durability::{DurabilityConfig, DurabilityError, FsyncPolicy};
     pub use dbtoaster_gmr::{Gmr, Schema, Value};
     pub use dbtoaster_runtime::BatchReport;
     pub use dbtoaster_server::{
-        IngestHandle, OutputDelta, OutputDeltaBatch, ReaderHandle, SendBatchError, ServeError,
-        ServerConfig, Snapshot, Subscription, ViewServer,
+        HttpConfig, IngestHandle, OutputDelta, OutputDeltaBatch, ReaderHandle, SendBatchError,
+        ServeError, ServerConfig, Snapshot, Subscription, ViewServer,
     };
     pub use dbtoaster_sql::{SqlCatalog, TableDef};
     pub use dbtoaster_telemetry::{

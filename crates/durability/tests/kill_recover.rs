@@ -388,7 +388,27 @@ fn wal_replay_chooses_the_same_batch_strategies_as_the_live_run() {
     let _ = fs::remove_dir_all(&dir);
     fs::create_dir_all(&dir).unwrap();
 
-    let program = builder().build().unwrap().program().clone();
+    // The revenue query's batch-delta corrections are empty (its deltas are
+    // linear), so it alone never consults the correction cost gate. The
+    // Lineitem self-join adds a query whose delta re-reads a map Lineitem
+    // itself maintains — non-empty second-order corrections, and a per-batch
+    // gate decision fed by observed map sizes.
+    let program = QueryEngineBuilder::new(catalog())
+        .add_query(
+            "revenue",
+            "SELECT o.ck, SUM(li.price * o.xch) AS total \
+             FROM Orders o, Lineitem li WHERE o.ordk = li.ordk GROUP BY o.ck",
+        )
+        .add_query(
+            "lineitem_pairs",
+            "SELECT li1.ordk, SUM(li1.price * li2.price) AS pp \
+             FROM Lineitem li1, Lineitem li2 WHERE li1.ordk = li2.ordk GROUP BY li1.ordk",
+        )
+        .mode(CompileMode::HigherOrder)
+        .build()
+        .unwrap()
+        .program()
+        .clone();
     let ccat = dbtoaster::to_compiler_catalog(&catalog());
     let fp = program_fingerprint(&program);
 
@@ -449,6 +469,26 @@ fn wal_replay_chooses_the_same_batch_strategies_as_the_live_run() {
             .iter()
             .any(|r| r.strategy == BatchStrategy::BatchDelta),
         "the revenue query's relations should dispatch batch-delta: {live_runs:?}"
+    );
+    // The deterministic correction cost gate (batch firing count vs the
+    // observed sizes of the maps the relation's triggers read) must flip
+    // within this stream: early wide batches meet near-empty maps and fall
+    // back to entry-major, while later batches run their second-order
+    // corrections once the maps outgrow the firing count. Both outcomes on
+    // one batch-delta relation pin the decision path; the sequence equality
+    // below then proves replay re-derives every decision from rebuilt engine
+    // state rather than from anything the live process remembered.
+    let gate_flipped = live_runs.iter().any(|r| {
+        r.strategy == BatchStrategy::EntryMajor
+            && r.events > 3
+            && live_runs
+                .iter()
+                .any(|b| b.relation == r.relation && b.strategy == BatchStrategy::BatchDelta)
+    });
+    assert!(
+        gate_flipped,
+        "expected the batch-delta cost gate to fall back to entry-major at least once \
+         while the read maps were small: {live_runs:?}"
     );
     assert_eq!(
         live_runs, replay_runs,

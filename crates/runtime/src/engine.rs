@@ -655,6 +655,11 @@ pub struct Engine {
     /// [`TriggerProgram::batch_dispatch_forced`] at construction (and on
     /// [`Engine::set_force_batch_strategy`]).
     dispatch: FastMap<String, DispatchEntry>,
+    /// Per-correction (index-aligned with `program.batch_corrections`) view
+    /// names read by the relation's first-order trigger statements — the maps
+    /// entry-major processing scans once per firing. Precomputed so the
+    /// batch-delta cost gate reads map sizes without allocating.
+    corr_read_maps: Vec<Vec<String>>,
     /// Ignore compiled kernels and interpret every statement (differential
     /// testing / escape hatch; see [`FORCE_INTERPRETER_ENV`]).
     force_interpreter: bool,
@@ -869,6 +874,7 @@ impl Engine {
             merged: DeltaBatch::new(),
             merge_runs,
             dispatch: FastMap::default(),
+            corr_read_maps: Vec::new(),
             force_interpreter: false,
             forced_strategy: None,
             record_runs: false,
@@ -906,6 +912,29 @@ impl Engine {
                         correction,
                     },
                 )
+            })
+            .collect();
+        // Precompute, per correction set, the views the relation's first-order
+        // statements read: the batch-delta cost gate compares the correction's
+        // O(firings²) pair join against entry-major's O(firings × read-map
+        // size) scans, and must not allocate per run.
+        self.corr_read_maps = self
+            .program
+            .batch_corrections
+            .iter()
+            .map(|c| {
+                let mut names = std::collections::BTreeSet::new();
+                for t in self
+                    .program
+                    .triggers
+                    .iter()
+                    .filter(|t| t.relation == c.relation)
+                {
+                    for s in &t.statements {
+                        names.extend(s.reads());
+                    }
+                }
+                names.into_iter().collect()
             })
             .collect();
     }
@@ -1497,16 +1526,30 @@ impl Engine {
             .correction
             .map(|i| &program.batch_corrections[i as usize]);
         // Cost gate for quadratic queries: the pair correction joins the run's
-        // delta with itself, so its work grows as O(firings²) while per-event
-        // processing pays O(firings) reading the maintained maps. Past this
-        // (deterministic, so WAL replay agrees) firing count the correction
-        // can no longer win against cheap per-event statements — fire the run
-        // entry-major instead. Relations whose maps are all linear in the
-        // relation (empty correction set) never hit the gate.
-        const MAX_CORRECTION_FIRINGS: u64 = 3;
+        // delta with itself, so its work grows as O(firings²), while firing
+        // the run entry-major pays O(firings × |read maps|) scanning the
+        // maintained maps once per event. The break-even is therefore
+        // firings ≈ observed read-map entries: below it the correction can no
+        // longer win against cheap per-event statements; above it (large
+        // maintained state, as in bsv's long runs) per-event scans dominate
+        // and batch-delta stays on. Every input — the firing count and the
+        // map sizes — is engine state reproduced bit-for-bit by WAL replay,
+        // so recovery picks the identical strategy sequence. Relations whose
+        // maps are all linear in the relation (empty correction set) never
+        // hit the gate.
+        const MIN_CORRECTION_FIRINGS: u64 = 3;
         if corr.is_some_and(|c| !c.statements.is_empty()) {
             let firings: u64 = run.entries().iter().map(|e| e.firings() as u64).sum();
-            if firings > MAX_CORRECTION_FIRINGS {
+            let observed_entries: u64 = disp
+                .correction
+                .and_then(|ci| self.corr_read_maps.get(ci as usize))
+                .map(|maps| {
+                    maps.iter()
+                        .map(|n| self.db.view(n).map_or(0, |v| v.len() as u64))
+                        .sum()
+                })
+                .unwrap_or(0);
+            if firings > MIN_CORRECTION_FIRINGS.max(observed_entries) {
                 self.run_entry_major(program, disp, run, report);
                 return BatchStrategy::EntryMajor;
             }
@@ -2180,6 +2223,40 @@ impl Engine {
         &self.stats
     }
 
+    /// Structured EXPLAIN of the compiled trigger program: one operator tree
+    /// per statement plus the batch-dispatch decision (and its reason) per
+    /// relation. With telemetry attached the tree carries live per-view
+    /// counters — EXPLAIN ANALYZE — after an implicit
+    /// [`Engine::flush_telemetry`]; without telemetry the `analyze` blocks
+    /// are absent. Render with [`ProgramExplain::render_text`] or
+    /// [`ProgramExplain::render_json`].
+    ///
+    /// [`ProgramExplain::render_text`]: dbtoaster_compiler::ProgramExplain::render_text
+    /// [`ProgramExplain::render_json`]: dbtoaster_compiler::ProgramExplain::render_json
+    pub fn explain(&mut self) -> dbtoaster_compiler::ProgramExplain {
+        self.flush_telemetry();
+        let mut ex = dbtoaster_compiler::explain(&self.program, self.forced_strategy);
+        if let Some(ts) = self.tel.as_deref() {
+            use std::sync::atomic::Ordering::Relaxed;
+            ex.attach_stats(|name| {
+                let i = ts.map_names.iter().position(|n| n == name)?;
+                let v = &ts.views[i];
+                Some(dbtoaster_compiler::ViewStats {
+                    rows_written: v.rows_written.load(Relaxed),
+                    probes: v.probes.load(Relaxed),
+                    scans: v.scans.load(Relaxed),
+                    entries_scanned: v.entries_scanned.load(Relaxed),
+                    fused_scans: v.fused_scans.load(Relaxed),
+                    banded_hits: v.banded_hits.load(Relaxed),
+                    banded_bails: v.banded_bails.load(Relaxed),
+                    correction_firings: v.correction_firings.load(Relaxed),
+                    map_size: v.map_size.load(Relaxed),
+                })
+            });
+        }
+        ex
+    }
+
     /// Attach a [`Telemetry`] handle. With an enabled handle the engine
     /// records whole-batch latency, per-strategy kernel timings, per-view
     /// work counters and slow-batch traces into it — all buffered in plain
@@ -2284,8 +2361,16 @@ impl Engine {
         for (i, view) in ts.views.iter().enumerate() {
             if let Some(c) = self.kernel.counter_slots.get(i) {
                 let w = c.take();
-                if w.scans | w.entries_scanned | w.fused_scans | w.banded_hits | w.banded_bails != 0
+                if w.probes
+                    | w.scans
+                    | w.entries_scanned
+                    | w.fused_scans
+                    | w.banded_hits
+                    | w.banded_bails
+                    != 0
                 {
+                    view.probes.fetch_add(w.probes, Relaxed);
+                    view.scans.fetch_add(w.scans, Relaxed);
                     view.entries_scanned.fetch_add(w.entries_scanned, Relaxed);
                     view.fused_scans.fetch_add(w.fused_scans, Relaxed);
                     view.banded_hits.fetch_add(w.banded_hits, Relaxed);

@@ -71,10 +71,12 @@
 //! assert_eq!(batch.deltas[0].new_mult, 7.0);
 //! ```
 
+pub mod http;
 pub mod results;
 pub mod server;
 pub mod swap;
 
+pub use http::{HttpConfig, HttpExporter};
 pub use results::{assemble_result, ResultRow, ResultTable};
 pub use server::{
     IngestHandle, OutputDelta, OutputDeltaBatch, ReaderHandle, SendBatchError, ServeError,

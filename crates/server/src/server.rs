@@ -38,11 +38,12 @@
 //! bit-exactly (new multiplicities are copied verbatim from the view, not
 //! re-derived).
 
+use crate::http::{HttpConfig, HttpExporter};
 use crate::results::{assemble_result, ResultRow, ResultTable};
 use crate::swap::EpochCell;
 use dbtoaster_agca::eval::{eval_with, matches_pattern, Bindings, EvalError, RelationSource};
 use dbtoaster_agca::UpdateEvent;
-use dbtoaster_compiler::{ResultAccess, TriggerProgram};
+use dbtoaster_compiler::{BatchStrategy, ProgramExplain, ResultAccess, TriggerProgram, ViewStats};
 use dbtoaster_durability::{
     checkpoint, program_fingerprint, DurabilityConfig, DurabilityError, WalWriter,
 };
@@ -85,6 +86,12 @@ pub struct ServerConfig {
     /// [`Telemetry`] handle (attached before `spawn`), that handle is reused
     /// and this config is ignored.
     pub telemetry: TelemetryConfig,
+    /// When set, [`ViewServer::spawn`] starts the std-only HTTP exporter on
+    /// the configured address, serving `/metrics`, `/healthz`, `/views`,
+    /// `/explain` and `/traces` from a dedicated listener thread (see
+    /// [`HttpConfig`]). The exporter only reads shared state — a stuck or
+    /// slow scraper can never block the writer.
+    pub http: Option<HttpConfig>,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +102,7 @@ impl Default for ServerConfig {
             publish_interval: Duration::from_millis(1),
             durability: None,
             telemetry: TelemetryConfig::default(),
+            http: None,
         }
     }
 }
@@ -123,6 +131,8 @@ pub enum ServeError {
     Eval(EvalError),
     /// The durability layer failed (WAL open/append or checkpoint write).
     Durability(DurabilityError),
+    /// The HTTP exporter could not bind or start its listener thread.
+    Http(String),
 }
 
 impl fmt::Display for ServeError {
@@ -139,6 +149,7 @@ impl fmt::Display for ServeError {
             ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
             ServeError::Eval(e) => write!(f, "evaluation error: {e}"),
             ServeError::Durability(e) => write!(f, "durability error: {e}"),
+            ServeError::Http(e) => write!(f, "http exporter error: {e}"),
         }
     }
 }
@@ -300,14 +311,23 @@ struct StatsCell {
     batch_delta_runs: AtomicU64,
     statement_major_runs: AtomicU64,
     entry_major_runs: AtomicU64,
+    /// Watermark (events applied) of the newest successfully written
+    /// checkpoint; `/healthz` reports `events - watermark` as checkpoint lag.
+    checkpoint_watermark: AtomicU64,
     started: Instant,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     cell: EpochCell<Snapshot>,
     stats: StatsCell,
     queries: FastMap<String, ServedQuery>,
     program: Arc<TriggerProgram>,
+    /// The engine's batch-strategy override at spawn time (it cannot change
+    /// while the writer owns the engine), so `/explain` reports the dispatch
+    /// the writer actually runs.
+    forced_strategy: Option<BatchStrategy>,
+    /// Is the server durable? Gates the checkpoint-lag readout in `/healthz`.
+    durable: bool,
     error: Mutex<Option<RuntimeError>>,
     durability_error: Mutex<Option<DurabilityError>>,
     /// Startup provenance (e.g. a degraded recovery), kept apart from
@@ -316,6 +336,12 @@ struct Shared {
     /// Crash simulation / hard abort: the writer stops at the next loop
     /// iteration without draining the queue or taking a final checkpoint.
     killed: AtomicBool,
+    /// Cleared by the writer thread on exit (clean or crashed): the liveness
+    /// bit `/healthz` reports.
+    writer_alive: AtomicBool,
+    /// Events enqueued but not yet drained by the writer (approximate:
+    /// producers increment before a blocking send completes).
+    queue_depth: AtomicU64,
     /// The telemetry registry shared by the writer thread, the checkpoint
     /// thread and metric readers. Reading a snapshot never blocks the writer.
     tel: Telemetry,
@@ -328,6 +354,7 @@ pub struct ViewServer {
     shared: Arc<Shared>,
     tx: SyncSender<Msg>,
     writer: Option<JoinHandle<Engine>>,
+    http: Option<HttpExporter>,
 }
 
 impl ViewServer {
@@ -378,18 +405,30 @@ impl ViewServer {
                 batch_delta_runs: AtomicU64::new(engine.stats().batch_delta_runs),
                 statement_major_runs: AtomicU64::new(engine.stats().statement_major_runs),
                 entry_major_runs: AtomicU64::new(engine.stats().entry_major_runs),
+                checkpoint_watermark: AtomicU64::new(0),
                 started: Instant::now(),
             },
             queries: queries.into_iter().map(|q| (q.name.clone(), q)).collect(),
             program: engine.program_shared(),
+            forced_strategy: engine.forced_batch_strategy(),
+            durable: config.durability.is_some(),
             error: Mutex::new(None),
             durability_error: Mutex::new(None),
             durability_warning: Mutex::new(None),
             killed: AtomicBool::new(false),
+            writer_alive: AtomicBool::new(true),
+            queue_depth: AtomicU64::new(0),
             tel,
         });
         let durable = match &config.durability {
             Some(cfg) => Some(DurableState::open(cfg, &engine, &shared)?),
+            None => None,
+        };
+        let http = match &config.http {
+            Some(hc) => Some(
+                HttpExporter::spawn(shared.clone(), hc.clone())
+                    .map_err(|e| ServeError::Http(e.to_string()))?,
+            ),
             None => None,
         };
         let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
@@ -404,13 +443,38 @@ impl ViewServer {
             shared,
             tx,
             writer: Some(writer),
+            http,
         })
+    }
+
+    /// Start the HTTP exporter after the fact (no-op error if one is already
+    /// running); returns the bound address. Prefer [`ServerConfig::http`] so
+    /// the endpoints are live from the first event.
+    pub fn serve_http(&mut self, config: HttpConfig) -> Result<std::net::SocketAddr, ServeError> {
+        if let Some(h) = &self.http {
+            return Err(ServeError::Http(format!(
+                "exporter already listening on {}",
+                h.addr()
+            )));
+        }
+        let h = HttpExporter::spawn(self.shared.clone(), config)
+            .map_err(|e| ServeError::Http(e.to_string()))?;
+        let addr = h.addr();
+        self.http = Some(h);
+        Ok(addr)
+    }
+
+    /// The HTTP exporter's bound address (useful with a `:0` config port),
+    /// `None` when no exporter is running.
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http.as_ref().map(|h| h.addr())
     }
 
     /// A cloneable producer handle onto the bounded ingest queue.
     pub fn handle(&self) -> IngestHandle {
         IngestHandle {
             tx: self.tx.clone(),
+            shared: self.shared.clone(),
         }
     }
 
@@ -556,6 +620,15 @@ impl ViewServer {
         self.metrics().render_prometheus()
     }
 
+    /// EXPLAIN ANALYZE of the served trigger program: the per-statement
+    /// operator trees, the batch-dispatch decision (and its reason) per
+    /// relation, and live per-view counters joined in from the telemetry
+    /// registry. Render with [`ProgramExplain::render_text`] or
+    /// [`ProgramExplain::render_json`]; also served over HTTP as `/explain`.
+    pub fn explain(&self) -> ProgramExplain {
+        explain_program(&self.shared)
+    }
+
     /// Drain the slow-batch trace ring: structured span trees (relation,
     /// strategy, per-statement timings) for every batch that exceeded
     /// [`TelemetryConfig::slow_batch_threshold`] since the last drain.
@@ -664,23 +737,33 @@ impl Drop for ViewServer {
 #[derive(Clone)]
 pub struct IngestHandle {
     tx: SyncSender<Msg>,
+    /// Keeps the queue-depth gauge `/healthz` reports. Producers increment
+    /// *before* a (possibly blocking) send and undo on failure, so the
+    /// writer's decrement at drain time can never underflow.
+    shared: Arc<Shared>,
 }
 
 impl IngestHandle {
     /// Enqueue one update, blocking while the queue is full (backpressure).
     pub fn send(&self, event: UpdateEvent) -> Result<(), ServeError> {
-        self.tx
-            .send(Msg::Event(event))
-            .map_err(|_| ServeError::Closed)
+        self.shared.queue_depth.fetch_add(1, Relaxed);
+        self.tx.send(Msg::Event(event)).map_err(|_| {
+            self.shared.queue_depth.fetch_sub(1, Relaxed);
+            ServeError::Closed
+        })
     }
 
     /// Enqueue one update without blocking; hands the event back when the queue
     /// is full or the server is down.
     pub fn try_send(&self, event: UpdateEvent) -> Result<(), TrySendError> {
-        self.tx.try_send(Msg::Event(event)).map_err(|e| match e {
-            MpscTrySendError::Full(Msg::Event(ev)) => TrySendError::Full(ev),
-            MpscTrySendError::Disconnected(Msg::Event(ev)) => TrySendError::Closed(ev),
-            _ => unreachable!("try_send only wraps events"),
+        self.shared.queue_depth.fetch_add(1, Relaxed);
+        self.tx.try_send(Msg::Event(event)).map_err(|e| {
+            self.shared.queue_depth.fetch_sub(1, Relaxed);
+            match e {
+                MpscTrySendError::Full(Msg::Event(ev)) => TrySendError::Full(ev),
+                MpscTrySendError::Disconnected(Msg::Event(ev)) => TrySendError::Closed(ev),
+                _ => unreachable!("try_send only wraps events"),
+            }
         })
     }
 
@@ -702,18 +785,22 @@ impl IngestHandle {
         let mut buf: Vec<UpdateEvent> = Vec::with_capacity(CHUNK);
         let send = |chunk: Vec<UpdateEvent>, accepted: &mut usize| -> Result<(), SendBatchError> {
             let n = chunk.len();
+            self.shared.queue_depth.fetch_add(n as u64, Relaxed);
             match self.tx.send(Msg::Events(chunk)) {
                 Ok(()) => {
                     *accepted += n;
                     Ok(())
                 }
-                Err(mpsc::SendError(msg)) => Err(SendBatchError {
-                    accepted: *accepted,
-                    unsent: match msg {
-                        Msg::Events(v) => v,
-                        _ => unreachable!("send_batch only wraps event chunks"),
-                    },
-                }),
+                Err(mpsc::SendError(msg)) => {
+                    self.shared.queue_depth.fetch_sub(n as u64, Relaxed);
+                    Err(SendBatchError {
+                        accepted: *accepted,
+                        unsent: match msg {
+                            Msg::Events(v) => v,
+                            _ => unreachable!("send_batch only wraps event chunks"),
+                        },
+                    })
+                }
             }
         };
         for ev in events {
@@ -1000,6 +1087,10 @@ impl DurableState {
             )?;
             shared.stats.checkpoints_taken.fetch_add(1, Relaxed);
         }
+        shared
+            .stats
+            .checkpoint_watermark
+            .fetch_max(newest_verified.unwrap_or(watermark), Relaxed);
         let wal = WalWriter::open_locked(
             &cfg.dir,
             fingerprint,
@@ -1028,6 +1119,10 @@ impl DurableState {
                         match res {
                             Ok(_) => {
                                 shared.stats.checkpoints_taken.fetch_add(1, Relaxed);
+                                shared
+                                    .stats
+                                    .checkpoint_watermark
+                                    .fetch_max(job.watermark, Relaxed);
                             }
                             Err(e) => record_durability_error(&shared, e),
                         }
@@ -1228,6 +1323,11 @@ fn writer_loop(
             }
         }
         let drained = batch.len() as u64;
+        if drained > 0 {
+            // Producers incremented before enqueueing, so the gauge holds at
+            // least `drained` here.
+            shared.queue_depth.fetch_sub(drained, Relaxed);
+        }
         if !batch.is_empty() {
             // Coalesced publication now also means coalesced *computation*:
             // the drained micro-batch becomes one DeltaBatch of per-relation
@@ -1370,6 +1470,7 @@ fn writer_loop(
         }
     }
     engine.flush_telemetry(); // final fold so post-shutdown metrics are complete
+    shared.writer_alive.store(false, Relaxed);
     let crashed = shared.killed.load(Relaxed);
     if let Some(d) = durable.take() {
         d.shutdown(&engine, !crashed, &shared);
@@ -1486,4 +1587,124 @@ fn full_diff(old: Option<&Gmr>, new: Option<&Gmr>) -> Vec<OutputDelta> {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// HTTP endpoint bodies (transport lives in `crate::http`)
+// ---------------------------------------------------------------------------
+
+fn lock_opt<T: Clone>(m: &Mutex<Option<T>>) -> Option<T> {
+    m.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+fn json_opt_string(v: Option<String>) -> String {
+    match v {
+        Some(s) => format!("\"{}\"", dbtoaster_telemetry::json_escape(&s)),
+        None => "null".to_string(),
+    }
+}
+
+/// The EXPLAIN tree `/explain` serves: the compiled program's operator trees
+/// and dispatch decisions, with live per-view counters joined in from the
+/// telemetry registry.
+pub(crate) fn explain_program(shared: &Shared) -> ProgramExplain {
+    let mut ex = dbtoaster_compiler::explain(&shared.program, shared.forced_strategy);
+    let snap = shared.tel.snapshot();
+    if snap.enabled {
+        ex.attach_stats(|name| {
+            snap.view(name).map(|v| ViewStats {
+                rows_written: v.rows_written,
+                probes: v.probes,
+                scans: v.scans,
+                entries_scanned: v.entries_scanned,
+                fused_scans: v.fused_scans,
+                banded_hits: v.banded_hits,
+                banded_bails: v.banded_bails,
+                correction_firings: v.correction_firings,
+                map_size: v.map_size,
+            })
+        });
+    }
+    ex
+}
+
+/// `/metrics`: the Prometheus text exposition of a fresh telemetry snapshot.
+pub(crate) fn metrics_body(shared: &Shared) -> String {
+    shared.tel.render_prometheus()
+}
+
+/// `/healthz`: writer liveness, queue depth, durability lag and the first
+/// recorded errors, as one JSON object. The bool is the health verdict
+/// (HTTP 200 vs 503): the writer thread is alive and durability is intact.
+pub(crate) fn health_body(shared: &Shared) -> (bool, String) {
+    let writer_alive = shared.writer_alive.load(Relaxed);
+    let killed = shared.killed.load(Relaxed);
+    let events = shared.stats.events.load(Relaxed);
+    let queue_depth = shared.queue_depth.load(Relaxed);
+    let epoch = shared.cell.epoch();
+    let wal_bytes = shared.stats.wal_bytes_written.load(Relaxed);
+    let checkpoints = shared.stats.checkpoints_taken.load(Relaxed);
+    let watermark = shared.stats.checkpoint_watermark.load(Relaxed);
+    let error = lock_opt(&shared.error).map(|e| e.to_string());
+    let durability_error = lock_opt(&shared.durability_error).map(|e| e.to_string());
+    let durability_warning = lock_opt(&shared.durability_warning).map(|e| e.to_string());
+    let healthy = writer_alive && durability_error.is_none();
+    let body = format!(
+        "{{\"status\":\"{status}\",\"writer_alive\":{writer_alive},\"killed\":{killed},\
+         \"epoch\":{epoch},\"events_applied\":{events},\"ingest_queue_depth\":{queue_depth},\
+         \"durable\":{durable},\"wal_bytes_written\":{wal_bytes},\
+         \"checkpoints_taken\":{checkpoints},\"checkpoint_lag_events\":{lag},\
+         \"last_error\":{error},\"last_durability_error\":{derr},\
+         \"durability_warning\":{dwarn}}}",
+        status = if healthy { "ok" } else { "unhealthy" },
+        durable = shared.durable,
+        lag = if shared.durable {
+            events.saturating_sub(watermark)
+        } else {
+            0
+        },
+        error = json_opt_string(error),
+        derr = json_opt_string(durability_error),
+        dwarn = json_opt_string(durability_warning),
+    );
+    (healthy, body)
+}
+
+/// `/views`: per-view work counters and observed sizes from a fresh
+/// [`MetricsSnapshot`], as one JSON object.
+pub(crate) fn views_body(shared: &Shared) -> String {
+    use dbtoaster_telemetry::json_escape;
+    let snap = shared.tel.snapshot();
+    let mut out = format!(
+        "{{\"events\":{},\"batches\":{},\"traces_pending\":{},\"views\":[",
+        snap.events, snap.batches, snap.traces_pending
+    );
+    for (i, v) in snap.views.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"rows_written\":{},\"probes\":{},\"scans\":{},\
+             \"entries_scanned\":{},\"fused_scans\":{},\"banded_hits\":{},\
+             \"banded_bails\":{},\"correction_firings\":{},\"map_size\":{}}}",
+            json_escape(&v.name),
+            v.rows_written,
+            v.probes,
+            v.scans,
+            v.entries_scanned,
+            v.fused_scans,
+            v.banded_hits,
+            v.banded_bails,
+            v.correction_firings,
+            v.map_size
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// `/traces`: drain the slow-batch ring as JSON lines (empty body when no
+/// batch exceeded the threshold since the last drain).
+pub(crate) fn traces_body(shared: &Shared) -> String {
+    shared.tel.drain_traces_json()
 }

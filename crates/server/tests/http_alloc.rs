@@ -1,0 +1,189 @@
+//! Allocation guard for the observability front door: the compiled per-event
+//! hot path must stay **zero-alloc in steady state while the HTTP exporter is
+//! live** — a listener thread accepting connections, a scraper hammering
+//! `/metrics`, and a feeder keeping the served engine busy.
+//!
+//! The counting allocator here is *thread-filtering*: only the thread that
+//! opted in (the one running the hot path under measurement) counts its
+//! allocations, so the exporter's own legitimate allocations — response
+//! bodies, per-connection threads — never pollute the measurement and,
+//! conversely, cannot mask a hot-path regression.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+static TRACKED_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TRACK: Cell<bool> = const { Cell::new(false) };
+}
+
+struct FilteredCountingAllocator;
+
+unsafe impl GlobalAlloc for FilteredCountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACK.try_with(|t| t.get()).unwrap_or(false) {
+            TRACKED_ALLOCS.fetch_add(1, Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACK.try_with(|t| t.get()).unwrap_or(false) {
+            TRACKED_ALLOCS.fetch_add(1, Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: FilteredCountingAllocator = FilteredCountingAllocator;
+
+use dbtoaster_agca::{Expr, UpdateEvent};
+use dbtoaster_compiler::{compile, Catalog, CompileOptions, QuerySpec, RelationMeta};
+use dbtoaster_gmr::Value;
+use dbtoaster_runtime::Engine;
+use dbtoaster_server::{HttpConfig, ServerConfig, ViewServer};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn build_engine() -> Engine {
+    let catalog: Catalog = [
+        RelationMeta::stream("O", ["OK", "XCH"]),
+        RelationMeta::stream("LI", ["OK", "PRICE"]),
+    ]
+    .into_iter()
+    .collect();
+    let q = QuerySpec {
+        name: "Q".into(),
+        out_vars: vec![],
+        expr: Expr::agg_sum(
+            Vec::<String>::new(),
+            Expr::product_of([
+                Expr::rel("O", ["ok", "xch"]),
+                Expr::rel("LI", ["ok", "price"]),
+                Expr::var("xch"),
+                Expr::var("price"),
+            ]),
+        ),
+    };
+    let program = compile(&[q], &catalog, &CompileOptions::default()).unwrap();
+    Engine::new(program, &catalog)
+}
+
+/// Steady-state churn: inserts plus matching deletes over a fixed key range.
+fn churn_events(keys: i64) -> Vec<UpdateEvent> {
+    (0..keys)
+        .flat_map(|k| {
+            [
+                UpdateEvent::insert("O", vec![Value::long(k), Value::double(2.0)]),
+                UpdateEvent::insert("LI", vec![Value::long(k), Value::double(10.0)]),
+                UpdateEvent::delete("O", vec![Value::long(k), Value::double(2.0)]),
+                UpdateEvent::delete("LI", vec![Value::long(k), Value::double(10.0)]),
+            ]
+        })
+        .collect()
+}
+
+fn scrape(addr: SocketAddr) -> bool {
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_secs(2)) else {
+        return false;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    if stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .is_err()
+    {
+        return false;
+    }
+    let mut out = String::new();
+    stream.read_to_string(&mut out).is_ok() && out.starts_with("HTTP/1.1 200")
+}
+
+#[test]
+fn hot_path_stays_zero_alloc_while_the_exporter_is_scraped() {
+    // Background serving stack: a second engine behind a ViewServer with the
+    // exporter enabled, one feeder keeping it busy, one scraper polling
+    // /metrics as fast as it can.
+    let server = ViewServer::spawn(
+        build_engine(),
+        vec![],
+        ServerConfig {
+            http: Some(HttpConfig::default()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.http_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let feeder = {
+        let ingest = server.handle();
+        let stop = stop.clone();
+        thread::spawn(move || {
+            let mut k = 0i64;
+            while !stop.load(Relaxed) {
+                ingest
+                    .send(UpdateEvent::insert(
+                        "O",
+                        vec![Value::long(k % 512), Value::double(1.0)],
+                    ))
+                    .unwrap();
+                k += 1;
+            }
+        })
+    };
+    let scrapes = Arc::new(AtomicU64::new(0));
+    let scraper = {
+        let stop = stop.clone();
+        let scrapes = scrapes.clone();
+        thread::spawn(move || {
+            while !stop.load(Relaxed) {
+                if scrape(addr) {
+                    scrapes.fetch_add(1, Relaxed);
+                }
+            }
+        })
+    };
+
+    // Foreground: the compiled hot path, measured on this thread only.
+    let mut engine = build_engine();
+    let batch = churn_events(64);
+    engine.process_all(&batch).unwrap(); // warm-up: size every buffer
+    engine.process_all(&batch).unwrap();
+
+    // Let the scraper land at least one successful scrape before measuring,
+    // so the measurement window genuinely overlaps exporter traffic.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while scrapes.load(Relaxed) == 0 && std::time::Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(5));
+    }
+    assert!(scrapes.load(Relaxed) > 0, "scraper never reached /metrics");
+
+    TRACK.with(|t| t.set(true));
+    let before = TRACKED_ALLOCS.load(Relaxed);
+    engine.process_all(&batch).unwrap();
+    let allocs = TRACKED_ALLOCS.load(Relaxed) - before;
+    TRACK.with(|t| t.set(false));
+
+    stop.store(true, Relaxed);
+    feeder.join().unwrap();
+    scraper.join().unwrap();
+    let total_scrapes = scrapes.load(Relaxed);
+    drop(server);
+
+    assert_eq!(
+        allocs,
+        0,
+        "compiled hot path allocated {allocs} times over {} steady-state events \
+         while the exporter served {total_scrapes} scrapes",
+        batch.len()
+    );
+}

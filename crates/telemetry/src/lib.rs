@@ -369,6 +369,11 @@ impl Stage {
 pub struct ViewCounters {
     /// Rows applied to the view by trigger statements (repetitions included).
     pub rows_written: AtomicU64,
+    /// Fully bound index probes executed by compiled kernels against this view.
+    pub probes: AtomicU64,
+    /// Full scans executed against this view (plan scans and fused-prelude
+    /// traversals).
+    pub scans: AtomicU64,
     /// Entries visited by compiled-kernel scans targeting this view.
     pub entries_scanned: AtomicU64,
     /// Fused prelude scan executions.
@@ -391,6 +396,10 @@ pub struct ViewSummary {
     pub name: String,
     /// See [`ViewCounters::rows_written`].
     pub rows_written: u64,
+    /// See [`ViewCounters::probes`].
+    pub probes: u64,
+    /// See [`ViewCounters::scans`].
+    pub scans: u64,
     /// See [`ViewCounters::entries_scanned`].
     pub entries_scanned: u64,
     /// See [`ViewCounters::fused_scans`].
@@ -494,8 +503,9 @@ impl SlowBatchTrace {
     }
 }
 
-/// Escape a string for a JSON string literal.
-fn json_escape(s: &str) -> String {
+/// Escape a string for a JSON string literal (shared by the trace renderer,
+/// the EXPLAIN JSON form and the HTTP exporter's `/views` endpoint).
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -733,6 +743,8 @@ impl Telemetry {
             .map(|(n, v)| ViewSummary {
                 name: n.clone(),
                 rows_written: v.rows_written.load(Relaxed),
+                probes: v.probes.load(Relaxed),
+                scans: v.scans.load(Relaxed),
                 entries_scanned: v.entries_scanned.load(Relaxed),
                 fused_scans: v.fused_scans.load(Relaxed),
                 banded_hits: v.banded_hits.load(Relaxed),
@@ -847,15 +859,38 @@ impl MetricsSnapshot {
     }
 
     /// Prometheus text exposition (summary metrics with quantile labels,
-    /// counters and gauges).
+    /// counters and gauges). Conforms to the text format version 0.0.4:
+    /// every metric family gets `# HELP` and `# TYPE` lines and label values
+    /// are escaped; serve it with [`PROMETHEUS_CONTENT_TYPE`].
     pub fn render_prometheus(&self) -> String {
         let secs = |ns: u64| ns as f64 / 1e9;
         let mut out = String::new();
-        out.push_str("# TYPE dbtoaster_events_total counter\n");
+        let header = |out: &mut String, name: &str, help: &str, kind: &str| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n",
+                help = prometheus_escape_help(help)
+            ));
+        };
+        header(
+            &mut out,
+            "dbtoaster_events_total",
+            "Update events folded into the views.",
+            "counter",
+        );
         out.push_str(&format!("dbtoaster_events_total {}\n", self.events));
-        out.push_str("# TYPE dbtoaster_batches_total counter\n");
+        header(
+            &mut out,
+            "dbtoaster_batches_total",
+            "Delta batches processed.",
+            "counter",
+        );
         out.push_str(&format!("dbtoaster_batches_total {}\n", self.batches));
-        out.push_str("# TYPE dbtoaster_batch_seconds summary\n");
+        header(
+            &mut out,
+            "dbtoaster_batch_seconds",
+            "Whole-batch processing latency.",
+            "summary",
+        );
         let b = &self.batch_latency;
         for (q, v) in [(0.5, b.p50_nanos), (0.9, b.p90_nanos), (0.99, b.p99_nanos)] {
             out.push_str(&format!(
@@ -868,11 +903,22 @@ impl MetricsSnapshot {
             "dbtoaster_batch_seconds_sum {:e}\n",
             secs(b.sum_nanos)
         ));
+        header(
+            &mut out,
+            "dbtoaster_batch_seconds_max",
+            "Largest observed batch latency.",
+            "gauge",
+        );
         out.push_str(&format!(
             "dbtoaster_batch_seconds_max {:e}\n",
             secs(b.max_nanos)
         ));
-        out.push_str("# TYPE dbtoaster_stage_seconds summary\n");
+        header(
+            &mut out,
+            "dbtoaster_stage_seconds",
+            "Per-pipeline-stage latency.",
+            "summary",
+        );
         for (stage, h) in &self.stages {
             let name = stage.name();
             for (q, v) in [(0.5, h.p50_nanos), (0.9, h.p90_nanos), (0.99, h.p99_nanos)] {
@@ -891,37 +937,119 @@ impl MetricsSnapshot {
             ));
         }
         for (name, v) in &self.counters {
-            out.push_str(&format!(
-                "# TYPE dbtoaster_{name} counter\ndbtoaster_{name} {v}\n"
-            ));
+            header(
+                &mut out,
+                &format!("dbtoaster_{name}"),
+                "Registered named counter.",
+                "counter",
+            );
+            out.push_str(&format!("dbtoaster_{name} {v}\n"));
         }
-        let view_counter = |out: &mut String, metric: &str, get: &dyn Fn(&ViewSummary) -> u64| {
-            out.push_str(&format!("# TYPE dbtoaster_view_{metric} counter\n"));
-            for v in &self.views {
-                out.push_str(&format!(
-                    "dbtoaster_view_{metric}{{view=\"{}\"}} {}\n",
-                    v.name,
-                    get(v)
-                ));
-            }
-        };
-        view_counter(&mut out, "rows_written_total", &|v| v.rows_written);
-        view_counter(&mut out, "entries_scanned_total", &|v| v.entries_scanned);
-        view_counter(&mut out, "fused_scans_total", &|v| v.fused_scans);
-        view_counter(&mut out, "banded_hits_total", &|v| v.banded_hits);
-        view_counter(&mut out, "banded_bails_total", &|v| v.banded_bails);
-        view_counter(&mut out, "correction_firings_total", &|v| {
-            v.correction_firings
-        });
-        out.push_str("# TYPE dbtoaster_view_map_size gauge\n");
+        let view_counter =
+            |out: &mut String, metric: &str, help: &str, get: &dyn Fn(&ViewSummary) -> u64| {
+                header(out, &format!("dbtoaster_view_{metric}"), help, "counter");
+                for v in &self.views {
+                    out.push_str(&format!(
+                        "dbtoaster_view_{metric}{{view=\"{}\"}} {}\n",
+                        prometheus_escape_label(&v.name),
+                        get(v)
+                    ));
+                }
+            };
+        view_counter(
+            &mut out,
+            "rows_written_total",
+            "Rows applied to the view by trigger statements.",
+            &|v| v.rows_written,
+        );
+        view_counter(
+            &mut out,
+            "probes_total",
+            "Fully bound index probes executed against the view.",
+            &|v| v.probes,
+        );
+        view_counter(
+            &mut out,
+            "scans_total",
+            "Full scans executed against the view.",
+            &|v| v.scans,
+        );
+        view_counter(
+            &mut out,
+            "entries_scanned_total",
+            "Entries visited by kernel scans of the view.",
+            &|v| v.entries_scanned,
+        );
+        view_counter(
+            &mut out,
+            "fused_scans_total",
+            "Fused prelude scan executions.",
+            &|v| v.fused_scans,
+        );
+        view_counter(
+            &mut out,
+            "banded_hits_total",
+            "Banded prelude lookups answered from the sorted cache.",
+            &|v| v.banded_hits,
+        );
+        view_counter(
+            &mut out,
+            "banded_bails_total",
+            "Banded prelude lookups that fell back to a full traversal.",
+            &|v| v.banded_bails,
+        );
+        view_counter(
+            &mut out,
+            "correction_firings_total",
+            "Second-order batch correction statements fired into the view.",
+            &|v| v.correction_firings,
+        );
+        header(
+            &mut out,
+            "dbtoaster_view_map_size",
+            "Observed view size in entries at the last engine flush.",
+            "gauge",
+        );
         for v in &self.views {
             out.push_str(&format!(
                 "dbtoaster_view_map_size{{view=\"{}\"}} {}\n",
-                v.name, v.map_size
+                prometheus_escape_label(&v.name),
+                v.map_size
             ));
         }
         out
     }
+}
+
+/// The Content-Type an HTTP exporter must send with
+/// [`MetricsSnapshot::render_prometheus`] output.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Escape a Prometheus label *value*: backslash, double quote and newline.
+pub fn prometheus_escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a `# HELP` docstring: backslash and newline (quotes stay literal).
+fn prometheus_escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,15 +1,45 @@
-//! Scientific monitoring: incremental statistics over a molecular-dynamics simulation.
+//! Scientific monitoring: incremental statistics over a molecular-dynamics simulation,
+//! observed **over HTTP** the way an external dashboard would.
 //!
 //! Maintains the MDDB1-style view (sum of squared distances between the selected LYS
-//! and TIP3 atoms, per time step) while atom positions stream in from the simulation,
-//! joined against the static `AtomMeta` table. This mirrors the paper's scientific
-//! workload, where analysis queries must stay fresh as the simulation produces new
-//! snapshots.
+//! and TIP3 atoms, per time step) while atom positions stream into a served engine.
+//! Unlike the other examples, the monitoring side never touches an in-process handle:
+//! it polls the server's std-only HTTP exporter — `/views` for per-view counters,
+//! `/healthz` for liveness and queue depth, `/metrics` for the Prometheus exposition,
+//! and `/explain` for the compiled plan — exactly what `curl` or a Prometheus scrape
+//! would see.
 //!
 //! Run with: `cargo run --release --example mddb_monitor`
 
 use dbtoaster::prelude::*;
 use dbtoaster::workloads::{self, MddbConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One GET against the exporter; returns the response body.
+fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: monitor\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    Ok(raw
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default())
+}
+
+/// Crude scalar-field extraction from the exporter's flat JSON bodies.
+fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let at = body.find(&format!("\"{key}\":"))? + key.len() + 3;
+    let rest = &body[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
 
 fn main() -> Result<(), DbToasterError> {
     let catalog = workloads::mddb_catalog();
@@ -18,11 +48,6 @@ fn main() -> Result<(), DbToasterError> {
         .add_query(q.name, q.sql)
         .mode(CompileMode::HigherOrder)
         .build()?;
-
-    // Attach a telemetry handle: every refresh lands in a latency histogram,
-    // kernel time is split by batch strategy, and each view counts its writes.
-    let tel = Telemetry::with_config(TelemetryConfig::default());
-    engine.set_telemetry(tel.clone());
 
     let data = workloads::mddb::generate(&MddbConfig {
         atoms: 80,
@@ -39,58 +64,56 @@ fn main() -> Result<(), DbToasterError> {
         data.len()
     );
 
-    let per_step = data.len() / 100;
-    for (i, event) in data.events.iter().enumerate() {
-        engine.process(event)?;
-        // Report every 20 simulated time steps.
-        if per_step > 0 && (i + 1) % (per_step * 20) == 0 {
-            let result = engine.result("mddb1")?;
-            let latest = result
-                .rows
-                .iter()
-                .max_by_key(|r| r.key.first().and_then(|v| v.as_i64().ok()).unwrap_or(0));
-            println!(
-                "{:>6} updates processed, {:>3} time steps tracked, latest step statistic = {:?}",
-                i + 1,
-                result.len(),
-                latest.map(|r| r.values[0])
-            );
-        }
-    }
-
-    let stats = engine.stats();
+    // Serve the engine with the HTTP exporter on an ephemeral loopback port.
+    let server = engine.serve_with(ServerConfig {
+        http: Some(HttpConfig::default()),
+        ..ServerConfig::default()
+    })?;
+    let addr = server.http_addr().expect("exporter enabled in the config");
     println!(
-        "\n{} updates at {:.0} refreshes/s, {:.1} MB of view state",
-        stats.events,
-        stats.refresh_rate(),
-        engine.memory_bytes() as f64 / (1024.0 * 1024.0)
+        "observability endpoints at http://{addr}/ (metrics, healthz, views, explain, traces)\n"
     );
 
-    // A monitoring deployment cares about tail latency, not just throughput:
-    // the histogram answers "how stale can a refresh get" directly.
-    engine.flush_telemetry();
-    let m = tel.snapshot();
-    let b = &m.batch_latency;
-    println!(
-        "refresh latency over {} updates: p50={}ns p90={}ns p99={}ns max={}ns",
-        b.count, b.p50_nanos, b.p90_nanos, b.p99_nanos, b.max_nanos
-    );
-    for (stage, h) in &m.stages {
-        if h.count > 0 {
-            println!(
-                "  stage {:<22} {:>8} samples  p50={}ns p99={}ns",
-                stage.name(),
-                h.count,
-                h.p50_nanos,
-                h.p99_nanos
-            );
-        }
-    }
-    for v in &m.views {
+    // Stream the simulation in ten slices; after each, monitor *over HTTP*.
+    let ingest = server.handle();
+    let slice = data.events.len().div_ceil(10);
+    for (i, chunk) in data.events.chunks(slice.max(1)).enumerate() {
+        ingest
+            .send_batch(chunk.to_vec())
+            .expect("writer thread alive for the whole stream");
+        server.flush()?;
+        let views = http_get(addr, "/views").expect("exporter reachable");
+        let health = http_get(addr, "/healthz").expect("exporter reachable");
         println!(
-            "  view {:<24} {:>8} rows written, map size {}",
-            v.name, v.rows_written, v.map_size
+            "slice {:>2}: events={:>6} queue_depth={} result_map_size={}",
+            i + 1,
+            json_u64(&views, "events").unwrap_or(0),
+            json_u64(&health, "ingest_queue_depth").unwrap_or(0),
+            // The result map is the last-registered view in the snapshot; the
+            // mddb1 result map's size equals the number of tracked time steps.
+            views
+                .rfind("\"map_size\":")
+                .and_then(|at| json_u64(&views[at..], "map_size"))
+                .unwrap_or(0),
         );
     }
+
+    // The same surface a Prometheus scrape sees.
+    let metrics = http_get(addr, "/metrics").expect("exporter reachable");
+    println!("\nselected /metrics families:");
+    for line in metrics.lines().filter(|l| {
+        l.starts_with("dbtoaster_events_total") || l.starts_with("dbtoaster_batch_seconds_count")
+    }) {
+        println!("  {line}");
+    }
+
+    // And the compiled story behind those numbers: EXPLAIN ANALYZE.
+    let explain = http_get(addr, "/explain").expect("exporter reachable");
+    println!("\n/explain (first lines):");
+    for line in explain.lines().take(8) {
+        println!("  {line}");
+    }
+
+    server.shutdown()?;
     Ok(())
 }
