@@ -335,8 +335,13 @@ impl QueryEngine {
         };
         let recovered = {
             let _t = tel.stage_guard(dbtoaster_telemetry::Stage::RecoveryReplay);
-            dbtoaster_durability::recover(&dcfg.dir, self.engine.program().clone(), &self.catalog)
-                .map_err(|e| DbToasterError::Serve(ServeError::Durability(e)))?
+            dbtoaster_durability::recover_with_vfs(
+                &dcfg.dir,
+                self.engine.program().clone(),
+                &self.catalog,
+                dcfg.vfs.clone(),
+            )
+            .map_err(|e| DbToasterError::Serve(ServeError::Durability(e)))?
         };
         // Released before serving: the writer thread re-acquires it in spawn.
         // The gap can only produce a clean `Locked` refusal there, never a

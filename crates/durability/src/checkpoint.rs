@@ -27,10 +27,9 @@
 //! retained** checkpoint's watermark, keeping every fallback path replayable.
 
 use crate::codec::{self, crc32, Reader, FORMAT_VERSION};
+use crate::vfs::{StdVfs, Vfs};
 use crate::{io_err, DurabilityError};
 use dbtoaster_gmr::Gmr;
-use std::fs::{self, File};
-use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
 
 /// Magic prefix of every checkpoint file.
@@ -45,20 +44,29 @@ fn ckpt_name(watermark: u64) -> String {
 /// is [`clean_tmp_files`], which must only run under the WAL writer lock
 /// (deleting another live process's in-flight `.tmp` would fail its rename).
 pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurabilityError> {
+    list_checkpoints_with(&StdVfs, dir)
+}
+
+/// [`list_checkpoints`] through an explicit [`Vfs`].
+pub fn list_checkpoints_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+) -> Result<Vec<(u64, PathBuf)>, DurabilityError> {
     let mut out = Vec::new();
-    if !dir.exists() {
+    if !vfs.exists(dir) {
         return Ok(out);
     }
-    for entry in fs::read_dir(dir).map_err(|e| io_err("reading", dir, e))? {
-        let entry = entry.map_err(|e| io_err("reading", dir, e))?;
-        let name = entry.file_name();
+    for path in vfs.list_dir(dir).map_err(|e| io_err("reading", dir, e))? {
+        let Some(name) = path.file_name() else {
+            continue;
+        };
         let name = name.to_string_lossy();
         if let Some(mark) = name
             .strip_prefix("ckpt-")
             .and_then(|s| s.strip_suffix(".ckpt"))
             .and_then(|s| s.parse::<u64>().ok())
         {
-            out.push((mark, entry.path()));
+            out.push((mark, path));
         }
     }
     out.sort_unstable_by_key(|(w, _)| std::cmp::Reverse(*w));
@@ -70,16 +78,23 @@ pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurabilityErr
 /// in-flight `.tmp` must not be pulled out from under its rename). Returns
 /// the number removed.
 pub fn clean_tmp_files(dir: &Path) -> Result<usize, DurabilityError> {
+    clean_tmp_files_with(&StdVfs, dir)
+}
+
+/// [`clean_tmp_files`] through an explicit [`Vfs`].
+pub fn clean_tmp_files_with(vfs: &dyn Vfs, dir: &Path) -> Result<usize, DurabilityError> {
     let mut removed = 0;
-    if !dir.exists() {
+    if !vfs.exists(dir) {
         return Ok(removed);
     }
-    for entry in fs::read_dir(dir).map_err(|e| io_err("reading", dir, e))? {
-        let entry = entry.map_err(|e| io_err("reading", dir, e))?;
-        let name = entry.file_name();
+    for path in vfs.list_dir(dir).map_err(|e| io_err("reading", dir, e))? {
+        let Some(name) = path.file_name() else {
+            continue;
+        };
         let name = name.to_string_lossy();
         if name.starts_with("ckpt-") && name.ends_with(".tmp") {
-            fs::remove_file(entry.path()).map_err(|e| io_err("removing", &entry.path(), e))?;
+            vfs.remove_file(&path)
+                .map_err(|e| io_err("removing", &path, e))?;
             removed += 1;
         }
     }
@@ -105,7 +120,19 @@ pub fn write_checkpoint<'a>(
     watermark: u64,
     maps: impl IntoIterator<Item = (&'a str, &'a Gmr)>,
 ) -> Result<PathBuf, DurabilityError> {
-    fs::create_dir_all(dir).map_err(|e| io_err("creating", dir, e))?;
+    write_checkpoint_with(&StdVfs, dir, fingerprint, watermark, maps)
+}
+
+/// [`write_checkpoint`] through an explicit [`Vfs`].
+pub fn write_checkpoint_with<'a>(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    fingerprint: u64,
+    watermark: u64,
+    maps: impl IntoIterator<Item = (&'a str, &'a Gmr)>,
+) -> Result<PathBuf, DurabilityError> {
+    vfs.create_dir_all(dir)
+        .map_err(|e| io_err("creating", dir, e))?;
     let mut body = Vec::with_capacity(4096);
     body.extend_from_slice(CKPT_MAGIC);
     body.push(FORMAT_VERSION);
@@ -124,17 +151,27 @@ pub fn write_checkpoint<'a>(
 
     let tmp = dir.join(format!("ckpt-{watermark:020}.tmp"));
     let path = dir.join(ckpt_name(watermark));
-    {
-        let mut f = File::create(&tmp).map_err(|e| io_err("creating", &tmp, e))?;
+    let write = || -> Result<(), DurabilityError> {
+        let mut f = vfs.create(&tmp).map_err(|e| io_err("creating", &tmp, e))?;
         f.write_all(&body).map_err(|e| io_err("writing", &tmp, e))?;
         f.sync_all().map_err(|e| io_err("syncing", &tmp, e))?;
+        drop(f);
+        vfs.rename(&tmp, &path)
+            .map_err(|e| io_err("renaming", &tmp, e))?;
+        Ok(())
+    };
+    if let Err(e) = write() {
+        // A failed write (ENOSPC, EIO, …) must not leave a stray `.tmp`
+        // behind: the previous checkpoint stays the loadable one, and nothing
+        // here advances WAL pruning. Cleanup is best-effort — if even the
+        // remove fails, the next locked open's `clean_tmp_files` gets it.
+        let _ = vfs.remove_file(&tmp);
+        return Err(e);
     }
-    fs::rename(&tmp, &path).map_err(|e| io_err("renaming", &tmp, e))?;
     // Make the rename durable before callers prune the WAL beneath it. This
     // must propagate: a swallowed failure here followed by pruning could
     // leave a directory whose only checkpoint never reached disk.
-    File::open(dir)
-        .and_then(|d| d.sync_all())
+    vfs.sync_dir(dir)
         .map_err(|e| io_err("syncing directory", dir, e))?;
     Ok(path)
 }
@@ -144,11 +181,12 @@ pub fn write_checkpoint<'a>(
 /// map payload starts at byte 24 and ends 4 bytes before the end (the CRC
 /// trailer). Both [`load_checkpoint`] and [`verify_checkpoint`] go through
 /// here so the two can never disagree about what counts as valid.
-fn read_envelope(path: &Path, fingerprint: u64) -> Result<(u64, Vec<u8>), DurabilityError> {
-    let mut bytes = Vec::new();
-    File::open(path)
-        .and_then(|mut f| f.read_to_end(&mut bytes))
-        .map_err(|e| io_err("reading", path, e))?;
+fn read_envelope(
+    vfs: &dyn Vfs,
+    path: &Path,
+    fingerprint: u64,
+) -> Result<(u64, Vec<u8>), DurabilityError> {
+    let bytes = vfs.read(path).map_err(|e| io_err("reading", path, e))?;
     let file = path.display().to_string();
     let corrupt = |offset: u64, detail: String| DurabilityError::Corrupt {
         file: file.clone(),
@@ -192,7 +230,16 @@ fn read_envelope(path: &Path, fingerprint: u64) -> Result<(u64, Vec<u8>), Durabi
 
 /// Load and verify one checkpoint file.
 pub fn load_checkpoint(path: &Path, fingerprint: u64) -> Result<Checkpoint, DurabilityError> {
-    let (watermark, bytes) = read_envelope(path, fingerprint)?;
+    load_checkpoint_with(&StdVfs, path, fingerprint)
+}
+
+/// [`load_checkpoint`] through an explicit [`Vfs`].
+pub fn load_checkpoint_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    fingerprint: u64,
+) -> Result<Checkpoint, DurabilityError> {
+    let (watermark, bytes) = read_envelope(vfs, path, fingerprint)?;
     let body = &bytes[..bytes.len() - 4];
     let mut r = Reader::new(&body[24..]);
     let count = r.u32().map_err(DurabilityError::Codec)? as usize;
@@ -220,9 +267,18 @@ pub fn load_latest(
     dir: &Path,
     fingerprint: u64,
 ) -> Result<(Option<Checkpoint>, Vec<String>), DurabilityError> {
+    load_latest_with(&StdVfs, dir, fingerprint)
+}
+
+/// [`load_latest`] through an explicit [`Vfs`].
+pub fn load_latest_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    fingerprint: u64,
+) -> Result<(Option<Checkpoint>, Vec<String>), DurabilityError> {
     let mut skipped = Vec::new();
-    for (_, path) in list_checkpoints(dir)? {
-        match load_checkpoint(&path, fingerprint) {
+    for (_, path) in list_checkpoints_with(vfs, dir)? {
+        match load_checkpoint_with(vfs, &path, fingerprint) {
             Ok(c) => return Ok((Some(c), skipped)),
             Err(e @ DurabilityError::FingerprintMismatch { .. }) => return Err(e),
             Err(e @ DurabilityError::VersionMismatch { .. }) => return Err(e),
@@ -236,7 +292,16 @@ pub fn load_latest(
 /// validation (whole-file CRC, magic, version, fingerprint) *without*
 /// decoding the maps. Returns the watermark.
 pub fn verify_checkpoint(path: &Path, fingerprint: u64) -> Result<u64, DurabilityError> {
-    read_envelope(path, fingerprint).map(|(watermark, _)| watermark)
+    verify_checkpoint_with(&StdVfs, path, fingerprint)
+}
+
+/// [`verify_checkpoint`] through an explicit [`Vfs`].
+pub fn verify_checkpoint_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    fingerprint: u64,
+) -> Result<u64, DurabilityError> {
+    read_envelope(vfs, path, fingerprint).map(|(watermark, _)| watermark)
 }
 
 /// Retention: keep the newest `keep` checkpoints that **verify** (whole-file
@@ -252,8 +317,18 @@ pub fn retain_and_prune_wal(
     keep: usize,
     fingerprint: u64,
 ) -> Result<u64, DurabilityError> {
+    retain_and_prune_wal_with(&StdVfs, dir, keep, fingerprint)
+}
+
+/// [`retain_and_prune_wal`] through an explicit [`Vfs`].
+pub fn retain_and_prune_wal_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    keep: usize,
+    fingerprint: u64,
+) -> Result<u64, DurabilityError> {
     let keep = keep.max(1);
-    let checkpoints = list_checkpoints(dir)?; // newest first
+    let checkpoints = list_checkpoints_with(vfs, dir)?; // newest first
     let mut retained = 0usize;
     let mut oldest_verified = 0u64;
     let mut expendable: Vec<&PathBuf> = Vec::new();
@@ -262,7 +337,7 @@ pub fn retain_and_prune_wal(
             expendable.push(path); // older than the verified window
             continue;
         }
-        match verify_checkpoint(path, fingerprint) {
+        match verify_checkpoint_with(vfs, path, fingerprint) {
             Ok(_) => {
                 retained += 1;
                 oldest_verified = *w;
@@ -276,9 +351,10 @@ pub fn retain_and_prune_wal(
         return Ok(0); // nothing trustworthy: touch nothing
     }
     for path in expendable {
-        fs::remove_file(path).map_err(|e| io_err("removing", path, e))?;
+        vfs.remove_file(path)
+            .map_err(|e| io_err("removing", path, e))?;
     }
-    crate::wal::prune_segments(dir, oldest_verified)?;
+    crate::wal::prune_segments_with(vfs, dir, oldest_verified)?;
     Ok(oldest_verified)
 }
 
@@ -286,6 +362,7 @@ pub fn retain_and_prune_wal(
 mod tests {
     use super::*;
     use dbtoaster_gmr::{Schema, Value};
+    use std::fs;
 
     fn tmp_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("dbt-ckpt-{name}-{}", std::process::id()));

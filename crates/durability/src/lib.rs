@@ -84,11 +84,13 @@
 pub mod checkpoint;
 pub mod codec;
 pub mod recover;
+pub mod vfs;
 pub mod wal;
 
 pub use checkpoint::{list_checkpoints, load_latest, write_checkpoint, Checkpoint};
 pub use codec::{CodecError, FORMAT_VERSION};
-pub use recover::{has_state, recover, Recovery};
+pub use recover::{has_state, recover, recover_with_vfs, Recovery};
+pub use vfs::{std_vfs, FaultConfig, FaultVfs, StdVfs, Vfs, VfsFile};
 pub use wal::{
     acquire_dir_lock, list_segments, prune_segments, ReplayStats, WalReader, WalRecord, WalWriter,
 };
@@ -96,6 +98,8 @@ pub use wal::{
 use dbtoaster_compiler::TriggerProgram;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// When the WAL forces appended records to stable storage. See the crate docs
 /// for the full trade-off discussion.
@@ -108,6 +112,35 @@ pub enum FsyncPolicy {
     EveryBatch,
     /// Never fsync; rely on the OS page cache (process-crash safe only).
     Never,
+}
+
+/// How the serving layer retries transient durability failures before giving
+/// up on the current segment and entering degraded mode (see the server
+/// crate's writer loop: degraded mode is *exited* through a re-arm that
+/// checkpoints current state and rotates to a fresh segment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// In-place retries of a failed WAL append before declaring the segment
+    /// degraded. Each retry first truncates back to the last record boundary
+    /// (a failed write may have left a partial frame).
+    pub max_inline_retries: u32,
+    /// Backoff before the first retry; doubles per attempt. Re-arm attempts
+    /// from degraded mode continue doubling from where the inline retries
+    /// left off.
+    pub initial_backoff: Duration,
+    /// Ceiling on the exponential backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// 4 inline retries, 5 ms initial backoff, 2 s ceiling.
+    fn default() -> Self {
+        RetryPolicy {
+            max_inline_retries: 4,
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
 }
 
 /// Configuration of the durable serving pipeline (consumed by
@@ -126,11 +159,16 @@ pub struct DurabilityConfig {
     /// Retain this many checkpoint files (min 1); WAL segments below the
     /// oldest retained watermark are pruned.
     pub keep_checkpoints: usize,
+    /// Filesystem every durable byte flows through. [`StdVfs`] (the default)
+    /// in production; a [`FaultVfs`] under fault-injection tests.
+    pub vfs: Arc<dyn Vfs>,
+    /// Retry/backoff policy for transient durability failures.
+    pub retry: RetryPolicy,
 }
 
 impl DurabilityConfig {
     /// Defaults: fsync per batch, 16 MiB segments, checkpoint every 200k
-    /// events, keep 2 checkpoints.
+    /// events, keep 2 checkpoints, the real filesystem, default retries.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DurabilityConfig {
             dir: dir.into(),
@@ -138,6 +176,8 @@ impl DurabilityConfig {
             segment_bytes: 16 << 20,
             checkpoint_every_events: 200_000,
             keep_checkpoints: 2,
+            vfs: std_vfs(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -146,7 +186,16 @@ impl DurabilityConfig {
 #[derive(Clone, Debug, PartialEq)]
 pub enum DurabilityError {
     /// An I/O operation failed (message carries path and OS error).
-    Io(String),
+    /// `retryable` classifies it transient (EIO, ENOSPC, EINTR, EAGAIN,
+    /// timeouts — conditions that can clear) vs permanent (EROFS, permission
+    /// errors, missing files): the serving layer retries and re-arms only
+    /// transient failures.
+    Io {
+        /// Operation, path and OS error.
+        message: String,
+        /// Worth retrying / re-arming?
+        retryable: bool,
+    },
     /// A field failed to decode.
     Codec(CodecError),
     /// On-disk bytes are damaged in a way recovery must not tolerate.
@@ -208,7 +257,7 @@ pub enum DurabilityError {
 impl fmt::Display for DurabilityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DurabilityError::Io(m) => write!(f, "i/o error {m}"),
+            DurabilityError::Io { message, .. } => write!(f, "i/o error {message}"),
             DurabilityError::Codec(e) => write!(f, "decode error: {e}"),
             DurabilityError::Corrupt {
                 file,
@@ -242,6 +291,23 @@ impl fmt::Display for DurabilityError {
     }
 }
 
+impl DurabilityError {
+    /// Is this failure worth retrying (inline) or re-arming (fresh segment
+    /// after a checkpoint)? Only transient I/O qualifies: EIO, ENOSPC and
+    /// interrupted/timed-out syscalls can clear; everything else — corruption,
+    /// fingerprint/version mismatches, sequence gaps, locks, config and
+    /// permanent I/O errors — cannot, and retrying would just mask it.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            DurabilityError::Io {
+                retryable: true,
+                ..
+            }
+        )
+    }
+}
+
 impl std::error::Error for DurabilityError {}
 
 impl From<CodecError> for DurabilityError {
@@ -250,9 +316,26 @@ impl From<CodecError> for DurabilityError {
     }
 }
 
-/// Wrap an I/O failure with the operation and path that hit it.
+/// Wrap an I/O failure with the operation and path that hit it, classifying
+/// it transient (retry/re-arm can help: the disk hiccuped, space can be
+/// freed, the syscall was interrupted) vs permanent (EROFS, permissions,
+/// missing files — retrying cannot fix it).
 pub(crate) fn io_err(context: &str, path: &std::path::Path, e: std::io::Error) -> DurabilityError {
-    DurabilityError::Io(format!("{context} {}: {e}", path.display()))
+    // EINTR=4, EIO=5, EAGAIN=11, ENOSPC=28 on Linux.
+    let retryable = match e.raw_os_error() {
+        Some(code) => matches!(code, 4 | 5 | 11 | 28),
+        None => matches!(
+            e.kind(),
+            std::io::ErrorKind::Interrupted
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::Other // FaultVfs power cuts and the like
+        ),
+    };
+    DurabilityError::Io {
+        message: format!("{context} {}: {e}", path.display()),
+        retryable,
+    }
 }
 
 /// A stable fingerprint of a compiled program: the durable state is only

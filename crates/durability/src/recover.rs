@@ -9,12 +9,14 @@
 //! there is no separate recovery interpreter to drift out of sync.
 
 use crate::checkpoint;
+use crate::vfs::{std_vfs, Vfs};
 use crate::wal::{self, WalReader};
 use crate::{program_fingerprint, DurabilityError};
 use dbtoaster_agca::DeltaBatch;
 use dbtoaster_compiler::{Catalog, TriggerProgram};
 use dbtoaster_runtime::Engine;
 use std::path::Path;
+use std::sync::Arc;
 
 /// The result of [`recover`]: a warm engine plus provenance of how it was
 /// rebuilt.
@@ -71,11 +73,24 @@ pub fn recover(
     program: TriggerProgram,
     catalog: &Catalog,
 ) -> Result<Option<Recovery>, DurabilityError> {
+    recover_with_vfs(dir, program, catalog, std_vfs())
+}
+
+/// [`recover`] through an explicit [`Vfs`] (fault-injection tests; production
+/// callers use [`recover`], which is this with [`crate::StdVfs`]).
+pub fn recover_with_vfs(
+    dir: &Path,
+    program: TriggerProgram,
+    catalog: &Catalog,
+    vfs: Arc<dyn Vfs>,
+) -> Result<Option<Recovery>, DurabilityError> {
     let fingerprint = program_fingerprint(&program);
-    if !has_state(dir)? {
+    if checkpoint::list_checkpoints_with(vfs.as_ref(), dir)?.is_empty()
+        && wal::list_segments_with(vfs.as_ref(), dir)?.is_empty()
+    {
         return Ok(None);
     }
-    let (ckpt, skipped_checkpoints) = checkpoint::load_latest(dir, fingerprint)?;
+    let (ckpt, skipped_checkpoints) = checkpoint::load_latest_with(vfs.as_ref(), dir, fingerprint)?;
     let (checkpoint_watermark, mut engine) = match ckpt {
         Some(c) => {
             let w = c.watermark;
@@ -92,7 +107,7 @@ pub fn recover(
             (0, e)
         }
     };
-    let reader = WalReader::open(dir, fingerprint)?;
+    let reader = WalReader::open_with(dir, fingerprint, vfs)?;
     let mut failed_events = 0u64;
     let mut first_failure = None;
     let mut delta = DeltaBatch::new();

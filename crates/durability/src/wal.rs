@@ -31,11 +31,12 @@
 //! to the last valid record boundary, and resumes appending there.
 
 use crate::codec::{self, crc32, CodecError, Reader, FORMAT_VERSION};
+use crate::vfs::{StdVfs, Vfs, VfsFile};
 use crate::{io_err, DurabilityError, FsyncPolicy};
 use dbtoaster_agca::UpdateEvent;
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Magic prefix of every WAL segment.
 pub const WAL_MAGIC: &[u8; 6] = b"DBTWAL";
@@ -51,21 +52,30 @@ fn segment_name(start: u64) -> String {
 
 /// List the WAL segments of `dir`, sorted by start sequence number.
 pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurabilityError> {
+    list_segments_with(&StdVfs, dir)
+}
+
+/// [`list_segments`] through an explicit [`Vfs`].
+pub fn list_segments_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+) -> Result<Vec<(u64, PathBuf)>, DurabilityError> {
     let mut out = Vec::new();
-    if !dir.exists() {
+    if !vfs.exists(dir) {
         return Ok(out);
     }
-    let entries = fs::read_dir(dir).map_err(|e| io_err("reading", dir, e))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| io_err("reading", dir, e))?;
-        let name = entry.file_name();
+    let entries = vfs.list_dir(dir).map_err(|e| io_err("reading", dir, e))?;
+    for path in entries {
+        let Some(name) = path.file_name() else {
+            continue;
+        };
         let name = name.to_string_lossy();
         if let Some(start) = name
             .strip_prefix("wal-")
             .and_then(|s| s.strip_suffix(".seg"))
             .and_then(|s| s.parse::<u64>().ok())
         {
-            out.push((start, entry.path()));
+            out.push((start, path));
         }
     }
     out.sort_unstable_by_key(|(start, _)| *start);
@@ -94,14 +104,12 @@ struct SegmentScan {
 /// Read and verify one segment. `is_last` enables torn-tail tolerance; on
 /// earlier segments every byte must parse.
 fn scan_segment(
+    vfs: &dyn Vfs,
     path: &Path,
     expected_fingerprint: u64,
     is_last: bool,
 ) -> Result<SegmentScan, DurabilityError> {
-    let mut bytes = Vec::new();
-    File::open(path)
-        .and_then(|mut f| f.read_to_end(&mut bytes))
-        .map_err(|e| io_err("reading", path, e))?;
+    let bytes = vfs.read(path).map_err(|e| io_err("reading", path, e))?;
     let file_name = path.display().to_string();
     // An entirely zero-filled final segment is the header-level analogue of
     // the zero-filled record tail below: a crash after the file's size
@@ -274,15 +282,26 @@ pub struct ReplayStats {
 pub struct WalReader {
     segments: Vec<(u64, PathBuf)>,
     fingerprint: u64,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl WalReader {
     /// Open the WAL in `dir`. Cheap: segment contents are read during
     /// [`WalReader::replay`].
     pub fn open(dir: &Path, fingerprint: u64) -> Result<Self, DurabilityError> {
+        Self::open_with(dir, fingerprint, crate::vfs::std_vfs())
+    }
+
+    /// [`WalReader::open`] through an explicit [`Vfs`].
+    pub fn open_with(
+        dir: &Path,
+        fingerprint: u64,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self, DurabilityError> {
         Ok(WalReader {
-            segments: list_segments(dir)?,
+            segments: list_segments_with(vfs.as_ref(), dir)?,
             fingerprint,
+            vfs,
         })
     }
 
@@ -339,7 +358,7 @@ impl WalReader {
                     continue;
                 }
             }
-            let scan = scan_segment(path, self.fingerprint, i == last)?;
+            let scan = scan_segment(self.vfs.as_ref(), path, self.fingerprint, i == last)?;
             stats.torn_tail_dropped |= scan.torn;
             let mut first_in_segment = true;
             for record in scan.records {
@@ -399,7 +418,7 @@ impl WalReader {
         let last = self.segments.len().saturating_sub(1);
         let mut torn = false;
         for (i, (_, path)) in self.segments.iter().enumerate() {
-            let scan = scan_segment(path, self.fingerprint, i == last)?;
+            let scan = scan_segment(self.vfs.as_ref(), path, self.fingerprint, i == last)?;
             torn |= scan.torn;
             out.extend(scan.records);
         }
@@ -415,7 +434,8 @@ impl WalReader {
 /// threshold. See [`FsyncPolicy`] for the durability/throughput trade-off.
 pub struct WalWriter {
     dir: PathBuf,
-    file: File,
+    vfs: Arc<dyn Vfs>,
+    file: Box<dyn VfsFile>,
     /// Bytes currently in the open segment (header included).
     segment_len: u64,
     rotate_at: u64,
@@ -455,6 +475,27 @@ impl WalWriter {
         Self::open_locked(dir, fingerprint, expected_next_seq, policy, rotate_at, lock)
     }
 
+    /// [`WalWriter::open`] through an explicit [`Vfs`].
+    pub fn open_with(
+        dir: &Path,
+        fingerprint: u64,
+        expected_next_seq: u64,
+        policy: FsyncPolicy,
+        rotate_at: u64,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self, DurabilityError> {
+        let lock = acquire_dir_lock(dir)?;
+        Self::open_locked_with(
+            dir,
+            fingerprint,
+            expected_next_seq,
+            policy,
+            rotate_at,
+            lock,
+            vfs,
+        )
+    }
+
     /// [`WalWriter::open`] with a lock already held (from
     /// [`acquire_dir_lock`]) — for callers that must mutate the directory
     /// (tmp cleanup, an initial checkpoint) *between* taking the lock and
@@ -467,24 +508,49 @@ impl WalWriter {
         rotate_at: u64,
         lock: File,
     ) -> Result<Self, DurabilityError> {
-        let segments = list_segments(dir)?;
+        Self::open_locked_with(
+            dir,
+            fingerprint,
+            expected_next_seq,
+            policy,
+            rotate_at,
+            lock,
+            crate::vfs::std_vfs(),
+        )
+    }
+
+    /// [`WalWriter::open_locked`] through an explicit [`Vfs`]. The advisory
+    /// lock stays real regardless of the vfs (see the [`crate::vfs`] docs).
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_locked_with(
+        dir: &Path,
+        fingerprint: u64,
+        expected_next_seq: u64,
+        policy: FsyncPolicy,
+        rotate_at: u64,
+        lock: File,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self, DurabilityError> {
+        let segments = list_segments_with(vfs.as_ref(), dir)?;
         let rotate_at = rotate_at.max(1);
         if let Some((start, path)) = segments.last() {
-            let scan = scan_segment(path, fingerprint, true)?;
+            let scan = scan_segment(vfs.as_ref(), path, fingerprint, true)?;
             if scan.valid_end < SEGMENT_HEADER_LEN {
                 // The crash landed inside the 16-byte header itself: the
                 // segment holds nothing decodable. Appending after a torn
                 // header would corrupt the log, and leaving the file would
                 // hard-error the next scan once it is no longer the final
                 // segment — remove it and redo the open against what remains.
-                fs::remove_file(path).map_err(|e| io_err("removing torn segment", path, e))?;
-                return Self::open_locked(
+                vfs.remove_file(path)
+                    .map_err(|e| io_err("removing torn segment", path, e))?;
+                return Self::open_locked_with(
                     dir,
                     fingerprint,
                     expected_next_seq,
                     policy,
                     rotate_at,
                     lock,
+                    vfs,
                 );
             }
             let derived_next = scan
@@ -501,14 +567,14 @@ impl WalWriter {
             if derived_next == expected_next_seq {
                 // Append mode: writes always land at the (possibly truncated)
                 // end of the file, never over the header.
-                let file = OpenOptions::new()
-                    .append(true)
-                    .open(path)
+                let mut file = vfs
+                    .open_append(path)
                     .map_err(|e| io_err("opening", path, e))?;
                 file.set_len(scan.valid_end)
                     .map_err(|e| io_err("truncating", path, e))?;
                 let mut w = WalWriter {
                     dir: dir.to_path_buf(),
+                    vfs,
                     file,
                     segment_len: scan.valid_end,
                     rotate_at,
@@ -528,9 +594,10 @@ impl WalWriter {
             // by a checkpoint (see the doc comment); fall through and start a
             // fresh segment at the expected sequence.
         }
-        let (file, header_len) = start_segment(dir, expected_next_seq, fingerprint)?;
+        let (file, header_len) = start_segment(vfs.as_ref(), dir, expected_next_seq, fingerprint)?;
         let mut w = WalWriter {
             dir: dir.to_path_buf(),
+            vfs,
             file,
             segment_len: SEGMENT_HEADER_LEN,
             rotate_at,
@@ -549,7 +616,12 @@ impl WalWriter {
 
     fn rotate(&mut self) -> Result<(), DurabilityError> {
         self.sync()?; // never leave a finished segment unsynced
-        let (file, header_len) = start_segment(&self.dir, self.next_seq, self.fingerprint)?;
+        let (file, header_len) = start_segment(
+            self.vfs.as_ref(),
+            &self.dir,
+            self.next_seq,
+            self.fingerprint,
+        )?;
         self.file = file;
         self.segment_len = SEGMENT_HEADER_LEN;
         self.bytes_written += header_len;
@@ -632,6 +704,46 @@ impl WalWriter {
             FsyncPolicy::Never => Ok(()),
         }
     }
+
+    /// Cut the open segment back to the last committed record boundary.
+    ///
+    /// A failed [`WalWriter::append`] may have left a *partial* frame on disk
+    /// (a short write); retrying the append without first truncating would
+    /// put a valid record after garbage — mid-log corruption, a hard error on
+    /// the next scan. Callers retrying an append in place MUST call this
+    /// first and treat its failure as fatal to in-place retry (degrade
+    /// instead: see the server's writer loop).
+    pub fn truncate_to_boundary(&mut self) -> Result<(), DurabilityError> {
+        self.file
+            .set_len(self.segment_len)
+            .map_err(|e| io_err("truncating segment in", &self.dir, e))?;
+        Ok(())
+    }
+
+    /// Abandon the open segment and resume on a fresh one starting at
+    /// `next_seq` — the re-arm path out of degraded mode.
+    ///
+    /// Called after a persistent append/sync failure, once a checkpoint at
+    /// `next_seq - 1` has been written (the checkpoint covers everything the
+    /// abandoned segment may have lost; replay skips segments wholly below
+    /// the watermark without scanning them, so a torn tail left behind is
+    /// harmless). Best-effort cleanup of the old segment is attempted but its
+    /// failure is ignored — the old file is already out of the replay path.
+    pub fn rearm(&mut self, next_seq: u64) -> Result<(), DurabilityError> {
+        let _ = self.file.set_len(self.segment_len);
+        let _ = self.file.sync_data();
+        let (file, header_len) =
+            start_segment(self.vfs.as_ref(), &self.dir, next_seq, self.fingerprint)?;
+        self.file = file;
+        self.segment_len = SEGMENT_HEADER_LEN;
+        self.bytes_written += header_len;
+        self.next_seq = next_seq;
+        self.needs_sync = true;
+        if matches!(self.policy, FsyncPolicy::Always | FsyncPolicy::EveryBatch) {
+            self.sync()?;
+        }
+        Ok(())
+    }
 }
 
 /// The sequence number one past the last decodable event in the log, or
@@ -639,11 +751,20 @@ impl WalWriter {
 /// final record does not count). Lets callers validate that a log is not
 /// *ahead* of an engine before mutating the directory in any way.
 pub fn log_end_seq(dir: &Path, fingerprint: u64) -> Result<Option<u64>, DurabilityError> {
-    let segments = list_segments(dir)?;
+    log_end_seq_with(&StdVfs, dir, fingerprint)
+}
+
+/// [`log_end_seq`] through an explicit [`Vfs`].
+pub fn log_end_seq_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    fingerprint: u64,
+) -> Result<Option<u64>, DurabilityError> {
+    let segments = list_segments_with(vfs, dir)?;
     let Some((start, path)) = segments.last() else {
         return Ok(None);
     };
-    let scan = scan_segment(path, fingerprint, true)?;
+    let scan = scan_segment(vfs, path, fingerprint, true)?;
     Ok(Some(
         scan.records
             .last()
@@ -678,14 +799,16 @@ pub fn acquire_dir_lock(dir: &Path) -> Result<File, DurabilityError> {
 
 /// Create a segment file with its header; returns the file (in append mode)
 /// and the header length.
-fn start_segment(dir: &Path, start: u64, fingerprint: u64) -> Result<(File, u64), DurabilityError> {
+fn start_segment(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    start: u64,
+    fingerprint: u64,
+) -> Result<(Box<dyn VfsFile>, u64), DurabilityError> {
     let path = dir.join(segment_name(start));
     // Fresh file, sequential writes from offset 0 through the retained handle.
-    let mut file = OpenOptions::new()
-        .create(true)
-        .write(true)
-        .truncate(true)
-        .open(&path)
+    let mut file = vfs
+        .create(&path)
         .map_err(|e| io_err("creating", &path, e))?;
     let mut header = Vec::with_capacity(SEGMENT_HEADER_LEN as usize);
     header.extend_from_slice(WAL_MAGIC);
@@ -697,8 +820,7 @@ fn start_segment(dir: &Path, start: u64, fingerprint: u64) -> Result<(File, u64)
     // Make the new directory entry durable too: an fsynced segment whose name
     // the directory forgot is acknowledged data silently lost after a power
     // cut (record fsyncs flush the inode, not the parent directory).
-    File::open(dir)
-        .and_then(|d| d.sync_all())
+    vfs.sync_dir(dir)
         .map_err(|e| io_err("syncing directory", dir, e))?;
     Ok((file, SEGMENT_HEADER_LEN))
 }
@@ -707,14 +829,24 @@ fn start_segment(dir: &Path, start: u64, fingerprint: u64) -> Result<(File, u64)
 /// (they are covered by a retained checkpoint). The newest segment is always
 /// kept — it is the writer's append target. Returns the number removed.
 pub fn prune_segments(dir: &Path, watermark: u64) -> Result<usize, DurabilityError> {
-    let segments = list_segments(dir)?;
+    prune_segments_with(&StdVfs, dir, watermark)
+}
+
+/// [`prune_segments`] through an explicit [`Vfs`].
+pub fn prune_segments_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    watermark: u64,
+) -> Result<usize, DurabilityError> {
+    let segments = list_segments_with(vfs, dir)?;
     let mut removed = 0;
     for window in segments.windows(2) {
         let (_, ref path) = window[0];
         let (next_start, _) = window[1];
         // Segment 0 covers [start, next_start - 1].
         if next_start <= watermark + 1 {
-            fs::remove_file(path).map_err(|e| io_err("pruning", path, e))?;
+            vfs.remove_file(path)
+                .map_err(|e| io_err("pruning", path, e))?;
             removed += 1;
         }
     }
@@ -893,7 +1025,7 @@ mod tests {
         // 16-byte header is torn. (A zero-extended full-length header — the
         // other shape a power cut leaves — must behave identically.)
         fs::write(dir.join(segment_name(3)), [0u8; 64]).unwrap();
-        let scan = scan_segment(&dir.join(segment_name(3)), 4, true).unwrap();
+        let scan = scan_segment(&StdVfs, &dir.join(segment_name(3)), 4, true).unwrap();
         assert!(scan.torn && scan.records.is_empty() && scan.valid_end == 0);
         fs::write(dir.join(segment_name(3)), &b"DBTWAL"[..5]).unwrap();
         // The reader drops it...

@@ -588,3 +588,125 @@ fn send_batch_reports_partial_progress_when_the_server_dies() {
         }
     }
 }
+
+#[test]
+fn transient_wal_fault_degrades_then_rearms_and_stays_bit_exact() {
+    // ISSUE 9 acceptance: a server that hits a transient WAL fault must
+    // degrade (serving from memory, durability suspended), then — once the
+    // fault clears — re-arm onto a fresh segment and resume durable writes,
+    // with the post-crash recovered state bit-exact against the live one.
+    use dbtoaster_durability::vfs::EIO;
+    use dbtoaster_durability::{FaultConfig, FaultVfs, RetryPolicy};
+    use std::sync::Arc;
+
+    let dir: PathBuf = std::env::temp_dir().join(format!("dbt-rearm-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let stream = events();
+    let fault = Arc::new(FaultVfs::new(FaultConfig {
+        seed: 11,
+        fail_prob_ppm: 0,
+        enospc_prob_ppm: 0,
+        short_write_prob_ppm: 0,
+        cut_at_op: None,
+    }));
+    let faulty_config = || {
+        let mut d = DurabilityConfig::new(&dir);
+        d.checkpoint_every_events = CHECKPOINT_EVERY;
+        d.fsync = FsyncPolicy::EveryBatch;
+        d.vfs = Arc::new(fault.clone());
+        // Tiny backoffs keep the test fast; the policy shape is what matters.
+        d.retry = RetryPolicy {
+            max_inline_retries: 2,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(10),
+        };
+        ServerConfig {
+            durability: Some(d),
+            ..ServerConfig::default()
+        }
+    };
+
+    let server = builder().open_or_create_with(faulty_config()).unwrap();
+    let ingest = server.handle();
+
+    // Healthy prefix: durable, not degraded.
+    assert_eq!(ingest.send_batch(stream[..1000].to_vec()).unwrap(), 1000);
+    server.flush().unwrap();
+    assert!(!server.reader().snapshot().degraded());
+
+    // The disk goes bad: every write fails EIO. Bounded inline retries
+    // exhaust and the writer enters degraded mode — loudly, not fatally.
+    fault.fail_writes_with(EIO);
+    assert_eq!(
+        ingest.send_batch(stream[1000..2000].to_vec()).unwrap(),
+        1000,
+        "send_batch must keep accepting (backpressure, never drop) while retrying"
+    );
+    server.flush().unwrap();
+    assert!(
+        server.reader().snapshot().degraded(),
+        "a fault surviving the retry budget must surface as degraded"
+    );
+    assert!(
+        server.last_error().is_none(),
+        "a transient fault must degrade, not latch a fatal durability error"
+    );
+
+    // Degraded mode still serves: ingest and reads continue from memory.
+    assert_eq!(
+        ingest.send_batch(stream[2000..3000].to_vec()).unwrap(),
+        1000
+    );
+    server.flush().unwrap();
+    assert_eq!(server.stats().events, 3000);
+    assert!(server.reader().snapshot().degraded());
+
+    // The disk recovers. The next batches tick the re-arm path: checkpoint at
+    // the current watermark first (capturing the degraded-period events),
+    // then a fresh WAL segment right above it.
+    fault.heal();
+    let mut at = 3000usize;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while server.reader().snapshot().degraded() {
+        assert!(
+            Instant::now() < deadline,
+            "server never re-armed after heal()"
+        );
+        let end = (at + 50).min(stream.len());
+        assert_eq!(
+            ingest.send_batch(stream[at..end].to_vec()).unwrap(),
+            end - at
+        );
+        server.flush().unwrap();
+        at = end;
+    }
+    // Durable traffic resumes on the fresh segment.
+    let end = at + 1000;
+    assert_eq!(ingest.send_batch(stream[at..end].to_vec()).unwrap(), 1000);
+    server.flush().unwrap();
+    let applied = server.stats().events as usize;
+    assert_eq!(applied, end);
+
+    // Live state is bit-exact against a never-faulted reference...
+    let mut reference = builder().build().unwrap();
+    reference.init().unwrap();
+    reference.process_all(&stream[..applied]).unwrap();
+    assert_snapshot_matches_engine(&server.reader().snapshot(), &reference, "live after re-arm");
+
+    // ...and everything applied is durable again: kill -9, recover through
+    // the real filesystem, and require live == recovered, bit for bit.
+    server.kill();
+    let server = builder().open_or_create_with(config(&dir)).unwrap();
+    assert_eq!(
+        server.stats().events as usize,
+        applied,
+        "the re-armed log plus its checkpoint must cover every applied event"
+    );
+    assert_snapshot_matches_engine(
+        &server.reader().snapshot(),
+        &reference,
+        "recovered after re-arm",
+    );
+    drop(server);
+    let _ = fs::remove_dir_all(&dir);
+}

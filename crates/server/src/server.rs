@@ -45,14 +45,17 @@ use dbtoaster_agca::eval::{eval_with, matches_pattern, Bindings, EvalError, Rela
 use dbtoaster_agca::UpdateEvent;
 use dbtoaster_compiler::{BatchStrategy, ProgramExplain, ResultAccess, TriggerProgram, ViewStats};
 use dbtoaster_durability::{
-    checkpoint, program_fingerprint, DurabilityConfig, DurabilityError, WalWriter,
+    checkpoint, program_fingerprint, DurabilityConfig, DurabilityError, RetryPolicy, Vfs, WalWriter,
 };
 use dbtoaster_gmr::{FastMap, Gmr, Tuple, Value};
 use dbtoaster_runtime::{ChangeSet, Engine, EngineStats, RuntimeError};
 use dbtoaster_sql::OutputColumn;
-use dbtoaster_telemetry::{MetricsSnapshot, SlowBatchTrace, Stage, Telemetry, TelemetryConfig};
+use dbtoaster_telemetry::{
+    Counter, MetricsSnapshot, SlowBatchTrace, Stage, Telemetry, TelemetryConfig,
+};
 use std::fmt;
 use std::marker::PhantomData;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError as MpscTrySendError};
 use std::sync::{Arc, Mutex};
@@ -133,6 +136,11 @@ pub enum ServeError {
     Durability(DurabilityError),
     /// The HTTP exporter could not bind or start its listener thread.
     Http(String),
+    /// A background thread (writer or checkpointer) could not be spawned —
+    /// typically resource exhaustion (EAGAIN). The server never starts
+    /// half-assembled: a spawn failure is returned from [`ViewServer::spawn`]
+    /// instead of panicking the caller.
+    Spawn(String),
 }
 
 impl fmt::Display for ServeError {
@@ -150,6 +158,7 @@ impl fmt::Display for ServeError {
             ServeError::Eval(e) => write!(f, "evaluation error: {e}"),
             ServeError::Durability(e) => write!(f, "durability error: {e}"),
             ServeError::Http(e) => write!(f, "http exporter error: {e}"),
+            ServeError::Spawn(e) => write!(f, "thread spawn error: {e}"),
         }
     }
 }
@@ -182,10 +191,15 @@ impl Snapshot {
         self.events_applied
     }
 
-    /// `true` once the writer has hit a runtime error: a failing event may be
-    /// *partially* applied (there is no statement rollback), so cross-view
-    /// invariants are no longer guaranteed from that point on. The first error
-    /// is available through `ViewServer::last_error`.
+    /// `true` while the server is operating degraded: either the writer hit a
+    /// runtime error (a failing event may be *partially* applied — there is no
+    /// statement rollback — so cross-view invariants are no longer guaranteed
+    /// from that point on), or the WAL is currently suspended after an I/O
+    /// failure (events are applied in memory while the writer retries and
+    /// re-arms; see `/healthz`'s `"degraded"` status). Runtime-error
+    /// degradation is sticky; durability degradation clears once a re-arm
+    /// restores the log. The first runtime error is available through
+    /// `ViewServer::last_error`.
     pub fn degraded(&self) -> bool {
         self.degraded
     }
@@ -333,6 +347,18 @@ pub(crate) struct Shared {
     /// Startup provenance (e.g. a degraded recovery), kept apart from
     /// `durability_error` so it can never mask a later runtime failure.
     durability_warning: Mutex<Option<DurabilityError>>,
+    /// Durability is suspended and the writer is retrying/re-arming in the
+    /// background (serving continues from memory). Distinct from
+    /// `durability_error`, which is the *permanent*-failure latch: `/healthz`
+    /// reports `"degraded"` (still 200) here vs `"unhealthy"` (503) there.
+    degraded: AtomicBool,
+    /// The error that pushed the WAL into degraded mode; cleared by a
+    /// successful re-arm.
+    degraded_error: Mutex<Option<String>>,
+    /// Total durability retries (inline append retries + re-arm attempts).
+    durability_retries: AtomicU64,
+    /// Unix-epoch seconds of the last armed ↔ degraded/failed transition.
+    last_transition_epoch: AtomicU64,
     /// Crash simulation / hard abort: the writer stops at the next loop
     /// iteration without draining the queue or taking a final checkpoint.
     killed: AtomicBool,
@@ -415,6 +441,10 @@ impl ViewServer {
             error: Mutex::new(None),
             durability_error: Mutex::new(None),
             durability_warning: Mutex::new(None),
+            degraded: AtomicBool::new(false),
+            degraded_error: Mutex::new(None),
+            durability_retries: AtomicU64::new(0),
+            last_transition_epoch: AtomicU64::new(0),
             killed: AtomicBool::new(false),
             writer_alive: AtomicBool::new(true),
             queue_depth: AtomicU64::new(0),
@@ -437,7 +467,7 @@ impl ViewServer {
             thread::Builder::new()
                 .name("dbtoaster-writer".into())
                 .spawn(move || writer_loop(engine, rx, shared, initial, config, durable))
-                .expect("failed to spawn writer thread")
+                .map_err(|e| ServeError::Spawn(format!("writer thread: {e}")))?
         };
         Ok(ViewServer {
             shared,
@@ -776,6 +806,14 @@ impl IngestHandle {
     /// double-sending: events of a rejected chunk were *not* enqueued (a chunk
     /// is accepted or rejected atomically) and come back in
     /// [`SendBatchError::unsent`].
+    ///
+    /// While the writer is retrying a transient WAL failure (or operating
+    /// degraded), it drains the queue slower — or not at all during a backoff
+    /// sleep — so this call **blocks** once the bounded queue fills:
+    /// backpressure, never drops. `accepted` still counts exactly the events
+    /// enqueued; whether an accepted event was made durable is reported
+    /// through `/healthz` (`"degraded"`) and [`ViewServer::flush`]-visible
+    /// snapshots, not through this return value.
     pub fn send_batch(
         &self,
         events: impl IntoIterator<Item = UpdateEvent>,
@@ -993,18 +1031,57 @@ fn record_durability_error(shared: &Shared, e: DurabilityError) {
         .get_or_insert(e);
 }
 
-/// The writer thread's durable state: the open WAL plus a handle to the
-/// checkpoint thread.
+/// Where the WAL stands, as a state the writer moves through — degraded mode
+/// is something the server *exits*, not a one-way trip.
+///
+/// `Armed → Degraded`: a transient append/sync failure survived the bounded
+/// inline retries (or made in-place retry unsafe). Ingest keeps flowing and
+/// events apply in memory; durability is suspended.
+/// `Degraded → Armed`: a re-arm succeeded — a fresh checkpoint at the current
+/// watermark captured everything applied while degraded, and the WAL resumed
+/// on a fresh segment. Nothing is lost unless the process dies *while*
+/// degraded.
+/// `→ Failed`: a permanent error (EROFS, permissions). No further retries;
+/// the error latches into `ViewServer::last_durability_error` and `/healthz`
+/// flips to 503.
+enum WalHealth {
+    /// Appends flow to the log normally.
+    Armed,
+    /// Durability suspended; the writer attempts a re-arm once `next_rearm`
+    /// passes, doubling `backoff` (capped) after each failed attempt.
+    Degraded {
+        backoff: Duration,
+        next_rearm: Instant,
+    },
+    /// Permanent failure: durability is off for the rest of the session.
+    Failed,
+}
+
+/// The writer thread's durable state: the open WAL, a handle to the
+/// checkpoint thread, and the self-healing machinery ([`WalHealth`]).
 struct DurableState {
     wal: WalWriter,
     ckpt_tx: Option<SyncSender<CkptJob>>,
     ckpt_thread: Option<JoinHandle<()>>,
     checkpoint_every: u64,
     events_since_ckpt: u64,
-    /// A WAL append failed: durability is disabled for the rest of the
-    /// session (the server keeps serving in memory; the error is surfaced
-    /// through `ViewServer::last_durability_error`).
-    broken: bool,
+    vfs: Arc<dyn Vfs>,
+    dir: PathBuf,
+    fingerprint: u64,
+    retry: RetryPolicy,
+    health: WalHealth,
+    io_retries: Counter,
+    io_errors_transient: Counter,
+    io_errors_permanent: Counter,
+    degraded_transitions: Counter,
+    degraded_gauge: Counter,
+}
+
+fn unix_epoch_secs() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 impl DurableState {
@@ -1021,8 +1098,8 @@ impl DurableState {
         // could delete the live checkpointer's in-flight `.tmp` or interleave
         // an initial checkpoint write.
         let lock = dbtoaster_durability::wal::acquire_dir_lock(&cfg.dir)?;
-        checkpoint::clean_tmp_files(&cfg.dir)?;
-        let checkpoints = checkpoint::list_checkpoints(&cfg.dir)?;
+        checkpoint::clean_tmp_files_with(cfg.vfs.as_ref(), &cfg.dir)?;
+        let checkpoints = checkpoint::list_checkpoints_with(cfg.vfs.as_ref(), &cfg.dir)?;
         // A checkpoint or WAL *ahead* of this engine means the directory holds
         // state the caller never recovered (durable `serve_with` on a used
         // directory instead of `open_or_create`). Adopting it would fork
@@ -1035,7 +1112,7 @@ impl DurableState {
         // `open_or_create` refuse its own result.
         let mut newest_verified: Option<u64> = None;
         for (_, path) in &checkpoints {
-            match checkpoint::verify_checkpoint(path, fingerprint) {
+            match checkpoint::verify_checkpoint_with(cfg.vfs.as_ref(), path, fingerprint) {
                 Ok(w) => {
                     newest_verified = Some(w);
                     break;
@@ -1059,7 +1136,9 @@ impl DurableState {
         // once more. Threading one scan through all three would save at most
         // one segment read per process start — correctness-critical paths stay
         // independent instead.)
-        if let Some(end) = dbtoaster_durability::wal::log_end_seq(&cfg.dir, fingerprint)? {
+        if let Some(end) =
+            dbtoaster_durability::wal::log_end_seq_with(cfg.vfs.as_ref(), &cfg.dir, fingerprint)?
+        {
             if end > watermark + 1 {
                 return Err(DurabilityError::Config(format!(
                     "durability dir {} holds a WAL ending at seq {}, ahead of this engine's \
@@ -1079,7 +1158,8 @@ impl DurableState {
         // recovery would replay against an engine missing the tables.
         if checkpoints.is_empty() {
             let snap = engine.snapshot();
-            checkpoint::write_checkpoint(
+            checkpoint::write_checkpoint_with(
+                cfg.vfs.as_ref(),
                 &cfg.dir,
                 fingerprint,
                 watermark,
@@ -1091,31 +1171,48 @@ impl DurableState {
             .stats
             .checkpoint_watermark
             .fetch_max(newest_verified.unwrap_or(watermark), Relaxed);
-        let wal = WalWriter::open_locked(
+        let wal = WalWriter::open_locked_with(
             &cfg.dir,
             fingerprint,
             watermark + 1,
             cfg.fsync,
             cfg.segment_bytes,
             lock,
+            cfg.vfs.clone(),
         )?;
+        let io_retries = shared.tel.counter("io_retries");
+        let io_errors_transient = shared.tel.counter("io_errors_transient");
+        let io_errors_permanent = shared.tel.counter("io_errors_permanent");
+        let degraded_transitions = shared.tel.counter("degraded_transitions");
+        let degraded_gauge = shared.tel.gauge("degraded");
         let (tx, rx) = mpsc::sync_channel::<CkptJob>(1);
         let ckpt_thread = {
             let shared = shared.clone();
             let dir = cfg.dir.clone();
             let keep = cfg.keep_checkpoints;
+            let vfs = cfg.vfs.clone();
+            let transient = io_errors_transient.clone();
+            let permanent = io_errors_permanent.clone();
             thread::Builder::new()
                 .name("dbtoaster-ckpt".into())
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
                         let _t = shared.tel.stage_guard(Stage::CheckpointWrite);
-                        let res = checkpoint::write_checkpoint(
+                        let res = checkpoint::write_checkpoint_with(
+                            vfs.as_ref(),
                             &dir,
                             fingerprint,
                             job.watermark,
                             job.maps.iter().map(|(n, g)| (n.as_str(), g)),
                         )
-                        .and_then(|_| checkpoint::retain_and_prune_wal(&dir, keep, fingerprint));
+                        .and_then(|_| {
+                            checkpoint::retain_and_prune_wal_with(
+                                vfs.as_ref(),
+                                &dir,
+                                keep,
+                                fingerprint,
+                            )
+                        });
                         match res {
                             Ok(_) => {
                                 shared.stats.checkpoints_taken.fetch_add(1, Relaxed);
@@ -1124,11 +1221,30 @@ impl DurableState {
                                     .checkpoint_watermark
                                     .fetch_max(job.watermark, Relaxed);
                             }
-                            Err(e) => record_durability_error(&shared, e),
+                            // A transient checkpoint failure only delays the
+                            // watermark — the WAL still covers everything, so
+                            // it is a warning, not a health failure. The next
+                            // job retries from scratch. Permanent failures
+                            // latch: they would hit every job the same way.
+                            Err(e) if e.is_transient() => {
+                                transient.inc();
+                                shared
+                                    .durability_warning
+                                    .lock()
+                                    .unwrap_or_else(|p| p.into_inner())
+                                    .get_or_insert(e);
+                            }
+                            Err(e) => {
+                                permanent.inc();
+                                record_durability_error(&shared, e);
+                            }
                         }
                     }
                 })
-                .expect("failed to spawn checkpoint thread")
+                .map_err(|e| DurabilityError::Io {
+                    message: format!("spawning checkpoint thread: {e}"),
+                    retryable: false,
+                })?
         };
         Ok(DurableState {
             wal,
@@ -1140,27 +1256,87 @@ impl DurableState {
             // *new* events between crashes would never advance its watermark,
             // and the WAL (and every recovery) would grow without bound.
             events_since_ckpt: engine.stats().recovery_replayed_events,
-            broken: false,
+            vfs: cfg.vfs.clone(),
+            dir: cfg.dir.clone(),
+            fingerprint,
+            retry: cfg.retry,
+            health: WalHealth::Armed,
+            io_retries,
+            io_errors_transient,
+            io_errors_permanent,
+            degraded_transitions,
+            degraded_gauge,
         })
+    }
+
+    fn is_armed(&self) -> bool {
+        matches!(self.health, WalHealth::Armed)
     }
 
     /// Write-ahead: append the micro-batch (and apply the fsync policy's
     /// batch-boundary sync) *before* any of its events touch a view. Returns
-    /// `false` when the WAL just broke (the batch is then applied undurably
-    /// and the snapshot marked degraded).
-    fn log_batch(&mut self, batch: &[UpdateEvent], shared: &Shared) -> bool {
-        if self.broken {
-            return false;
+    /// `false` when the batch could not be made durable — it is then applied
+    /// undurably, the snapshot marked degraded, and a later re-arm's
+    /// checkpoint recaptures its effects.
+    fn log_batch(&mut self, batch: &[UpdateEvent], engine: &Engine, shared: &Shared) -> bool {
+        match self.health {
+            WalHealth::Failed => false,
+            WalHealth::Armed if batch.is_empty() => true,
+            WalHealth::Armed => self.append_armed(batch, shared),
+            // Degraded: every writer iteration (even an empty one — barriers,
+            // subscribes, publish timeouts) is a chance to re-arm, so recovery
+            // of durable operation does not wait for the next event.
+            WalHealth::Degraded { .. } => self.try_rearm(batch, engine, shared),
         }
-        if batch.is_empty() {
-            return true;
-        }
+    }
+
+    /// Append under [`WalHealth::Armed`]: bounded in-place retries with
+    /// exponential backoff for transient append failures (each retry first
+    /// truncates back to the last record boundary — a failed write may have
+    /// left a partial frame that a blind retry would bury mid-log). The
+    /// writer sleeps through the backoff, so the bounded ingest queue fills
+    /// and producers backpressure instead of events being dropped.
+    fn append_armed(&mut self, batch: &[UpdateEvent], shared: &Shared) -> bool {
         let _t = shared.tel.stage_guard(Stage::WalAppend);
-        match self
-            .wal
-            .append(batch)
-            .and_then(|_| self.wal.batch_boundary())
-        {
+        let mut backoff = self.retry.initial_backoff;
+        let mut attempts = 0u32;
+        loop {
+            match self.wal.append(batch) {
+                Ok(_) => break,
+                Err(e) if e.is_transient() && attempts < self.retry.max_inline_retries => {
+                    attempts += 1;
+                    self.io_errors_transient.inc();
+                    self.io_retries.inc();
+                    shared.durability_retries.fetch_add(1, Relaxed);
+                    if self.wal.truncate_to_boundary().is_err() {
+                        // Cannot restore the record boundary: an in-place
+                        // retry could land a valid record after garbage.
+                        // Abandon the segment through the re-arm path.
+                        self.enter_degraded(e, shared);
+                        return false;
+                    }
+                    thread::sleep(backoff);
+                    backoff = (backoff * 2).min(self.retry.max_backoff);
+                }
+                Err(e) if e.is_transient() => {
+                    self.io_errors_transient.inc();
+                    self.enter_degraded(e, shared);
+                    return false;
+                }
+                Err(e) => {
+                    self.io_errors_permanent.inc();
+                    self.enter_failed(e, shared);
+                    return false;
+                }
+            }
+        }
+        // Sync failures are NEVER retried in place: after a failed fsync the
+        // kernel may drop the dirty pages *and* clear the error flag, so a
+        // retried fsync can falsely succeed over lost data (the "fsyncgate"
+        // failure mode). A transient sync failure goes straight to degraded —
+        // the re-arm rewrites state from a fresh checkpoint instead of
+        // trusting the poisoned file.
+        match self.wal.batch_boundary() {
             Ok(()) => {
                 shared
                     .stats
@@ -1168,12 +1344,128 @@ impl DurableState {
                     .store(self.wal.bytes_written(), Relaxed);
                 true
             }
+            Err(e) if e.is_transient() => {
+                self.io_errors_transient.inc();
+                self.enter_degraded(e, shared);
+                false
+            }
             Err(e) => {
-                record_durability_error(shared, e);
-                self.broken = true;
+                self.io_errors_permanent.inc();
+                self.enter_failed(e, shared);
                 false
             }
         }
+    }
+
+    /// One re-arm attempt out of degraded mode (rate-limited by the backoff
+    /// deadline): checkpoint the engine's *current* state — capturing every
+    /// event applied undurably while degraded — then abandon the poisoned
+    /// segment and resume the WAL on a fresh one right above the checkpoint.
+    /// The order matters: the checkpoint must land first, because the fresh
+    /// segment starts *after* the degraded-period events and only the
+    /// checkpoint covers them.
+    fn try_rearm(&mut self, batch: &[UpdateEvent], engine: &Engine, shared: &Shared) -> bool {
+        let WalHealth::Degraded {
+            backoff,
+            next_rearm,
+        } = self.health
+        else {
+            return false;
+        };
+        if Instant::now() < next_rearm {
+            return false;
+        }
+        self.io_retries.inc();
+        shared.durability_retries.fetch_add(1, Relaxed);
+        let watermark = engine.stats().events;
+        let snap = engine.snapshot();
+        let res = checkpoint::write_checkpoint_with(
+            self.vfs.as_ref(),
+            &self.dir,
+            self.fingerprint,
+            watermark,
+            snap.iter().map(|(n, g)| (n.as_str(), g)),
+        )
+        .and_then(|_| self.wal.rearm(watermark + 1));
+        match res {
+            Ok(()) => {
+                shared.stats.checkpoints_taken.fetch_add(1, Relaxed);
+                shared
+                    .stats
+                    .checkpoint_watermark
+                    .fetch_max(watermark, Relaxed);
+                self.events_since_ckpt = 0;
+                self.exit_degraded(shared);
+                // Durable again: the triggering batch still has to hit the log
+                // before it is applied.
+                if batch.is_empty() {
+                    true
+                } else {
+                    self.append_armed(batch, shared)
+                }
+            }
+            Err(e) if e.is_transient() => {
+                self.io_errors_transient.inc();
+                let next = (backoff * 2).min(self.retry.max_backoff);
+                self.health = WalHealth::Degraded {
+                    backoff: next,
+                    next_rearm: Instant::now() + next,
+                };
+                *shared
+                    .degraded_error
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner()) = Some(e.to_string());
+                false
+            }
+            Err(e) => {
+                self.io_errors_permanent.inc();
+                self.enter_failed(e, shared);
+                false
+            }
+        }
+    }
+
+    fn enter_degraded(&mut self, e: DurabilityError, shared: &Shared) {
+        let backoff = self.retry.initial_backoff;
+        self.health = WalHealth::Degraded {
+            backoff,
+            next_rearm: Instant::now() + backoff,
+        };
+        self.degraded_transitions.inc();
+        self.degraded_gauge.set(1);
+        shared.degraded.store(true, Relaxed);
+        shared
+            .last_transition_epoch
+            .store(unix_epoch_secs(), Relaxed);
+        *shared
+            .degraded_error
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = Some(e.to_string());
+    }
+
+    fn exit_degraded(&mut self, shared: &Shared) {
+        self.health = WalHealth::Armed;
+        self.degraded_transitions.inc();
+        self.degraded_gauge.set(0);
+        shared.degraded.store(false, Relaxed);
+        shared
+            .last_transition_epoch
+            .store(unix_epoch_secs(), Relaxed);
+        *shared
+            .degraded_error
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = None;
+    }
+
+    fn enter_failed(&mut self, e: DurabilityError, shared: &Shared) {
+        self.health = WalHealth::Failed;
+        self.degraded_transitions.inc();
+        self.degraded_gauge.set(0);
+        shared.degraded.store(false, Relaxed);
+        shared
+            .last_transition_epoch
+            .store(unix_epoch_secs(), Relaxed);
+        record_durability_error(shared, e);
     }
 
     /// Hand a checkpoint job to the background thread once enough events have
@@ -1182,7 +1474,7 @@ impl DurableState {
     /// waits on checkpoint I/O.
     fn maybe_checkpoint(&mut self, engine: &Engine, applied: u64) {
         self.events_since_ckpt += applied;
-        if self.broken || self.events_since_ckpt < self.checkpoint_every {
+        if !self.is_armed() || self.events_since_ckpt < self.checkpoint_every {
             return;
         }
         let job = CkptJob {
@@ -1201,7 +1493,7 @@ impl DurableState {
     /// ([`ViewServer::kill`]) skips both, leaving exactly what a dead process
     /// would have left.
     fn shutdown(mut self, engine: &Engine, clean: bool, shared: &Shared) {
-        if clean && !self.broken {
+        if clean && self.is_armed() {
             if let Err(e) = self.wal.sync() {
                 record_durability_error(shared, e);
             }
@@ -1318,9 +1610,11 @@ fn writer_loop(
         // policy) before any of its statements run, so no published snapshot
         // can ever reflect an event the log does not contain.
         if let Some(d) = durable.as_mut() {
-            if !batch.is_empty() && !d.log_batch(&batch, &shared) {
-                degraded = true;
-            }
+            // Called even with an empty batch: in degraded mode every writer
+            // iteration doubles as a re-arm tick. The return value is not a
+            // latch any more — snapshot degradation is read off the health
+            // state below, so a successful re-arm clears it.
+            d.log_batch(&batch, &engine, &shared);
         }
         let drained = batch.len() as u64;
         if drained > 0 {
@@ -1378,7 +1672,10 @@ fn writer_loop(
             let snap = Arc::new(Snapshot {
                 epoch,
                 events_applied: engine.stats().events,
-                degraded,
+                // Runtime-error degradation (`degraded`) is sticky; durability
+                // degradation tracks the WAL health live, so a re-arm clears
+                // it from the next published snapshot on.
+                degraded: degraded || durable.as_ref().is_some_and(|d| !d.is_armed()),
                 views: engine.snapshot(),
             });
             let snap_cost = t_pub.elapsed();
@@ -1635,7 +1932,13 @@ pub(crate) fn metrics_body(shared: &Shared) -> String {
 
 /// `/healthz`: writer liveness, queue depth, durability lag and the first
 /// recorded errors, as one JSON object. The bool is the health verdict
-/// (HTTP 200 vs 503): the writer thread is alive and durability is intact.
+/// (HTTP 200 vs 503): the writer thread is alive and durability has not
+/// failed permanently. Three statuses ride on top of it:
+/// `"ok"` (200), `"degraded"` (200 — still serving reads and applying
+/// events, but durability is suspended while the writer retries/re-arms;
+/// `degraded_error`, `durability_retries` and `last_transition_epoch` say
+/// why, how hard, and since when), and `"unhealthy"` (503 — the writer died
+/// or durability failed permanently).
 pub(crate) fn health_body(shared: &Shared) -> (bool, String) {
     let writer_alive = shared.writer_alive.load(Relaxed);
     let killed = shared.killed.load(Relaxed);
@@ -1648,16 +1951,29 @@ pub(crate) fn health_body(shared: &Shared) -> (bool, String) {
     let error = lock_opt(&shared.error).map(|e| e.to_string());
     let durability_error = lock_opt(&shared.durability_error).map(|e| e.to_string());
     let durability_warning = lock_opt(&shared.durability_warning).map(|e| e.to_string());
+    let degraded = shared.degraded.load(Relaxed);
+    let degraded_error = lock_opt(&shared.degraded_error);
+    let retries = shared.durability_retries.load(Relaxed);
+    let transition = shared.last_transition_epoch.load(Relaxed);
     let healthy = writer_alive && durability_error.is_none();
     let body = format!(
         "{{\"status\":\"{status}\",\"writer_alive\":{writer_alive},\"killed\":{killed},\
          \"epoch\":{epoch},\"events_applied\":{events},\"ingest_queue_depth\":{queue_depth},\
-         \"durable\":{durable},\"wal_bytes_written\":{wal_bytes},\
+         \"durable\":{durable},\"degraded\":{degraded},\"degraded_error\":{dgerr},\
+         \"durability_retries\":{retries},\"last_transition_epoch\":{transition},\
+         \"wal_bytes_written\":{wal_bytes},\
          \"checkpoints_taken\":{checkpoints},\"checkpoint_lag_events\":{lag},\
          \"last_error\":{error},\"last_durability_error\":{derr},\
          \"durability_warning\":{dwarn}}}",
-        status = if healthy { "ok" } else { "unhealthy" },
+        status = if !healthy {
+            "unhealthy"
+        } else if degraded {
+            "degraded"
+        } else {
+            "ok"
+        },
         durable = shared.durable,
+        dgerr = json_opt_string(degraded_error),
         lag = if shared.durable {
             events.saturating_sub(watermark)
         } else {

@@ -233,3 +233,168 @@ fn exporter_can_start_after_spawn_but_only_once() {
     assert_eq!(get(addr, "/healthz").status, 200);
     assert!(server.serve_http(HttpConfig::default()).is_err());
 }
+
+/// A durable server over a scripted fault injector: quiet until the test
+/// flips `fail_writes_with`, so spawn's initial checkpoint + segment land.
+fn durable_server_with_fault() -> (
+    ViewServer,
+    std::sync::Arc<dbtoaster_durability::FaultVfs>,
+    std::path::PathBuf,
+) {
+    use dbtoaster_durability::{DurabilityConfig, FaultConfig, FaultVfs, FsyncPolicy, RetryPolicy};
+    let dir = std::env::temp_dir().join(format!(
+        "dbt-healthz-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fault = std::sync::Arc::new(FaultVfs::new(FaultConfig {
+        seed: 5,
+        fail_prob_ppm: 0,
+        enospc_prob_ppm: 0,
+        short_write_prob_ppm: 0,
+        cut_at_op: None,
+    }));
+    let mut d = DurabilityConfig::new(&dir);
+    d.fsync = FsyncPolicy::EveryBatch;
+    d.vfs = std::sync::Arc::new(fault.clone());
+    d.retry = RetryPolicy {
+        max_inline_retries: 1,
+        initial_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(5),
+    };
+    let server = ViewServer::spawn(
+        engine(),
+        vec![],
+        ServerConfig {
+            http: Some(HttpConfig::default()),
+            durability: Some(d),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    (server, fault, dir)
+}
+
+fn feed(server: &ViewServer, base: i64, n: i64) {
+    let ingest = server.handle();
+    for k in base..base + n {
+        ingest
+            .send(UpdateEvent::insert(
+                "R",
+                vec![Value::long(k), Value::long(k % 7)],
+            ))
+            .unwrap();
+    }
+    server.flush().unwrap();
+}
+
+#[test]
+fn healthz_reports_degraded_and_recovers_to_ok() {
+    use dbtoaster_durability::vfs::EIO;
+    let (server, fault, dir) = durable_server_with_fault();
+    let addr = server.http_addr().unwrap();
+
+    // Healthy and durable first.
+    feed(&server, 0, 10);
+    let resp = get(addr, "/healthz");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"status\":\"ok\""), "{}", resp.body);
+    assert!(resp.body.contains("\"degraded\":false"), "{}", resp.body);
+
+    // Transient EIO: the writer exhausts its retries and degrades, but the
+    // server keeps serving — 200, with the distinct degraded status and the
+    // triage fields (current error, retry count, transition stamp).
+    fault.fail_writes_with(EIO);
+    feed(&server, 10, 10);
+    let resp = get(addr, "/healthz");
+    assert_eq!(
+        resp.status, 200,
+        "degraded must stay serveable: {}",
+        resp.body
+    );
+    assert!(
+        resp.body.contains("\"status\":\"degraded\""),
+        "{}",
+        resp.body
+    );
+    assert!(resp.body.contains("\"degraded\":true"), "{}", resp.body);
+    assert!(
+        resp.body.contains("\"degraded_error\":\""),
+        "current error missing: {}",
+        resp.body
+    );
+    assert!(
+        !resp.body.contains("\"durability_retries\":0,"),
+        "retry count missing: {}",
+        resp.body
+    );
+    assert!(
+        !resp.body.contains("\"last_transition_epoch\":0,"),
+        "transition stamp missing: {}",
+        resp.body
+    );
+    assert!(
+        resp.body.contains("\"last_durability_error\":null"),
+        "a transient fault must not latch the fatal error: {}",
+        resp.body
+    );
+
+    // Heal: the next batches tick the re-arm path and status returns to ok.
+    fault.heal();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut base = 20;
+    loop {
+        feed(&server, base, 5);
+        base += 5;
+        let resp = get(addr, "/healthz");
+        if resp.body.contains("\"status\":\"ok\"") {
+            assert!(resp.body.contains("\"degraded\":false"), "{}", resp.body);
+            assert!(
+                resp.body.contains("\"degraded_error\":null"),
+                "{}",
+                resp.body
+            );
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "never re-armed: {}",
+            resp.body
+        );
+    }
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn healthz_reports_unhealthy_on_a_permanent_durability_error() {
+    use dbtoaster_durability::vfs::EROFS;
+    let (server, fault, dir) = durable_server_with_fault();
+    let addr = server.http_addr().unwrap();
+    feed(&server, 0, 10);
+
+    // A read-only filesystem is not retryable: the error latches, and the
+    // health probe flips to 503 so orchestrators stop routing writes here.
+    fault.fail_writes_with(EROFS);
+    feed(&server, 10, 10);
+    let resp = get(addr, "/healthz");
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"status\":\"unhealthy\""),
+        "{}",
+        resp.body
+    );
+    assert!(
+        resp.body.contains("\"last_durability_error\":\""),
+        "latched error missing: {}",
+        resp.body
+    );
+    // Permanent failure is not the retry loop: healing the disk does NOT
+    // un-latch it (the log may have lost writes; a human must intervene).
+    fault.heal();
+    feed(&server, 20, 5);
+    assert_eq!(get(addr, "/healthz").status, 503);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -553,6 +553,9 @@ struct Inner {
     /// Named counters: registration takes the lock once per name; the handles
     /// are lock-free afterwards.
     counters: Mutex<Vec<(String, Arc<AtomicU64>)>>,
+    /// Named gauges, same discipline; rendered with TYPE `gauge` so values
+    /// may go down (e.g. the `degraded` flag) without breaking scrapers.
+    gauges: Mutex<Vec<(String, Arc<AtomicU64>)>>,
     /// Per-view counters, same registration discipline.
     views: Mutex<Vec<(String, Arc<ViewCounters>)>>,
     /// Slow-batch trace ring buffer.
@@ -592,6 +595,7 @@ impl Telemetry {
                 batch: Histogram::new(),
                 stages: std::array::from_fn(|_| Histogram::new()),
                 counters: Mutex::new(Vec::new()),
+                gauges: Mutex::new(Vec::new()),
                 views: Mutex::new(Vec::new()),
                 traces: Mutex::new(VecDeque::with_capacity(config.trace_capacity)),
                 trace_seq: AtomicU64::new(0),
@@ -657,6 +661,24 @@ impl Telemetry {
             return Counter { cell: None };
         };
         let mut reg = lock(&inner.counters);
+        if let Some((_, c)) = reg.iter().find(|(n, _)| n == name) {
+            return Counter {
+                cell: Some(c.clone()),
+            };
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        reg.push((name.to_string(), cell.clone()));
+        Counter { cell: Some(cell) }
+    }
+
+    /// A named gauge handle — identical mechanics to [`Telemetry::counter`]
+    /// but exported with Prometheus TYPE `gauge`, so the value may move in
+    /// both directions (use [`Counter::set`]).
+    pub fn gauge(&self, name: &str) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter { cell: None };
+        };
+        let mut reg = lock(&inner.gauges);
         if let Some((_, c)) = reg.iter().find(|(n, _)| n == name) {
             return Counter {
                 cell: Some(c.clone()),
@@ -738,6 +760,10 @@ impl Telemetry {
             .iter()
             .map(|(n, c)| (n.clone(), c.load(Relaxed)))
             .collect();
+        let gauges = lock(&inner.gauges)
+            .iter()
+            .map(|(n, c)| (n.clone(), c.load(Relaxed)))
+            .collect();
         let views = lock(&inner.views)
             .iter()
             .map(|(n, v)| ViewSummary {
@@ -764,6 +790,7 @@ impl Telemetry {
                 .map(|(s, h)| (*s, h.summary()))
                 .collect(),
             counters,
+            gauges,
             views,
             traces_pending: lock(&inner.traces).len(),
         }
@@ -838,6 +865,8 @@ pub struct MetricsSnapshot {
     pub stages: Vec<(Stage, HistogramSummary)>,
     /// Registered named counters.
     pub counters: Vec<(String, u64)>,
+    /// Registered named gauges.
+    pub gauges: Vec<(String, u64)>,
     /// Per-view work counters and observed map sizes.
     pub views: Vec<ViewSummary>,
     /// Slow-batch traces waiting in the ring buffer.
@@ -942,6 +971,15 @@ impl MetricsSnapshot {
                 &format!("dbtoaster_{name}"),
                 "Registered named counter.",
                 "counter",
+            );
+            out.push_str(&format!("dbtoaster_{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            header(
+                &mut out,
+                &format!("dbtoaster_{name}"),
+                "Registered named gauge.",
+                "gauge",
             );
             out.push_str(&format!("dbtoaster_{name} {v}\n"));
         }

@@ -28,6 +28,12 @@ fn populated() -> Telemetry {
     tel.record_stage(Stage::WalAppend, Duration::from_micros(40));
     tel.record_stage(Stage::KernelBatchDelta, Duration::from_micros(25));
     tel.counter("ingest_retries").add(3);
+    // The durability self-healing family: counters plus a level gauge.
+    tel.counter("io_retries").add(2);
+    tel.counter("io_errors_transient").inc();
+    tel.counter("io_errors_permanent").inc();
+    tel.counter("degraded_transitions").add(2);
+    tel.gauge("degraded").set(1);
     let v = tel.view("m_axf_1").unwrap();
     v.rows_written.fetch_add(7, Relaxed);
     v.probes.fetch_add(5, Relaxed);
@@ -306,4 +312,48 @@ fn counters_are_monotone_across_successive_snapshots() {
             later.value
         );
     }
+}
+
+#[test]
+fn durability_metrics_declare_their_kinds_and_gauges_may_decrease() {
+    let tel = populated();
+    let text = tel.render_prometheus();
+    for c in [
+        "io_retries",
+        "io_errors_transient",
+        "io_errors_permanent",
+        "degraded_transitions",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE dbtoaster_{c} counter")),
+            "missing counter declaration for {c}:\n{text}"
+        );
+    }
+    assert!(
+        text.contains("# TYPE dbtoaster_degraded gauge"),
+        "degraded must be declared a gauge, not a counter:\n{text}"
+    );
+
+    let value = |exp: &Exposition, name: &str| -> f64 {
+        exp.samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no sample named {name}"))
+            .value
+    };
+    let first = parse_exposition(&text);
+    assert_eq!(value(&first, "dbtoaster_degraded"), 1.0);
+
+    // A gauge is a level, not an accumulation: leaving degraded mode lowers
+    // it, which the TYPE declaration exempts from the monotonicity contract
+    // (`counters_are_monotone_across_successive_snapshots` skips gauges).
+    tel.gauge("degraded").set(0);
+    tel.counter("degraded_transitions").inc();
+    let second = parse_exposition(&tel.render_prometheus());
+    assert_eq!(value(&second, "dbtoaster_degraded"), 0.0);
+    assert!(
+        value(&second, "dbtoaster_degraded_transitions")
+            > value(&first, "dbtoaster_degraded_transitions"),
+        "the transition counter still only goes up"
+    );
 }
