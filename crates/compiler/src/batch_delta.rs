@@ -66,7 +66,9 @@
 //!    reproduce);
 //! 3. for every map the relation affects, the **third** delta of its
 //!    definition vanishes (the map is at most quadratic in `R`), and the
-//!    second delta reads no state other than static tables.
+//!    second delta reads no state that changes mid-run: static tables and
+//!    the stored slices of *other* stream relations (constant during an
+//!    `R`-run) are fine, derived views are not.
 //!
 //! Underivable relations keep the read-before-write analysis of
 //! [`TriggerProgram::batch_dispatch`]: statement-major where legal,
@@ -197,8 +199,17 @@ fn derive_relation(
                 map: m.name.clone(),
             });
         }
-        if d2.atoms().iter().any(|a| a.kind != AtomKind::Table) {
-            return Err(BatchDeltaBail::SurvivingStreamAtom {
+        // A *stream* atom `X ≠ R` surviving into the bilinear part is
+        // constant for the duration of an `R`-run: runs are per-relation and
+        // corrections evaluate at the pre-run store, so `X`'s stored slice IS
+        // its pre-run state. (`X = R` cannot survive — its delta would make
+        // the third delta nonzero, caught above.) The compiler keeps every
+        // such relation in `stored_relations` (see `compile`). Only a derived
+        // *view* atom — whose mid-run value the pre-state evaluation cannot
+        // see — forces a bail; map definitions range over base relations, so
+        // this gate is defensive.
+        if d2.atoms().iter().any(|a| a.kind == AtomKind::View) {
+            return Err(BatchDeltaBail::SurvivingViewAtom {
                 map: m.name.clone(),
             });
         }

@@ -253,6 +253,24 @@ pub fn compile(
             .map(|s| dbtoaster_agca::lower_statement(&[], &s.key_vars, &s.rhs))
             .collect();
     }
+    // A correction may read a *surviving* stream atom — another relation's
+    // stored slice, constant during the run (see `crate::batch_delta` gate
+    // 3b). Keep those relations stored even when no trigger statement reads
+    // them directly, so the correction's pre-run read has state to probe.
+    for c in &batch_corrections {
+        for s in &c.statements {
+            for rel in s.base_reads() {
+                match catalog.get(&rel).map(|m| m.kind) {
+                    Some(AtomKind::Table) => {
+                        static_tables.insert(rel);
+                    }
+                    _ => {
+                        stored_relations.insert(rel);
+                    }
+                }
+            }
+        }
+    }
 
     Ok(TriggerProgram {
         maps,

@@ -90,6 +90,10 @@ pub struct RelationExplain {
     /// Why that strategy was chosen (derivation success, the exact bail gate,
     /// the failed statement-major rule, or the forced override).
     pub reason: String,
+    /// The shardability verdict for the relation (see
+    /// [`crate::shard::analyze_sharding`]): `shard-local (...)` or
+    /// `exchanges deltas: ...`, in the same stable style as `reason`.
+    pub shard: String,
     /// Sign triggers present for the relation.
     pub triggers: Vec<TriggerExplain>,
     /// Second-order batch-correction statements, when batch-delta eligible.
@@ -110,6 +114,7 @@ pub struct ProgramExplain {
 /// `DBTOASTER_FORCE_BATCH_STRATEGY` resolution — pass the engine's forced
 /// strategy so EXPLAIN reports exactly what the dispatch table holds).
 pub fn explain(program: &TriggerProgram, force: Option<BatchStrategy>) -> ProgramExplain {
+    let shard_plan = crate::shard::analyze_sharding(program);
     let relations = program
         .batch_dispatch_forced(force)
         .into_iter()
@@ -133,6 +138,10 @@ pub fn explain(program: &TriggerProgram, force: Option<BatchStrategy>) -> Progra
                 .unwrap_or_default();
             RelationExplain {
                 reason: strategy_reason(program, &d.relation, d.strategy, force),
+                shard: shard_plan
+                    .relation_plan(&d.relation)
+                    .map(|r| r.reason.clone())
+                    .unwrap_or_default(),
                 relation: d.relation,
                 strategy: d.strategy.as_str().to_string(),
                 triggers,
@@ -480,6 +489,9 @@ impl ProgramExplain {
             let _ = writeln!(out, "== relation {} ==", rel.relation);
             let _ = writeln!(out, "strategy: {}", rel.strategy);
             let _ = writeln!(out, "reason: {}", rel.reason);
+            if !rel.shard.is_empty() {
+                let _ = writeln!(out, "shard: {}", rel.shard);
+            }
             for t in &rel.triggers {
                 let _ = writeln!(out, "on {}:", t.sign);
                 for s in &t.statements {
@@ -514,10 +526,11 @@ impl ProgramExplain {
             }
             let _ = write!(
                 out,
-                "{{\"relation\":\"{}\",\"strategy\":\"{}\",\"reason\":\"{}\",\"triggers\":[",
+                "{{\"relation\":\"{}\",\"strategy\":\"{}\",\"reason\":\"{}\",\"shard\":\"{}\",\"triggers\":[",
                 json_escape(&rel.relation),
                 json_escape(&rel.strategy),
-                json_escape(&rel.reason)
+                json_escape(&rel.reason),
+                json_escape(&rel.shard)
             );
             for (j, t) in rel.triggers.iter().enumerate() {
                 if j > 0 {
@@ -582,6 +595,12 @@ impl ProgramExplain {
                 relation: r.get("relation")?.as_str()?.to_string(),
                 strategy: r.get("strategy")?.as_str()?.to_string(),
                 reason: r.get("reason")?.as_str()?.to_string(),
+                // Absent in pre-shard documents: tolerate for forward compat.
+                shard: r
+                    .get("shard")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or_default()
+                    .to_string(),
                 triggers,
                 corrections,
             });
@@ -1062,6 +1081,7 @@ mod tests {
         assert!(text.contains("== relation R =="));
         assert!(text.contains("strategy: batch-delta"));
         assert!(text.contains("reason: "));
+        assert!(text.contains("shard: "));
         assert!(text.contains("kernel: compiled"));
     }
 

@@ -42,6 +42,7 @@ pub mod compile;
 pub mod explain;
 pub mod materialize;
 pub mod program;
+pub mod shard;
 
 pub use batch_delta::{derive_batch_corrections, derive_batch_corrections_with_reasons};
 pub use compile::{compile, fix_atom_kinds, CompileError};
@@ -53,6 +54,9 @@ pub use program::{
     RelationDispatch, RelationMeta, ResultAccess, Statement, StatementMajorBlock, StmtOp, Trigger,
     TriggerProgram,
 };
+pub use shard::{
+    analyze_sharding, slice_program, MapClass, RelationShardPlan, ShardPlan, ShardSlices,
+};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
@@ -63,6 +67,9 @@ pub mod prelude {
         CompileOptions, CompileReport, CompiledTrigger, MapDecl, QueryResult, QuerySpec,
         RelationDispatch, RelationMeta, ResultAccess, Statement, StatementMajorBlock, StmtOp,
         Trigger, TriggerProgram,
+    };
+    pub use crate::shard::{
+        analyze_sharding, slice_program, MapClass, RelationShardPlan, ShardPlan, ShardSlices,
     };
     pub use dbtoaster_agca::UpdateSign;
 }

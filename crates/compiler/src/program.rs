@@ -434,9 +434,11 @@ pub enum BatchDeltaBail {
         /// The offending map.
         map: String,
     },
-    /// Gate 3b: a stream atom survives into `map`'s second delta, which must
-    /// read no state that changes mid-run.
-    SurvivingStreamAtom {
+    /// Gate 3b: a derived *view* atom survives into `map`'s second delta,
+    /// which must read no state that changes mid-run. (Stream atoms of
+    /// *other* relations are allowed: they are constant during the run and
+    /// their stored pre-run slice is materialized for the correction.)
+    SurvivingViewAtom {
         /// The offending map.
         map: String,
     },
@@ -454,8 +456,8 @@ impl BatchDeltaBail {
             BatchDeltaBail::NonzeroThirdDelta { map } => {
                 format!("`{map}` has a nonzero third delta (more than quadratic)")
             }
-            BatchDeltaBail::SurvivingStreamAtom { map } => {
-                format!("a stream atom survives into `{map}`'s second delta")
+            BatchDeltaBail::SurvivingViewAtom { map } => {
+                format!("a view atom survives into `{map}`'s second delta")
             }
         }
     }

@@ -164,6 +164,16 @@ pub struct DurabilityConfig {
     pub vfs: Arc<dyn Vfs>,
     /// Retry/backoff policy for transient durability failures.
     pub retry: RetryPolicy,
+    /// Group-commit window for [`FsyncPolicy::Always`]: appends landing within
+    /// this duration of the first unsynced append share one fsync instead of
+    /// paying one each (the classic group-commit trade: up to one window of
+    /// acknowledged-but-unsynced events on an OS crash, in exchange for
+    /// amortizing the dominant cost of `Always`). `Duration::ZERO` (the
+    /// default) disables coalescing — every append syncs inline, the historic
+    /// behavior. Explicit syncs (barriers, clean shutdown, segment rotation)
+    /// always close the window immediately, so `flush()` retains the full
+    /// durability guarantee. Ignored under the other policies.
+    pub group_commit_window: Duration,
 }
 
 impl DurabilityConfig {
@@ -178,6 +188,7 @@ impl DurabilityConfig {
             keep_checkpoints: 2,
             vfs: std_vfs(),
             retry: RetryPolicy::default(),
+            group_commit_window: Duration::ZERO,
         }
     }
 }

@@ -37,6 +37,7 @@ use dbtoaster_agca::UpdateEvent;
 use std::fs::{self, File, OpenOptions};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Magic prefix of every WAL segment.
 pub const WAL_MAGIC: &[u8; 6] = b"DBTWAL";
@@ -444,6 +445,14 @@ pub struct WalWriter {
     policy: FsyncPolicy,
     bytes_written: u64,
     needs_sync: bool,
+    /// Group-commit window under [`FsyncPolicy::Always`]
+    /// ([`WalWriter::set_group_commit_window`]); `ZERO` = sync every append.
+    group_window: Duration,
+    /// When the open group-commit window expires; `None` when no append's
+    /// fsync is currently deferred.
+    window_deadline: Option<Instant>,
+    /// Appends whose inline fsync was coalesced into a group-commit window.
+    coalesced_syncs: u64,
     /// Held for the writer's lifetime: an advisory exclusive lock on
     /// `<dir>/wal.lock`, so a second writer (another server instance, or
     /// another process) cannot truncate or interleave with a live log. The OS
@@ -583,6 +592,9 @@ impl WalWriter {
                     policy,
                     bytes_written: 0,
                     needs_sync: scan.torn,
+                    group_window: Duration::ZERO,
+                    window_deadline: None,
+                    coalesced_syncs: 0,
                     _lock: lock,
                 };
                 if scan.torn {
@@ -606,6 +618,9 @@ impl WalWriter {
             policy,
             bytes_written: header_len,
             needs_sync: true,
+            group_window: Duration::ZERO,
+            window_deadline: None,
+            coalesced_syncs: 0,
             _lock: lock,
         };
         if matches!(w.policy, FsyncPolicy::Always | FsyncPolicy::EveryBatch) {
@@ -632,6 +647,22 @@ impl WalWriter {
         Ok(())
     }
 
+    /// Enable group commit under [`FsyncPolicy::Always`]: appends within
+    /// `window` of the first unsynced append defer their fsync and share the
+    /// one that closes the window (at expiry, or at the next explicit
+    /// [`WalWriter::sync`] — barriers, rotation, clean shutdown). `ZERO`
+    /// restores the sync-per-append behavior. No effect under the other
+    /// policies, whose boundary sync already coalesces per batch.
+    pub fn set_group_commit_window(&mut self, window: Duration) {
+        self.group_window = window;
+    }
+
+    /// Appends whose inline fsync was coalesced into a group-commit window
+    /// since this writer was opened (0 unless a window is configured).
+    pub fn coalesced_syncs(&self) -> u64 {
+        self.coalesced_syncs
+    }
+
     /// Sequence number the next appended event will receive.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
@@ -645,7 +676,10 @@ impl WalWriter {
     /// Append one micro-batch as a single framed record; returns the sequence
     /// number of its first event. Rotates to a new segment first when the
     /// current one has reached the size threshold. Under
-    /// [`FsyncPolicy::Always`] the record is fsynced before returning; under
+    /// [`FsyncPolicy::Always`] the record is fsynced before returning —
+    /// unless a group-commit window is configured
+    /// ([`WalWriter::set_group_commit_window`]), in which case appends inside
+    /// the window defer to one shared sync at its close. Under
     /// [`FsyncPolicy::EveryBatch`] the caller is expected to call
     /// [`WalWriter::sync`] once per drained batch (identical here, where one
     /// append *is* one batch, but cheaper when several appends are coalesced).
@@ -678,7 +712,22 @@ impl WalWriter {
         self.next_seq += events.len() as u64;
         self.needs_sync = true;
         if matches!(self.policy, FsyncPolicy::Always) {
-            self.sync()?;
+            if self.group_window.is_zero() {
+                self.sync()?;
+            } else {
+                // Group commit: defer this append's fsync into the open
+                // window; the sync that closes the window (expiry, or any
+                // explicit `sync` — barrier, rotation, shutdown) covers it.
+                let now = Instant::now();
+                match self.window_deadline {
+                    None => {
+                        self.window_deadline = Some(now + self.group_window);
+                        self.coalesced_syncs += 1;
+                    }
+                    Some(deadline) if now >= deadline => self.sync()?,
+                    Some(_) => self.coalesced_syncs += 1,
+                }
+            }
         }
         Ok(first_seq)
     }
@@ -687,6 +736,7 @@ impl WalWriter {
     /// pending). Called by the serving layer once per drained micro-batch
     /// under [`FsyncPolicy::EveryBatch`].
     pub fn sync(&mut self) -> Result<(), DurabilityError> {
+        self.window_deadline = None; // any sync closes the group-commit window
         if self.needs_sync {
             self.file
                 .sync_data()
@@ -696,10 +746,18 @@ impl WalWriter {
         Ok(())
     }
 
-    /// Apply the end-of-batch sync required by the configured policy.
+    /// Apply the end-of-batch sync required by the configured policy. Under
+    /// [`FsyncPolicy::Always`] with a group-commit window this is also where
+    /// an expired window is closed, so a quiet stream (appends stopping right
+    /// after a window opens) still syncs within one batch drain of expiry.
     pub fn batch_boundary(&mut self) -> Result<(), DurabilityError> {
         match self.policy {
-            FsyncPolicy::Always => Ok(()), // already synced per append
+            FsyncPolicy::Always => match self.window_deadline {
+                // Synced per append (no window) or still inside the window.
+                None => Ok(()),
+                Some(deadline) if Instant::now() < deadline => Ok(()),
+                Some(_) => self.sync(),
+            },
             FsyncPolicy::EveryBatch => self.sync(),
             FsyncPolicy::Never => Ok(()),
         }
@@ -1096,6 +1154,150 @@ mod tests {
             Err(DurabilityError::Corrupt { .. }) => {}
             other => panic!("expected hard corruption error, got {other:?}"),
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    use std::io;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// [`StdVfs`] that counts `sync_data`/`sync_all` calls on the files it
+    /// opens — lets the group-commit tests assert actual fsync traffic.
+    #[derive(Debug)]
+    struct SyncCountingVfs {
+        syncs: Arc<AtomicU64>,
+    }
+
+    struct SyncCountingFile {
+        inner: Box<dyn VfsFile>,
+        syncs: Arc<AtomicU64>,
+    }
+
+    impl VfsFile for SyncCountingFile {
+        fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+            self.inner.write_all(buf)
+        }
+        fn sync_data(&mut self) -> io::Result<()> {
+            self.syncs.fetch_add(1, Ordering::Relaxed);
+            self.inner.sync_data()
+        }
+        fn sync_all(&mut self) -> io::Result<()> {
+            self.syncs.fetch_add(1, Ordering::Relaxed);
+            self.inner.sync_all()
+        }
+        fn set_len(&mut self, len: u64) -> io::Result<()> {
+            self.inner.set_len(len)
+        }
+    }
+
+    impl Vfs for SyncCountingVfs {
+        fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+            StdVfs.read(path)
+        }
+        fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+            StdVfs.list_dir(dir)
+        }
+        fn exists(&self, path: &Path) -> bool {
+            StdVfs.exists(path)
+        }
+        fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+            Ok(Box::new(SyncCountingFile {
+                inner: StdVfs.open_append(path)?,
+                syncs: self.syncs.clone(),
+            }))
+        }
+        fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+            Ok(Box::new(SyncCountingFile {
+                inner: StdVfs.create(path)?,
+                syncs: self.syncs.clone(),
+            }))
+        }
+        fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+            StdVfs.create_dir_all(dir)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+            StdVfs.rename(from, to)
+        }
+        fn remove_file(&self, path: &Path) -> io::Result<()> {
+            StdVfs.remove_file(path)
+        }
+        fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+            StdVfs.sync_dir(dir)
+        }
+    }
+
+    #[test]
+    fn group_commit_window_coalesces_always_syncs() {
+        let dir = tmp_dir("group-commit");
+        let syncs = Arc::new(AtomicU64::new(0));
+        let vfs: Arc<dyn Vfs> = Arc::new(SyncCountingVfs {
+            syncs: syncs.clone(),
+        });
+        let mut w =
+            WalWriter::open_with(&dir, 9, 1, FsyncPolicy::Always, 1 << 20, vfs.clone()).unwrap();
+        // A wide-open window: none of these appends should fsync inline.
+        w.set_group_commit_window(Duration::from_secs(3600));
+        let baseline = syncs.load(Ordering::Relaxed); // segment-header sync
+        for i in 0..10 {
+            w.append(&[ev(i)]).unwrap();
+            w.batch_boundary().unwrap(); // window still open: must not sync
+        }
+        assert_eq!(syncs.load(Ordering::Relaxed), baseline, "deferred fsyncs");
+        assert_eq!(w.coalesced_syncs(), 10);
+        // An explicit sync (the barrier / shutdown path) closes the window
+        // with ONE fsync covering all ten appends.
+        w.sync().unwrap();
+        assert_eq!(syncs.load(Ordering::Relaxed), baseline + 1);
+        // The next append opens a fresh window rather than syncing inline.
+        w.append(&[ev(10)]).unwrap();
+        assert_eq!(syncs.load(Ordering::Relaxed), baseline + 1);
+        assert_eq!(w.coalesced_syncs(), 11);
+        drop(w);
+
+        // Everything appended is decodable (StdVfs wrote through the page
+        // cache regardless of sync timing; this guards the framing).
+        let (records, torn) = WalReader::open_with(&dir, 9, vfs)
+            .unwrap()
+            .records()
+            .unwrap();
+        assert!(!torn);
+        assert_eq!(records.len(), 11);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_expired_window_syncs_at_batch_boundary() {
+        let dir = tmp_dir("group-expiry");
+        let syncs = Arc::new(AtomicU64::new(0));
+        let vfs: Arc<dyn Vfs> = Arc::new(SyncCountingVfs {
+            syncs: syncs.clone(),
+        });
+        let mut w = WalWriter::open_with(&dir, 9, 1, FsyncPolicy::Always, 1 << 20, vfs).unwrap();
+        w.set_group_commit_window(Duration::from_millis(1));
+        w.append(&[ev(1)]).unwrap(); // opens the 1 ms window
+        let baseline = syncs.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(5));
+        // Expired: the boundary closes the window with a real fsync.
+        w.batch_boundary().unwrap();
+        assert_eq!(syncs.load(Ordering::Relaxed), baseline + 1);
+        // And with the window closed, the boundary is a no-op again.
+        w.batch_boundary().unwrap();
+        assert_eq!(syncs.load(Ordering::Relaxed), baseline + 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_window_keeps_sync_per_append() {
+        let dir = tmp_dir("group-zero");
+        let syncs = Arc::new(AtomicU64::new(0));
+        let vfs: Arc<dyn Vfs> = Arc::new(SyncCountingVfs {
+            syncs: syncs.clone(),
+        });
+        let mut w = WalWriter::open_with(&dir, 9, 1, FsyncPolicy::Always, 1 << 20, vfs).unwrap();
+        let baseline = syncs.load(Ordering::Relaxed);
+        w.append(&[ev(1)]).unwrap();
+        w.append(&[ev(2)]).unwrap();
+        assert_eq!(syncs.load(Ordering::Relaxed), baseline + 2);
+        assert_eq!(w.coalesced_syncs(), 0);
         let _ = fs::remove_dir_all(&dir);
     }
 }

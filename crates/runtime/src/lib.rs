@@ -38,12 +38,14 @@
 //! ```
 
 pub mod engine;
+pub mod shard;
 pub mod store;
 
 pub use engine::{
     parse_batch_strategy, BatchReport, ChangeSet, Engine, EngineStats, RunRecord, RuntimeError,
     TraceSample, ViewChange, FORCE_BATCH_STRATEGY_ENV, FORCE_INTERPRETER_ENV,
 };
+pub use shard::{shard_for, ExchangeStats, ShardedEngine};
 pub use store::{CachedSource, Database, ViewMap};
 
 pub use dbtoaster_telemetry::{
@@ -56,6 +58,7 @@ pub mod prelude {
         parse_batch_strategy, BatchReport, ChangeSet, Engine, EngineStats, RunRecord, RuntimeError,
         TraceSample, ViewChange, FORCE_BATCH_STRATEGY_ENV, FORCE_INTERPRETER_ENV,
     };
+    pub use crate::shard::{shard_for, ExchangeStats, ShardedEngine};
     pub use crate::store::{CachedSource, Database, ViewMap};
     pub use dbtoaster_telemetry::{
         HistogramSummary, MetricsSnapshot, SlowBatchTrace, Stage, Telemetry, TelemetryConfig,

@@ -74,6 +74,7 @@
 pub mod http;
 pub mod results;
 pub mod server;
+pub mod shard;
 pub mod swap;
 
 pub use http::{HttpConfig, HttpExporter};
@@ -82,6 +83,7 @@ pub use server::{
     IngestHandle, OutputDelta, OutputDeltaBatch, ReaderHandle, SendBatchError, ServeError,
     ServedQuery, ServerConfig, Snapshot, Subscription, TrySendError, ViewServer,
 };
+pub use shard::{ShardStatus, ShardedViewServer};
 pub use swap::EpochCell;
 
 // The durability knobs appear in `ServerConfig`; re-export them so serving

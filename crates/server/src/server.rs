@@ -141,6 +141,9 @@ pub enum ServeError {
     /// half-assembled: a spawn failure is returned from [`ViewServer::spawn`]
     /// instead of panicking the caller.
     Spawn(String),
+    /// The requested configuration is not supported by this serving mode
+    /// (e.g. durability or a single HTTP exporter under sharded serving).
+    Unsupported(String),
 }
 
 impl fmt::Display for ServeError {
@@ -159,6 +162,7 @@ impl fmt::Display for ServeError {
             ServeError::Durability(e) => write!(f, "durability error: {e}"),
             ServeError::Http(e) => write!(f, "http exporter error: {e}"),
             ServeError::Spawn(e) => write!(f, "thread spawn error: {e}"),
+            ServeError::Unsupported(e) => write!(f, "unsupported configuration: {e}"),
         }
     }
 }
@@ -207,6 +211,23 @@ impl Snapshot {
     /// A maintained view (or stored relation) by name.
     pub fn view(&self, name: &str) -> Option<&Gmr> {
         self.views.get(name)
+    }
+
+    /// Assemble a snapshot from already-merged views (the sharded serving
+    /// layer's read path; plain servers only receive writer-published
+    /// snapshots).
+    pub(crate) fn assemble(
+        epoch: u64,
+        events_applied: u64,
+        degraded: bool,
+        views: FastMap<String, Gmr>,
+    ) -> Snapshot {
+        Snapshot {
+            epoch,
+            events_applied,
+            degraded,
+            views,
+        }
     }
 
     /// Names of all views in the snapshot (unordered).
@@ -728,6 +749,24 @@ impl ViewServer {
         self.shared.cell.epoch()
     }
 
+    /// Events currently queued but not yet drained by the writer.
+    pub fn queue_depth(&self) -> u64 {
+        self.shared.queue_depth.load(Relaxed)
+    }
+
+    /// The `/healthz` body and health verdict, without going through the HTTP
+    /// exporter (the sharded serving layer composes these per shard).
+    pub fn health_json(&self) -> (bool, String) {
+        health_body(&self.shared)
+    }
+
+    /// The currently published snapshot, without registering a long-lived
+    /// reader pin (a transient pin is used internally; see
+    /// [`EpochCell::load_unpinned`]).
+    pub fn current_snapshot(&self) -> Arc<Snapshot> {
+        self.shared.cell.load_unpinned()
+    }
+
     /// Stop the writer (after it drains messages queued ahead of the stop
     /// request) and take the engine back for single-threaded use. With
     /// durability enabled this is a *clean* shutdown: the WAL is synced and a
@@ -1075,6 +1114,9 @@ struct DurableState {
     io_errors_permanent: Counter,
     degraded_transitions: Counter,
     degraded_gauge: Counter,
+    /// Mirrors [`WalWriter::coalesced_syncs`]: appends whose fsync was
+    /// absorbed by a group-commit window instead of paid inline.
+    group_commit_coalesced: Counter,
 }
 
 fn unix_epoch_secs() -> u64 {
@@ -1171,7 +1213,7 @@ impl DurableState {
             .stats
             .checkpoint_watermark
             .fetch_max(newest_verified.unwrap_or(watermark), Relaxed);
-        let wal = WalWriter::open_locked_with(
+        let mut wal = WalWriter::open_locked_with(
             &cfg.dir,
             fingerprint,
             watermark + 1,
@@ -1180,11 +1222,13 @@ impl DurableState {
             lock,
             cfg.vfs.clone(),
         )?;
+        wal.set_group_commit_window(cfg.group_commit_window);
         let io_retries = shared.tel.counter("io_retries");
         let io_errors_transient = shared.tel.counter("io_errors_transient");
         let io_errors_permanent = shared.tel.counter("io_errors_permanent");
         let degraded_transitions = shared.tel.counter("degraded_transitions");
         let degraded_gauge = shared.tel.gauge("degraded");
+        let group_commit_coalesced = shared.tel.counter("wal_group_commit_coalesced_total");
         let (tx, rx) = mpsc::sync_channel::<CkptJob>(1);
         let ckpt_thread = {
             let shared = shared.clone();
@@ -1266,6 +1310,7 @@ impl DurableState {
             io_errors_permanent,
             degraded_transitions,
             degraded_gauge,
+            group_commit_coalesced,
         })
     }
 
@@ -1342,6 +1387,7 @@ impl DurableState {
                     .stats
                     .wal_bytes_written
                     .store(self.wal.bytes_written(), Relaxed);
+                self.group_commit_coalesced.set(self.wal.coalesced_syncs());
                 true
             }
             Err(e) if e.is_transient() => {
@@ -1353,6 +1399,30 @@ impl DurableState {
                 self.io_errors_permanent.inc();
                 self.enter_failed(e, shared);
                 false
+            }
+        }
+    }
+
+    /// Close any open group-commit window before a barrier is acknowledged:
+    /// a `flush()` ack promises the acked epoch's events are durable under
+    /// the configured policy, so a deferred fsync must not outlive it. A
+    /// no-op when nothing is pending (the window already closed, or no window
+    /// is configured — `sync` skips the syscall unless bytes are unsynced).
+    /// Sync failures follow the fsyncgate rule (see `append_armed`): straight
+    /// to degraded or failed, never retried in place.
+    fn barrier_sync(&mut self, shared: &Shared) {
+        if !self.is_armed() {
+            return;
+        }
+        match self.wal.sync() {
+            Ok(()) => {}
+            Err(e) if e.is_transient() => {
+                self.io_errors_transient.inc();
+                self.enter_degraded(e, shared);
+            }
+            Err(e) => {
+                self.io_errors_permanent.inc();
+                self.enter_failed(e, shared);
             }
         }
     }
@@ -1750,6 +1820,13 @@ fn writer_loop(
                 access: req.access,
                 tx: req.tx,
             });
+        }
+        if !barriers.is_empty() {
+            // A barrier ack asserts durability up to `epoch` under the
+            // configured policy — close any open group-commit window first.
+            if let Some(d) = durable.as_mut() {
+                d.barrier_sync(&shared);
+            }
         }
         for tx in barriers.drain(..) {
             // `due` above guarantees all events ahead of this barrier are
